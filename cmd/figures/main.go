@@ -1,0 +1,76 @@
+// Command figures regenerates the data behind every figure of the paper's
+// evaluation section (see DESIGN.md §3 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results).
+//
+// Usage:
+//
+//	figures [-fig all|fig6|fig9|fig11|fig12|fig13|fig14|fig15|fig16|appendix|ablation] [-format table|csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"eedtree/internal/experiments"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate, or \"all\"")
+		format = flag.String("format", "table", "output format: table or csv")
+		outDir = flag.String("o", "", "also write each figure as <dir>/<id>.csv")
+	)
+	flag.Parse()
+	if err := run(*fig, *format, *outDir); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig, format, outDir string) error {
+	if format != "table" && format != "csv" {
+		return fmt.Errorf("unknown format %q (want table or csv)", format)
+	}
+	var tables []*experiments.Table
+	if fig == "all" {
+		all, err := experiments.All()
+		if err != nil {
+			return err
+		}
+		tables = all
+	} else {
+		gen := experiments.ByID(fig)
+		if gen == nil {
+			return fmt.Errorf("unknown figure %q", fig)
+		}
+		t, err := gen()
+		if err != nil {
+			return err
+		}
+		tables = []*experiments.Table{t}
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		if format == "csv" {
+			fmt.Printf("# %s: %s\n%s", t.ID, t.Title, t.CSV())
+		} else {
+			fmt.Print(t.String())
+		}
+		if outDir != "" {
+			path := filepath.Join(outDir, t.ID+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 1<<16)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	return out, ferr
+}
+
+func TestRunSingleFigureTable(t *testing.T) {
+	out, err := capture(t, func() error { return run("fig6", "table", "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "== fig6:") || !strings.Contains(out, "zeta") {
+		t.Fatalf("table output wrong:\n%s", out)
+	}
+}
+
+func TestRunSingleFigureCSV(t *testing.T) {
+	out, err := capture(t, func() error { return run("fig6", "csv", "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "# fig6:") {
+		t.Fatalf("csv output missing comment header:\n%.80s", out)
+	}
+	if !strings.Contains(out, "zeta,t50_exact") {
+		t.Fatalf("csv header missing:\n%.200s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("fig99", "table", ""); err == nil {
+		t.Fatal("unknown figure must fail")
+	}
+	if err := run("fig6", "xml", ""); err == nil {
+		t.Fatal("unknown format must fail")
+	}
+}
+
+func TestRunWritesCSVDir(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := capture(t, func() error { return run("fig6", "table", dir) }); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dir + "/fig6.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "zeta,") {
+		t.Fatalf("csv file content wrong: %.60s", data)
+	}
+}

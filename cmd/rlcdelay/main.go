@@ -1,0 +1,204 @@
+// Command rlcdelay computes the equivalent Elmore characterization of an
+// RLC tree: per-node damping factor, natural frequency, 50% delay, rise
+// time, overshoot and settling time, with the classical Elmore (Wyatt) RC
+// delay for comparison and an optional transient-simulation cross-check.
+//
+// The tree is read from a file (or stdin with "-") in the compact text
+// format of internal/rlctree:
+//
+//	# name parent R L C   ("-" parent = attached to the input)
+//	s1 -  25 5n 50f
+//	s2 s1 25 5n 50f
+//
+// SPEF parasitic files are also accepted (-spef, with -net selecting the
+// net when the file holds several).
+//
+// Usage:
+//
+//	rlcdelay [-sim] [-node name] [-vdd v] tree.txt
+//	rlcdelay -spef [-net name] design.spef
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"eedtree/internal/core"
+	"eedtree/internal/rlctree"
+	"eedtree/internal/sources"
+	"eedtree/internal/spef"
+	"eedtree/internal/transim"
+)
+
+func main() {
+	var (
+		simulate = flag.Bool("sim", false, "cross-check the 50% delay against a transient simulation")
+		node     = flag.String("node", "", "report a single node (default: all nodes)")
+		vdd      = flag.Float64("vdd", 1.0, "step amplitude used for the simulation cross-check")
+		useSpef  = flag.Bool("spef", false, "input is a SPEF parasitic file")
+		netName  = flag.String("net", "", "with -spef: the net to analyze (default: first net)")
+		dot      = flag.Bool("dot", false, "emit the tree as Graphviz DOT instead of analyzing it")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rlcdelay [flags] <tree-file|->\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var err error
+	if *dot {
+		err = runDOT(flag.Arg(0), *useSpef, *netName)
+	} else {
+		err = run(flag.Arg(0), *node, *vdd, *simulate, *useSpef, *netName)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rlcdelay:", err)
+		os.Exit(1)
+	}
+}
+
+func runDOT(path string, useSpef bool, netName string) error {
+	tree, err := loadTree(path, useSpef, netName)
+	if err != nil {
+		return err
+	}
+	return tree.WriteDOT(os.Stdout, path)
+}
+
+func run(path, only string, vdd float64, simulate, useSpef bool, netName string) error {
+	tree, err := loadTree(path, useSpef, netName)
+	if err != nil {
+		return err
+	}
+	if only != "" && tree.Section(only) == nil {
+		return fmt.Errorf("unknown node %q", only)
+	}
+	analyses, err := core.AnalyzeTree(tree)
+	if err != nil {
+		return err
+	}
+	var simDelay map[string]float64
+	if simulate {
+		simDelay, err = simulateDelays(tree, analyses, vdd)
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("%-12s %9s %12s %11s %11s %10s %11s %11s", "node", "zeta", "omega_n", "delay50", "rise", "overshoot", "settle", "elmore50")
+	if simulate {
+		fmt.Printf(" %11s %8s", "sim50", "err%")
+	}
+	fmt.Println()
+	for _, a := range analyses {
+		if only != "" && a.Section.Name() != only {
+			continue
+		}
+		zeta := "inf(RC)"
+		omega := "inf"
+		if !a.Model.RCOnly() {
+			zeta = fmt.Sprintf("%.4g", a.Model.Zeta())
+			omega = fmt.Sprintf("%.4g", a.Model.OmegaN())
+		}
+		fmt.Printf("%-12s %9s %12s %11s %11s %9.2f%% %11s %11s",
+			a.Section.Name(), zeta, omega,
+			si(a.Delay50), si(a.RiseTime), 100*a.Overshoot, si(a.SettlingTime), si(a.ElmoreDelay50))
+		if simulate {
+			d := simDelay[a.Section.Name()]
+			errPct := math.NaN()
+			if d > 0 {
+				errPct = 100 * math.Abs(a.Delay50-d) / d
+			}
+			fmt.Printf(" %11s %7.2f%%", si(d), errPct)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func loadTree(path string, useSpef bool, netName string) (*rlctree.Tree, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	if !useSpef {
+		return rlctree.Parse(r)
+	}
+	file, err := spef.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(file.Nets) == 0 {
+		return nil, fmt.Errorf("SPEF file has no nets")
+	}
+	net := file.Nets[0]
+	if netName != "" {
+		if net = file.Net(netName); net == nil {
+			return nil, fmt.Errorf("SPEF file has no net %q", netName)
+		}
+	}
+	return net.Tree(file.Units)
+}
+
+func simulateDelays(tree *rlctree.Tree, analyses []core.NodeAnalysis, vdd float64) (map[string]float64, error) {
+	deck, err := tree.ToDeck(sources.Step{V0: 0, V1: vdd})
+	if err != nil {
+		return nil, err
+	}
+	horizon := 0.0
+	for _, a := range analyses {
+		h := 6 * a.Delay50
+		if !math.IsNaN(a.SettlingTime) && 2*a.SettlingTime > h {
+			h = 2 * a.SettlingTime
+		}
+		if h > horizon {
+			horizon = h
+		}
+	}
+	res, err := transim.Simulate(deck, transim.Options{Step: horizon / 20000, Stop: horizon})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(analyses))
+	for _, a := range analyses {
+		w, err := res.Node(a.Section.Name())
+		if err != nil {
+			return nil, err
+		}
+		if d, err := w.Delay50(vdd); err == nil {
+			out[a.Section.Name()] = d
+		}
+	}
+	return out, nil
+}
+
+// si formats seconds with an engineering suffix.
+func si(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "n/a"
+	case v == 0:
+		return "0"
+	case v >= 1e-6:
+		return fmt.Sprintf("%.4gus", v*1e6)
+	case v >= 1e-9:
+		return fmt.Sprintf("%.4gns", v*1e9)
+	case v >= 1e-12:
+		return fmt.Sprintf("%.4gps", v*1e12)
+	default:
+		return fmt.Sprintf("%.4gfs", v*1e15)
+	}
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const treeText = `# Fig-5 style tree
+s1 -  25 1n 50f
+s2 s1 25 1n 50f
+s3 s1 25 1n 50f
+s4 s2 25 1n 50f
+s5 s2 25 1n 50f
+s6 s3 25 1n 50f
+s7 s3 25 1n 50f
+`
+
+func writeTree(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tree.txt")
+	if err := os.WriteFile(path, []byte(treeText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// capture redirects stdout around fn.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 1<<16)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	return out, ferr
+}
+
+func TestRunAllNodes(t *testing.T) {
+	path := writeTree(t)
+	out, err := capture(t, func() error { return run(path, "", 1.0, false, false, "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"node", "zeta", "s1", "s7", "elmore50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "\n") < 8 {
+		t.Fatalf("expected a row per node:\n%s", out)
+	}
+}
+
+func TestRunSingleNodeWithSim(t *testing.T) {
+	path := writeTree(t)
+	out, err := capture(t, func() error { return run(path, "s7", 1.0, true, false, "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "s7") || strings.Contains(out, "\ns1 ") {
+		t.Fatalf("single-node filter failed:\n%s", out)
+	}
+	if !strings.Contains(out, "sim50") || !strings.Contains(out, "err%") {
+		t.Fatalf("simulation columns missing:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing.txt"), "", 1, false, false, ""); err == nil {
+		t.Fatal("missing file must fail")
+	}
+	path := writeTree(t)
+	if err := run(path, "bogus", 1, false, false, ""); err == nil {
+		t.Fatal("unknown node must fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("x y z"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, "", 1, false, false, ""); err == nil {
+		t.Fatal("malformed tree must fail")
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	path := writeTree(t)
+	out, err := capture(t, func() error { return runDOT(path, false, "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"digraph", `"in" -> "s1"`, `"s3" -> "s7"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if err := runDOT(filepath.Join(t.TempDir(), "missing"), false, ""); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestSIFormatting(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{1.5e-12, "1.5ps"},
+		{2e-9, "2ns"},
+		{3e-6, "3us"},
+		{5e-14, "50fs"},
+	}
+	for _, c := range cases {
+		if got := si(c.in); got != c.want {
+			t.Errorf("si(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const spefText = `*SPEF "IEEE 1481-1998"
+*DESIGN "t"
+*T_UNIT 1 PS
+*C_UNIT 1 FF
+*R_UNIT 1 OHM
+*L_UNIT 1 PH
+
+*D_NET netx 120
+*CONN
+*I drv:Z O
+*I ld:A I
+*CAP
+1 n1 60
+2 ld:A 60
+*RES
+1 drv:Z n1 20
+2 n1 ld:A 20
+*INDUC
+1 drv:Z n1 800
+2 n1 ld:A 800
+*END
+
+*D_NET nety 10
+*CONN
+*I d2:Z O
+*CAP
+1 d2:Z 10
+*END
+`
+
+func writeSpef(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "d.spef")
+	if err := os.WriteFile(path, []byte(spefText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSpefDefaultNet(t *testing.T) {
+	path := writeSpef(t)
+	out, err := capture(t, func() error { return run(path, "", 1.0, false, true, "") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ld:A") || !strings.Contains(out, "n1") {
+		t.Fatalf("SPEF nodes missing:\n%s", out)
+	}
+}
+
+func TestRunSpefSelectNet(t *testing.T) {
+	path := writeSpef(t)
+	out, err := capture(t, func() error { return run(path, "", 1.0, false, true, "nety") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "d2:Z") {
+		t.Fatalf("selected net missing:\n%s", out)
+	}
+	if err := run(path, "", 1.0, false, true, "bogus"); err == nil {
+		t.Fatal("unknown SPEF net must fail")
+	}
+}
+
+func TestRunSpefErrors(t *testing.T) {
+	empty := filepath.Join(t.TempDir(), "e.spef")
+	if err := os.WriteFile(empty, []byte("*SPEF \"x\"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(empty, "", 1, false, true, ""); err == nil {
+		t.Fatal("SPEF with no nets must fail")
+	}
+	tree := writeTree(t)
+	if err := run(tree, "", 1, false, true, ""); err == nil {
+		t.Fatal("tree file parsed as SPEF must fail")
+	}
+}

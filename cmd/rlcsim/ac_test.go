@@ -1,0 +1,100 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRunACSweep(t *testing.T) {
+	path := writeDeck(t, deckText)
+	out, err := capture(t, func() error { return runAC(path, 1e6, 1e10, 9, "out") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "freq_hz,mag_out,phase_deg_out" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 10 {
+		t.Fatalf("got %d lines, want 10", len(lines))
+	}
+	// The RC lowpass magnitude must fall monotonically with frequency and
+	// start near 1.
+	prev := 2.0
+	for _, ln := range lines[1:] {
+		fields := strings.Split(ln, ",")
+		mag, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mag >= prev {
+			t.Fatalf("magnitude not decreasing: %g after %g", mag, prev)
+		}
+		prev = mag
+	}
+	first := strings.Split(lines[1], ",")
+	if mag, _ := strconv.ParseFloat(first[1], 64); mag < 0.999 {
+		t.Fatalf("low-frequency magnitude %g, want ≈ 1", mag)
+	}
+}
+
+func TestRunACErrors(t *testing.T) {
+	path := writeDeck(t, deckText)
+	if err := runAC(path, 0, 1e9, 10, ""); err == nil {
+		t.Fatal("fstart 0 must fail")
+	}
+	if err := runAC(path, 1e9, 1e6, 10, ""); err == nil {
+		t.Fatal("inverted range must fail")
+	}
+	if err := runAC(path, 1e6, 1e9, 1, ""); err == nil {
+		t.Fatal("1 point must fail")
+	}
+	if err := runAC(path, 1e6, 1e9, 10, "bogus"); err == nil {
+		t.Fatal("unknown node must fail")
+	}
+	if err := runAC("/nonexistent", 1e6, 1e9, 10, ""); err == nil {
+		t.Fatal("missing deck must fail")
+	}
+}
+
+func TestRunAdaptive(t *testing.T) {
+	path := writeDeck(t, deckText)
+	out, err := capture(t, func() error { return runAdaptive(path, "", 1e-4, "out") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.HasPrefix(lines[0], "# adaptive:") {
+		t.Fatalf("missing stats comment: %q", lines[0])
+	}
+	if lines[1] != "time,out" {
+		t.Fatalf("header = %q", lines[1])
+	}
+	last := strings.Split(lines[len(lines)-1], ",")
+	v, err := strconv.ParseFloat(last[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0.999 {
+		t.Fatalf("final value %g, want ≈ 1", v)
+	}
+	// Non-uniform stepping: fewer lines than the fixed 1 ps run's 1000+.
+	if len(lines) > 600 {
+		t.Fatalf("adaptive produced %d samples — no step growth", len(lines))
+	}
+}
+
+func TestRunAdaptiveErrors(t *testing.T) {
+	path := writeDeck(t, deckText)
+	if err := runAdaptive(path, "bogus", 1e-4, ""); err == nil {
+		t.Fatal("bad stop must fail")
+	}
+	if err := runAdaptive(path, "", 1e-4, "nosuch"); err == nil {
+		t.Fatal("unknown node must fail")
+	}
+	noTran := writeDeck(t, "V1 in 0 1\nR1 in 0 50\n")
+	if err := runAdaptive(noTran, "", 1e-4, ""); err == nil {
+		t.Fatal("missing stop must fail")
+	}
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const deckText = `.title rc lowpass
+V1 in 0 STEP(0 1 0)
+R1 in out 100
+C1 out 0 1p
+.tran 1p 1n
+.end
+`
+
+func writeDeck(t *testing.T, text string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "deck.sp")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 1<<16)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	return out, ferr
+}
+
+func TestRunDefaultTran(t *testing.T) {
+	path := writeDeck(t, deckText)
+	out, err := capture(t, func() error { return run(path, "", "", "trap", "", 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "time,in,out" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// 1000 steps + t=0 + header (±1 step for floating-point step division).
+	if len(lines) < 1002 || len(lines) > 1003 {
+		t.Fatalf("got %d lines, want ≈ 1002", len(lines))
+	}
+	// Final value of the RC output approaches 1.
+	last := strings.Split(lines[len(lines)-1], ",")
+	if !strings.HasPrefix(last[2], "0.9998") && !strings.HasPrefix(last[2], "0.9999") && last[2] != "1" {
+		t.Fatalf("final out = %q, want ≈ 1", last[2])
+	}
+}
+
+func TestRunNodeSelectionAndStride(t *testing.T) {
+	path := writeDeck(t, deckText)
+	out, err := capture(t, func() error { return run(path, "", "", "be", "out", 100) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "time,out" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 12 { // header + ceil(1001/100)
+		t.Fatalf("stride output has %d lines", len(lines))
+	}
+}
+
+func TestRunOverrides(t *testing.T) {
+	path := writeDeck(t, deckText)
+	out, err := capture(t, func() error { return run(path, "10p", "100p", "trap", "out", 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header + 11 points (0..100p step 10p); floating-point step division
+	// may add one step.
+	if len(lines) < 12 || len(lines) > 13 {
+		t.Fatalf("override run has %d lines", len(lines))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeDeck(t, deckText)
+	if err := run(filepath.Join(t.TempDir(), "nope.sp"), "", "", "trap", "", 1); err == nil {
+		t.Fatal("missing deck must fail")
+	}
+	if err := run(path, "", "", "rk4", "", 1); err == nil {
+		t.Fatal("unknown method must fail")
+	}
+	if err := run(path, "bogus", "", "trap", "", 1); err == nil {
+		t.Fatal("bad -step must fail")
+	}
+	if err := run(path, "", "bogus", "trap", "", 1); err == nil {
+		t.Fatal("bad -stop must fail")
+	}
+	if err := run(path, "", "", "trap", "nosuchnode", 1); err == nil {
+		t.Fatal("unknown node must fail")
+	}
+	if err := run(path, "", "", "trap", "", 0); err == nil {
+		t.Fatal("stride 0 must fail")
+	}
+	noTran := writeDeck(t, "V1 in 0 1\nR1 in 0 50\n")
+	if err := run(noTran, "", "", "trap", "", 1); err == nil {
+		t.Fatal("deck without .tran and no overrides must fail")
+	}
+	bad := writeDeck(t, "Q1 a 0 1")
+	if err := run(bad, "", "", "trap", "", 1); err == nil {
+		t.Fatal("malformed deck must fail")
+	}
+}

@@ -1,0 +1,87 @@
+// Crosstalk between coupled RLC lines: a switching aggressor next to a
+// quiet victim. The even/odd mode decomposition turns the coupled pair
+// into two independent lines, each characterized by the paper's
+// equivalent Elmore closed forms — the victim's far-end noise pulse is
+// half the difference of the mode step responses. The estimate is checked
+// against a full coupled-circuit simulation (mutual inductors + coupling
+// capacitors).
+//
+// Run with:
+//
+//	go run ./examples/crosstalk
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"eedtree/internal/sources"
+	"eedtree/internal/transim"
+	"eedtree/internal/xtalk"
+)
+
+func main() {
+	pair := xtalk.CoupledPair{
+		R: 26, L: 0.5e-9, C: 0.2e-12, // per mm
+		Lm: 0.15e-9, Cc: 0.05e-12, // 30% inductive, 25% capacitive coupling
+		Len: 3, Secs: 10,
+		RDrv: 50, CLoad: 20e-15,
+	}
+	even, odd, err := pair.ModeModels()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mode models at the far end:\n")
+	fmt.Printf("  even (L+Lm, C):      zeta=%.3f  omegaN=%.3g rad/s\n", even.Zeta(), even.OmegaN())
+	fmt.Printf("  odd  (L-Lm, C+2Cc):  zeta=%.3f  omegaN=%.3g rad/s\n", odd.Zeta(), odd.OmegaN())
+
+	est, err := pair.Analyze(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n2-pole (EED) estimate: victim peak %.1f mV at %.1f ps, aggressor delay %.1f ps\n",
+		1e3*est.VictimPeak, 1e12*est.VictimPeakAt, 1e12*est.AggrDelay50)
+	estAWE, err := pair.AnalyzeAWE(1.0, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("AWE-4 mode estimate:   victim peak %.1f mV at %.1f ps\n",
+		1e3*estAWE.VictimPeak, 1e12*estAWE.VictimPeakAt)
+
+	// Full coupled simulation.
+	deck, err := pair.Deck(sources.Step{V0: 0, V1: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const stop = 2e-9
+	res, err := transim.Simulate(deck, transim.Options{Step: stop / 40000, Stop: stop})
+	if err != nil {
+		log.Fatal(err)
+	}
+	aggName, vicName := pair.FarEndNodes()
+	vic, err := res.Node(vicName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	simPeak, simAt := 0.0, 0.0
+	for i, v := range vic.Value {
+		if a := math.Abs(v); a > simPeak {
+			simPeak, simAt = a, vic.Time[i]
+		}
+	}
+	agg, _ := res.Node(aggName)
+	simDelay, _ := agg.Delay50(1)
+	fmt.Printf("coupled simulation:   victim peak %.1f mV at %.1f ps, aggressor delay %.1f ps\n",
+		1e3*simPeak, 1e12*simAt, 1e12*simDelay)
+	fmt.Printf("\npeak-noise error: 2-pole %.1f%%, AWE-4 %.1f%% — noise pulses carry more\n",
+		100*math.Abs(est.VictimPeak-simPeak)/simPeak, 100*math.Abs(estAWE.VictimPeak-simPeak)/simPeak)
+	fmt.Println("high-frequency content than delay edges (paper Sec. V-F), so the peak")
+	fmt.Println("wants a higher-order model while delays are fine with two poles.")
+
+	fmt.Println("\nvictim noise pulse (closed form vs simulation):")
+	for _, ps := range []float64{25, 50, 75, 100, 150, 250, 400} {
+		tt := ps * 1e-12
+		fmt.Printf("  t=%4.0fps  est=%7.1f mV  sim=%7.1f mV\n", ps, 1e3*est.Victim(tt), 1e3*vic.At(tt))
+	}
+}

@@ -1,0 +1,76 @@
+// Wire sizing under the equivalent Elmore delay — the synthesis use case
+// the paper emphasizes (Secs. I, VI): because the delay expression is one
+// continuous analytic formula across all damping regimes, it can sit
+// directly inside an optimizer the way the classical Elmore delay does for
+// RC sizing.
+//
+// A 10-segment point-to-point line is sized segment-by-segment; the
+// example prints the optimal width taper and compares the optimized delay
+// against uniform minimum, maximum and mid-range widths.
+//
+// Run with:
+//
+//	go run ./examples/wiresizing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eedtree/internal/opt"
+)
+
+func main() {
+	problem := opt.SizingProblem{
+		Segments: 10,
+		Model: opt.WireModel{
+			RUnit:     35,     // Ω per segment at unit width
+			CAreaUnit: 25e-15, // F per segment per unit width
+			CFringe:   12e-15, // F per segment, width-independent
+			LUnit:     0.8e-9, // H per segment (width-insensitive)
+		},
+		WMin:    0.5,
+		WMax:    5,
+		RDriver: 120,
+		CLoad:   60e-15,
+	}
+
+	// Baselines: uniform widths.
+	for _, w := range []float64{problem.WMin, 1.58, problem.WMax} {
+		widths := uniform(problem.Segments, w)
+		d, err := problem.Delay(widths)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("uniform width %.2f: delay = %.2f ps\n", w, 1e12*d)
+	}
+
+	res, err := opt.OptimizeWidths(problem, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noptimized delay = %.2f ps (%d coordinate-descent sweeps)\n", 1e12*res.Delay, res.Sweeps)
+	fmt.Println("optimal widths (driver → load):")
+	for i, w := range res.Widths {
+		fmt.Printf("  segment %2d: %5.2f  %s\n", i+1, w, bar(w, problem.WMax))
+	}
+	fmt.Println("\nThe taper — wide near the driver, narrow at the load — is the")
+	fmt.Println("classical optimal-sizing shape, here derived with inductance included.")
+}
+
+func uniform(n int, w float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = w
+	}
+	return out
+}
+
+func bar(w, max float64) string {
+	n := int(w / max * 40)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

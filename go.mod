@@ -1,0 +1,3 @@
+module eedtree
+
+go 1.22

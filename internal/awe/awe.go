@@ -1,0 +1,186 @@
+// Package awe implements Asymptotic Waveform Evaluation [33]–[35], the
+// higher-order moment-matching baseline the paper positions its
+// second-order model against: a q-pole Padé approximation of a node's
+// transfer function built from its first 2q moments.
+//
+// AWE reaches arbitrary accuracy by raising q, but — unlike the equivalent
+// Elmore model, which is stable by construction — the Padé poles of an
+// RLC tree can land in the right half-plane, so every model reports its
+// stability. This trade-off (accuracy vs. guaranteed stability and cost)
+// is quantified in the ablation benchmarks.
+package awe
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"eedtree/internal/lina"
+	"eedtree/internal/moments"
+	"eedtree/internal/poly"
+	"eedtree/internal/rlctree"
+)
+
+// Model is a q-pole reduced-order model H(s) = Σ_i k_i/(s − p_i) of a
+// node's normalized (unit DC gain) transfer function.
+type Model struct {
+	Poles    []complex128 // p_i
+	Residues []complex128 // k_i
+}
+
+// Order returns the number of poles q.
+func (m *Model) Order() int { return len(m.Poles) }
+
+// Stable reports whether every pole lies strictly in the left half-plane.
+func (m *Model) Stable() bool {
+	for _, p := range m.Poles {
+		if real(p) >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FromMoments builds a q-pole model from the moments m_0 … m_{2q−1} of a
+// transfer function (ms must hold at least 2q values; extra entries are
+// ignored). It solves the standard AWE Hankel system for the denominator,
+// extracts the poles as polynomial roots, and recovers the residues from
+// the moment conditions m_j = −Σ_i k_i / p_i^{j+1}.
+//
+// A singular Hankel system means the underlying response has fewer than q
+// dominant poles (e.g. pole–zero cancellation in a balanced tree); retry
+// with a smaller q.
+func FromMoments(ms []float64, q int) (*Model, error) {
+	if q < 1 {
+		return nil, fmt.Errorf("awe: order must be ≥ 1, got %d", q)
+	}
+	if len(ms) < 2*q {
+		return nil, fmt.Errorf("awe: order %d needs %d moments, got %d", q, 2*q, len(ms))
+	}
+	// Hankel system: Σ_{j=1..q} b_j·m_{k−j} = −m_k for k = q..2q−1.
+	a := lina.NewMatrix(q, q)
+	rhs := make([]float64, q)
+	for row := 0; row < q; row++ {
+		k := q + row
+		for j := 1; j <= q; j++ {
+			a.Set(row, j-1, ms[k-j])
+		}
+		rhs[row] = -ms[k]
+	}
+	b, err := lina.SolveDense(a, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("awe: moment matrix singular (response has < %d dominant poles): %w", q, err)
+	}
+	// Denominator 1 + b_1·s + … + b_q·s^q; poles are its roots.
+	den := make(poly.Poly, q+1)
+	den[0] = 1
+	for j := 1; j <= q; j++ {
+		den[j] = complex(b[j-1], 0)
+	}
+	poles, err := den.Roots()
+	if err != nil {
+		return nil, fmt.Errorf("awe: pole extraction: %w", err)
+	}
+	for _, p := range poles {
+		if p == 0 {
+			return nil, fmt.Errorf("awe: extracted a pole at the origin")
+		}
+	}
+	// Residues: m_j = −Σ_i k_i/p_i^{j+1} for j = 0..q−1 — a complex
+	// Vandermonde-like system in the k_i.
+	v := lina.NewCMatrix(q, q)
+	rc := make([]complex128, q)
+	for j := 0; j < q; j++ {
+		for i, p := range poles {
+			v.Set(j, i, -1/cmplx.Pow(p, complex(float64(j+1), 0)))
+		}
+		rc[j] = complex(ms[j], 0)
+	}
+	res, err := lina.SolveComplex(v, rc)
+	if err != nil {
+		return nil, fmt.Errorf("awe: residue system: %w", err)
+	}
+	return &Model{Poles: poles, Residues: res}, nil
+}
+
+// AtNode builds the q-pole AWE model of the transfer function at a tree
+// node, computing the required 2q exact moments with the O(n)-per-order
+// recursion of internal/moments.
+func AtNode(s *rlctree.Section, q int) (*Model, error) {
+	ms, err := moments.At(s, 2*q-1)
+	if err != nil {
+		return nil, err
+	}
+	return FromMoments(ms, q)
+}
+
+// TransferFunction evaluates H(s) = Σ k_i/(s − p_i).
+func (m *Model) TransferFunction(s complex128) complex128 {
+	var h complex128
+	for i, p := range m.Poles {
+		h += m.Residues[i] / (s - p)
+	}
+	return h
+}
+
+// Moment returns the j-th moment −Σ_i k_i/p_i^{j+1} implied by the model,
+// useful for verifying moment matching.
+func (m *Model) Moment(j int) float64 {
+	var v complex128
+	for i, p := range m.Poles {
+		v -= m.Residues[i] / cmplx.Pow(p, complex(float64(j+1), 0))
+	}
+	return real(v)
+}
+
+// StepResponse returns the model's response to a vdd step at t = 0:
+// y(t) = vdd·(1 + Σ_i (k_i/p_i)·e^{p_i·t}). For an unstable model the
+// response diverges — callers should check Stable.
+func (m *Model) StepResponse(vdd float64) func(t float64) float64 {
+	q := len(m.Poles)
+	coef := make([]complex128, q)
+	for i, p := range m.Poles {
+		coef[i] = m.Residues[i] / p
+	}
+	poles := append([]complex128(nil), m.Poles...)
+	return func(t float64) float64 {
+		if t <= 0 {
+			return 0
+		}
+		y := complex(vdd, 0)
+		for i := 0; i < q; i++ {
+			y += complex(vdd, 0) * coef[i] * cmplx.Exp(poles[i]*complex(t, 0))
+		}
+		return real(y)
+	}
+}
+
+// ImpulseResponse returns h(t) = Σ_i k_i·e^{p_i·t} for t > 0.
+func (m *Model) ImpulseResponse() func(t float64) float64 {
+	poles := append([]complex128(nil), m.Poles...)
+	res := append([]complex128(nil), m.Residues...)
+	return func(t float64) float64 {
+		if t <= 0 {
+			return 0
+		}
+		var y complex128
+		for i := range poles {
+			y += res[i] * cmplx.Exp(poles[i]*complex(t, 0))
+		}
+		return real(y)
+	}
+}
+
+// DominantTimeConstant returns 1/|Re p| of the slowest stable pole — the
+// horizon over which the response evolves, used to pick simulation spans.
+// It returns 0 when no pole lies in the left half-plane.
+func (m *Model) DominantTimeConstant() float64 {
+	tau := 0.0
+	for _, p := range m.Poles {
+		if re := -real(p); re > 0 {
+			if t := 1 / re; t > tau {
+				tau = t
+			}
+		}
+	}
+	return tau
+}

@@ -1,0 +1,35 @@
+package awe_test
+
+import (
+	"fmt"
+
+	"eedtree/internal/awe"
+	"eedtree/internal/rlctree"
+)
+
+// Example builds a 3-pole AWE model of an RLC line's sink and inspects
+// its stability and DC gain — the checks the paper's always-stable
+// two-pole model makes unnecessary.
+func Example() {
+	tree, err := rlctree.Line("w", 6, rlctree.SectionValues{R: 20, L: 1e-9, C: 50e-15})
+	if err != nil {
+		panic(err)
+	}
+	m, err := awe.AtNode(tree.Leaves()[0], 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("order  = %d\n", m.Order())
+	fmt.Printf("stable = %v\n", m.Stable())
+	fmt.Printf("H(0)   = %.4f\n", real(m.TransferFunction(0)))
+	d, err := m.Delay50()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("delay  = %.1f ps\n", 1e12*d)
+	// Output:
+	// order  = 3
+	// stable = true
+	// H(0)   = 1.0000
+	// delay  = 40.5 ps
+}

@@ -1,0 +1,100 @@
+package awe
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// This file adds time-domain conveniences to the AWE model so it can serve
+// as a drop-in higher-order baseline wherever the equivalent Elmore model
+// is used: a numeric 50% step delay and the closed-form response to the
+// paper's exponential input (eq. 43).
+
+// Delay50 returns the 50% propagation delay of the model's step response,
+// found numerically (AWE has no closed-form delay — one of the paper's
+// arguments for the equivalent Elmore form). It fails for unstable models
+// or when the response never reaches the 50% level.
+func (m *Model) Delay50() (float64, error) {
+	if !m.Stable() {
+		return 0, fmt.Errorf("awe: unstable model has no settled delay")
+	}
+	tau := m.DominantTimeConstant()
+	if tau <= 0 {
+		return 0, fmt.Errorf("awe: no dominant time constant")
+	}
+	f := m.StepResponse(1)
+	const level = 0.5
+	// Bracket by marching in fractions of the dominant time constant;
+	// the 50% crossing of a unit-DC-gain stable response occurs within a
+	// few dominant time constants.
+	limit := 60 * tau
+	step := tau / 50
+	prev := 0.0
+	for x := step; x <= limit; x += step {
+		if f(x) >= level {
+			lo, hi := prev, x
+			for i := 0; i < 100; i++ {
+				mid := 0.5 * (lo + hi)
+				if f(mid) >= level {
+					hi = mid
+				} else {
+					lo = mid
+				}
+			}
+			return 0.5 * (lo + hi), nil
+		}
+		prev = x
+	}
+	return 0, fmt.Errorf("awe: step response never reached 50%% within %g", limit)
+}
+
+// ExpResponse returns the model's response to the exponential input
+// V_in(t) = vdd·(1 − e^{−t/tau}) by partial fractions over the model poles
+// plus the input pole −1/tau (nudged off any coincident model pole).
+func (m *Model) ExpResponse(vdd, tau float64) (func(t float64) float64, error) {
+	if !(tau > 0) {
+		return nil, fmt.Errorf("awe: ExpResponse requires tau > 0, got %g", tau)
+	}
+	a := complex(-1/tau, 0)
+	scale := 1 / tau
+	for _, p := range m.Poles {
+		for cmplx.Abs(a-p) < 1e-9*scale {
+			a *= complex(1+1e-6, 0)
+		}
+	}
+	// Y(s) = H(s)·vdd·(−a)/(s(s−a)) with H(s) = Σ k_i/(s−p_i).
+	// Residue at 0: vdd·H(0) = vdd (unit DC gain).
+	// Residue at a (the input pole): vdd·(−a)·H(a)/a = −vdd·H(a).
+	// Residue at p_i: k_i·vdd·(−a)/(p_i(p_i−a)).
+	q := len(m.Poles)
+	coef := make([]complex128, q)
+	for i, p := range m.Poles {
+		coef[i] = m.Residues[i] * complex(vdd, 0) * (-a) / (p * (p - a))
+	}
+	ka := -complex(vdd, 0) * m.TransferFunction(a)
+	poles := append([]complex128(nil), m.Poles...)
+	return func(t float64) float64 {
+		if t <= 0 {
+			return 0
+		}
+		tc := complex(t, 0)
+		y := complex(vdd, 0) + ka*cmplx.Exp(a*tc)
+		for i := range poles {
+			y += coef[i] * cmplx.Exp(poles[i]*tc)
+		}
+		return real(y)
+	}, nil
+}
+
+// RelativeError reports |got−want|/|want| guarding against a zero want;
+// shared helper for accuracy comparisons in tests and experiments.
+func RelativeError(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

@@ -1,0 +1,112 @@
+package awe
+
+import (
+	"math"
+	"testing"
+
+	"eedtree/internal/core"
+	"eedtree/internal/rlctree"
+)
+
+func singleSectionModel(t *testing.T, r, l, c float64) (*Model, core.SecondOrder) {
+	t.Helper()
+	tr := rlctree.New()
+	s := tr.MustAddSection("s1", nil, r, l, c)
+	m, err := AtNode(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := core.AtNode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, exact
+}
+
+// TestDelay50MatchesExactSecondOrder: on a single RLC section the AWE q=2
+// model is the exact transfer function, so its numeric delay must match
+// the numerically exact scaled delay of the core model.
+func TestDelay50MatchesExactSecondOrder(t *testing.T) {
+	m, exact := singleSectionModel(t, 100, 5e-9, 80e-15)
+	got, err := m.Delay50()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := core.ScaledDelay50Numeric(exact.Zeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := scaled / exact.OmegaN()
+	if RelativeError(got, want) > 1e-3 {
+		t.Fatalf("AWE delay %g vs exact %g", got, want)
+	}
+}
+
+func TestDelay50Unstable(t *testing.T) {
+	m := &Model{Poles: []complex128{complex(1e9, 0)}, Residues: []complex128{complex(-1e9, 0)}}
+	if _, err := m.Delay50(); err == nil {
+		t.Fatal("unstable model must refuse a delay")
+	}
+}
+
+// TestExpResponseMatchesCore: the AWE q=2 exponential-input response on a
+// single section must match the core closed form (44) pointwise.
+func TestExpResponseMatchesCore(t *testing.T) {
+	m, exact := singleSectionModel(t, 60, 5e-9, 80e-15)
+	tau := 0.4e-9
+	fa, err := m.ExpResponse(1, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := exact.ExpResponse(1, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.0; x < 12e-9; x += 0.05e-9 {
+		if d := math.Abs(fa(x) - fc(x)); d > 1e-6 {
+			t.Fatalf("AWE vs core exp response differ by %g at t=%g", d, x)
+		}
+	}
+}
+
+func TestExpResponseValidation(t *testing.T) {
+	m, _ := singleSectionModel(t, 60, 5e-9, 80e-15)
+	if _, err := m.ExpResponse(1, 0); err == nil {
+		t.Fatal("tau = 0 must fail")
+	}
+}
+
+// TestExpResponsePoleCollision: τ equal to a model pole's time constant
+// must not produce NaN/Inf.
+func TestExpResponsePoleCollision(t *testing.T) {
+	m, _ := singleSectionModel(t, 2000, 5e-9, 80e-15) // overdamped: real poles
+	tau := -1 / real(m.Poles[0])
+	if tau < 0 {
+		tau = -1 / real(m.Poles[1])
+	}
+	f, err := m.ExpResponse(1, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 1e-12; x < 1e-6; x *= 3 {
+		v := f(x)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("collision response invalid at t=%g: %g", x, v)
+		}
+	}
+	if v := f(1e-5); math.Abs(v-1) > 1e-5 {
+		t.Fatalf("collision response final value %g", v)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if RelativeError(1.1, 1) != 0.10000000000000009 && math.Abs(RelativeError(1.1, 1)-0.1) > 1e-12 {
+		t.Fatal("relative error wrong")
+	}
+	if RelativeError(0, 0) != 0 {
+		t.Fatal("0/0 should be 0")
+	}
+	if !math.IsInf(RelativeError(1, 0), 1) {
+		t.Fatal("x/0 should be +Inf")
+	}
+}

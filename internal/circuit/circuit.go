@@ -1,0 +1,250 @@
+// Package circuit provides a SPICE-subset netlist representation — the
+// linear elements (R, L, C) and independent voltage sources needed to
+// describe RLC interconnect circuits — together with a deck parser and
+// writer. Decks feed the MNA formulation (internal/mna) and the transient
+// simulator (internal/transim), this library's stand-in for the AS/X
+// simulator the paper validates against.
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"eedtree/internal/sources"
+)
+
+// NodeID identifies a circuit node. Ground is always node 0 (spelled "0"
+// or "gnd" in decks).
+type NodeID int
+
+// Ground is the reference node.
+const Ground NodeID = 0
+
+// Element is a circuit element attached to one or more nodes.
+type Element interface {
+	// Name returns the unique element name (e.g. "R1").
+	Name() string
+	// Nodes returns the nodes the element connects, in element order.
+	Nodes() []NodeID
+}
+
+// Resistor is a two-terminal linear resistor.
+type Resistor struct {
+	name string
+	A, B NodeID
+	R    float64 // ohms, > 0
+}
+
+// Name implements Element.
+func (r *Resistor) Name() string { return r.name }
+
+// Nodes implements Element.
+func (r *Resistor) Nodes() []NodeID { return []NodeID{r.A, r.B} }
+
+// Capacitor is a two-terminal linear capacitor.
+type Capacitor struct {
+	name string
+	A, B NodeID
+	C    float64 // farads, > 0
+}
+
+// Name implements Element.
+func (c *Capacitor) Name() string { return c.name }
+
+// Nodes implements Element.
+func (c *Capacitor) Nodes() []NodeID { return []NodeID{c.A, c.B} }
+
+// Inductor is a two-terminal linear inductor. Its branch current (flowing
+// A→B) is an MNA unknown.
+type Inductor struct {
+	name string
+	A, B NodeID
+	L    float64 // henries, > 0
+}
+
+// Name implements Element.
+func (l *Inductor) Name() string { return l.name }
+
+// Nodes implements Element.
+func (l *Inductor) Nodes() []NodeID { return []NodeID{l.A, l.B} }
+
+// VSource is an independent voltage source V(pos) − V(neg) = Src.V(t).
+// Its branch current (flowing pos→neg inside the circuit) is an MNA
+// unknown.
+type VSource struct {
+	name     string
+	Pos, Neg NodeID
+	Src      sources.Source
+}
+
+// Name implements Element.
+func (v *VSource) Name() string { return v.name }
+
+// Nodes implements Element.
+func (v *VSource) Nodes() []NodeID { return []NodeID{v.Pos, v.Neg} }
+
+// TranSpec carries a .tran directive: a fixed-step transient analysis
+// request.
+type TranSpec struct {
+	Step float64 // time step [s], > 0
+	Stop float64 // end time [s], > Step
+}
+
+// Deck is a parsed or programmatically built netlist.
+type Deck struct {
+	Title    string
+	Elements []Element
+	Tran     *TranSpec
+
+	nodeNames  []string
+	nodeByName map[string]NodeID
+	elemByName map[string]Element
+}
+
+// NewDeck returns an empty deck containing only the ground node.
+func NewDeck(title string) *Deck {
+	return &Deck{
+		Title:      title,
+		nodeNames:  []string{"0"},
+		nodeByName: map[string]NodeID{"0": Ground, "gnd": Ground},
+		elemByName: map[string]Element{},
+	}
+}
+
+// Node returns the NodeID for name, creating the node if needed. The names
+// "0" and "gnd" (any case) refer to ground.
+func (d *Deck) Node(name string) NodeID {
+	if id, ok := d.nodeByName[name]; ok {
+		return id
+	}
+	id := NodeID(len(d.nodeNames))
+	d.nodeNames = append(d.nodeNames, name)
+	d.nodeByName[name] = id
+	return id
+}
+
+// Lookup returns the NodeID for an existing node name.
+func (d *Deck) Lookup(name string) (NodeID, bool) {
+	id, ok := d.nodeByName[name]
+	return id, ok
+}
+
+// NodeName returns the name of a node.
+func (d *Deck) NodeName(id NodeID) string {
+	if int(id) < 0 || int(id) >= len(d.nodeNames) {
+		return fmt.Sprintf("<node %d>", id)
+	}
+	return d.nodeNames[id]
+}
+
+// NumNodes returns the number of nodes including ground.
+func (d *Deck) NumNodes() int { return len(d.nodeNames) }
+
+// NodeNames returns the names of all nodes in ID order (ground first).
+func (d *Deck) NodeNames() []string {
+	out := make([]string, len(d.nodeNames))
+	copy(out, d.nodeNames)
+	return out
+}
+
+// Element returns the element with the given name, or nil.
+func (d *Deck) Element(name string) Element { return d.elemByName[name] }
+
+func (d *Deck) register(name string, e Element) error {
+	if name == "" {
+		return fmt.Errorf("circuit: element name must be non-empty")
+	}
+	if _, dup := d.elemByName[name]; dup {
+		return fmt.Errorf("circuit: duplicate element name %q", name)
+	}
+	d.elemByName[name] = e
+	d.Elements = append(d.Elements, e)
+	return nil
+}
+
+func checkValue(kind, name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		return fmt.Errorf("circuit: %s %q requires a positive finite value, got %g", kind, name, v)
+	}
+	return nil
+}
+
+// AddResistor adds a resistor between named nodes.
+func (d *Deck) AddResistor(name, a, b string, r float64) (*Resistor, error) {
+	if err := checkValue("resistor", name, r); err != nil {
+		return nil, err
+	}
+	e := &Resistor{name: name, A: d.Node(a), B: d.Node(b), R: r}
+	if err := d.register(name, e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// AddCapacitor adds a capacitor between named nodes.
+func (d *Deck) AddCapacitor(name, a, b string, c float64) (*Capacitor, error) {
+	if err := checkValue("capacitor", name, c); err != nil {
+		return nil, err
+	}
+	e := &Capacitor{name: name, A: d.Node(a), B: d.Node(b), C: c}
+	if err := d.register(name, e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// AddInductor adds an inductor between named nodes.
+func (d *Deck) AddInductor(name, a, b string, l float64) (*Inductor, error) {
+	if err := checkValue("inductor", name, l); err != nil {
+		return nil, err
+	}
+	e := &Inductor{name: name, A: d.Node(a), B: d.Node(b), L: l}
+	if err := d.register(name, e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// AddVSource adds an independent voltage source between named nodes.
+// src may produce any waveform, including DC 0 (an ideal short, useful for
+// zero-impedance junctions and current probing).
+func (d *Deck) AddVSource(name, pos, neg string, src sources.Source) (*VSource, error) {
+	if src == nil {
+		return nil, fmt.Errorf("circuit: source %q requires a waveform", name)
+	}
+	e := &VSource{name: name, Pos: d.Node(pos), Neg: d.Node(neg), Src: src}
+	if err := d.register(name, e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// SetTran attaches a transient analysis directive.
+func (d *Deck) SetTran(step, stop float64) error {
+	if !(step > 0) || !(stop > step) {
+		return fmt.Errorf("circuit: .tran requires 0 < step < stop, got step=%g stop=%g", step, stop)
+	}
+	d.Tran = &TranSpec{Step: step, Stop: stop}
+	return nil
+}
+
+// Validate performs structural checks: at least one element, every
+// element's value positive (guaranteed by construction), and that some
+// element references ground so the nodal equations are anchored.
+func (d *Deck) Validate() error {
+	if len(d.Elements) == 0 {
+		return fmt.Errorf("circuit: deck %q has no elements", d.Title)
+	}
+	grounded := false
+	for _, e := range d.Elements {
+		for _, n := range e.Nodes() {
+			if n == Ground {
+				grounded = true
+			}
+		}
+	}
+	if !grounded {
+		return fmt.Errorf("circuit: deck %q never references ground", d.Title)
+	}
+	return nil
+}

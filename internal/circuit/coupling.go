@@ -1,0 +1,59 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Coupling is a SPICE-style K element: mutual inductive coupling between
+// two named inductors, specified by the coupling coefficient
+// k = M/sqrt(L1·L2) with 0 < k < 1. Mutual inductance is what makes
+// multi-net inductive interconnect analysis (crosstalk) differ from the
+// single-net trees of the paper; internal/xtalk builds on it.
+type Coupling struct {
+	name   string
+	LA, LB string  // names of the coupled inductors
+	K      float64 // coupling coefficient, 0 < K < 1
+}
+
+// Name implements Element.
+func (k *Coupling) Name() string { return k.name }
+
+// Nodes implements Element; a coupling touches no nodes directly.
+func (k *Coupling) Nodes() []NodeID { return nil }
+
+// InductorNames returns the names of the two coupled inductors.
+func (k *Coupling) InductorNames() (string, string) { return k.LA, k.LB }
+
+// AddCoupling adds mutual coupling between two inductors already in the
+// deck.
+func (d *Deck) AddCoupling(name, la, lb string, k float64) (*Coupling, error) {
+	if math.IsNaN(k) || k <= 0 || k >= 1 {
+		return nil, fmt.Errorf("circuit: coupling %q requires 0 < k < 1, got %g", name, k)
+	}
+	if la == lb {
+		return nil, fmt.Errorf("circuit: coupling %q couples %q to itself", name, la)
+	}
+	for _, ln := range [...]string{la, lb} {
+		e := d.Element(ln)
+		if e == nil {
+			return nil, fmt.Errorf("circuit: coupling %q references unknown inductor %q", name, ln)
+		}
+		if _, ok := e.(*Inductor); !ok {
+			return nil, fmt.Errorf("circuit: coupling %q references %q, which is not an inductor", name, ln)
+		}
+	}
+	e := &Coupling{name: name, LA: la, LB: lb, K: k}
+	if err := d.register(name, e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Mutual returns the mutual inductance M = k·sqrt(L1·L2) of the coupling
+// within the deck.
+func (d *Deck) Mutual(k *Coupling) float64 {
+	l1 := d.Element(k.LA).(*Inductor)
+	l2 := d.Element(k.LB).(*Inductor)
+	return k.K * math.Sqrt(l1.L*l2.L)
+}

@@ -1,0 +1,107 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func deckWithInductors(t *testing.T) *Deck {
+	t.Helper()
+	d := NewDeck("coupled")
+	if _, err := d.AddInductor("L1", "a", "b", 4e-9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddInductor("L2", "c", "0", 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddResistor("R1", "b", "0", 50); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAddCoupling(t *testing.T) {
+	d := deckWithInductors(t)
+	k, err := d.AddCoupling("K1", "L1", "L2", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name() != "K1" || len(k.Nodes()) != 0 {
+		t.Fatal("accessors wrong")
+	}
+	la, lb := k.InductorNames()
+	if la != "L1" || lb != "L2" {
+		t.Fatal("inductor names wrong")
+	}
+	// M = k·√(L1·L2) = 0.5·√(4n·1n) = 1 nH.
+	if got := d.Mutual(k); math.Abs(got-1e-9) > 1e-18 {
+		t.Fatalf("M = %g, want 1n", got)
+	}
+}
+
+func TestAddCouplingValidation(t *testing.T) {
+	d := deckWithInductors(t)
+	cases := []struct {
+		name, la, lb string
+		k            float64
+	}{
+		{"Kb", "L1", "L2", 0},
+		{"Kb", "L1", "L2", 1},
+		{"Kb", "L1", "L2", -0.5},
+		{"Kb", "L1", "L2", math.NaN()},
+		{"Kb", "L1", "L1", 0.5},
+		{"Kb", "L1", "Lx", 0.5},
+		{"Kb", "R1", "L2", 0.5},
+	}
+	for _, c := range cases {
+		if _, err := d.AddCoupling(c.name, c.la, c.lb, c.k); err == nil {
+			t.Errorf("AddCoupling(%q,%q,%g): expected error", c.la, c.lb, c.k)
+		}
+	}
+	if _, err := d.AddCoupling("K1", "L1", "L2", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddCoupling("K1", "L1", "L2", 0.5); err == nil {
+		t.Fatal("duplicate name must fail")
+	}
+}
+
+func TestCouplingParseWriteRoundTrip(t *testing.T) {
+	text := `V1 in 0 STEP(0 1)
+R1 in p 50
+L1 p 0 4n
+L2 s 0 1n
+R2 s 0 1k
+K1 L1 L2 0.6
+`
+	d, err := ParseDeckString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, ok := d.Element("K1").(*Coupling)
+	if !ok || k.K != 0.6 {
+		t.Fatalf("K1 = %+v", d.Element("K1"))
+	}
+	back, err := ParseDeckString(d.Format())
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, d.Format())
+	}
+	k2 := back.Element("K1").(*Coupling)
+	if k2.K != 0.6 {
+		t.Fatal("coupling lost in round trip")
+	}
+	if !strings.Contains(d.Format(), "K1 L1 L2") {
+		t.Fatalf("format missing K line:\n%s", d.Format())
+	}
+}
+
+func TestCouplingParseErrors(t *testing.T) {
+	// K before its inductors: order matters in this subset.
+	if _, err := ParseDeckString("K1 L1 L2 0.5\nL1 a 0 1n\nL2 b 0 1n\n"); err == nil {
+		t.Fatal("K referencing later inductors must fail")
+	}
+	if _, err := ParseDeckString("L1 a 0 1n\nL2 b 0 1n\nK1 L1 L2 bogus\n"); err == nil {
+		t.Fatal("bad coefficient must fail")
+	}
+}

@@ -1,0 +1,48 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDeck drives the SPICE-subset parser with arbitrary inputs: it
+// must never panic, and anything it accepts must re-serialize and re-parse
+// to the same element count (writer/parser closure).
+func FuzzParseDeck(f *testing.F) {
+	f.Add(sampleDeck)
+	f.Add("V1 a 0 PWL(0 0 1n 1)\nR1 a 0 1k\n")
+	f.Add("L1 a b 1n\nL2 c 0 2n\nK1 L1 L2 0.5\nR1 b 0 50\nV1 a 0 DC 1\n")
+	f.Add(".title x\n.tran 1p 1n\n.end\n")
+	f.Add("* comment only\n")
+	f.Add("R1 a 0 12meg\nC1 a 0 1.5e-12\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ParseDeckString(input)
+		if err != nil {
+			return
+		}
+		text := d.Format()
+		back, err := ParseDeckString(text)
+		if err != nil {
+			t.Fatalf("accepted deck failed to round-trip: %v\ninput: %q\nformatted: %q", err, input, text)
+		}
+		if len(back.Elements) != len(d.Elements) {
+			t.Fatalf("round trip changed element count %d → %d\ninput: %q", len(d.Elements), len(back.Elements), input)
+		}
+	})
+}
+
+// FuzzParseSource exercises the waveform sub-parser through V lines.
+func FuzzParseSource(f *testing.F) {
+	for _, s := range []string{
+		"5", "DC 3.3", "STEP(0 1)", "STEP(0 1 1n)", "EXP(1 2n)", "RAMP(1 100p)",
+		"PWL(0 0 1n 1 2n 0.5)", "PWL(0 0, 1n 1)", "SIN(1 2)", "STEP(", "EXP)",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, wave string) {
+		if strings.ContainsAny(wave, "\n\r") {
+			return // element lines are single-line by construction
+		}
+		_, _ = ParseDeckString("V1 a 0 " + wave + "\nR1 a 0 1\n")
+	})
+}

@@ -1,0 +1,291 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"eedtree/internal/sources"
+	"eedtree/internal/unit"
+)
+
+// ParseDeck reads a SPICE-subset netlist:
+//
+//   - comment
+//     .title my circuit
+//     R<name> <node+> <node-> <value>
+//     L<name> <node+> <node-> <value>
+//     C<name> <node+> <node-> <value>
+//     V<name> <node+> <node-> <waveform>
+//     .tran <step> <stop>
+//     .end
+//
+// Waveforms: a bare number or "DC <v>" (constant), "STEP(v0 v1 [delay])",
+// "EXP(vdd tau [delay])", "RAMP(vdd trise [delay])", and
+// "PWL(t1 v1 t2 v2 ...)". Values accept engineering suffixes ("25", "5n",
+// "50f", "0.5meg"). Element kind is the first letter of the name,
+// case-insensitively, as in SPICE. Node "0" or "gnd" is ground. Unlike
+// classic SPICE the first line is not an implicit title; use ".title".
+func ParseDeck(r io.Reader) (*Deck, error) {
+	d := NewDeck("")
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "*") {
+			continue
+		}
+		if err := parseLine(d, line); err != nil {
+			return nil, fmt.Errorf("circuit: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("circuit: read: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ParseDeckString is ParseDeck over a string.
+func ParseDeckString(s string) (*Deck, error) {
+	return ParseDeck(strings.NewReader(s))
+}
+
+func parseLine(d *Deck, line string) error {
+	lower := strings.ToLower(line)
+	switch {
+	case strings.HasPrefix(lower, ".title"):
+		d.Title = strings.TrimSpace(line[len(".title"):])
+		return nil
+	case strings.HasPrefix(lower, ".tran"):
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return fmt.Errorf(".tran requires <step> <stop>")
+		}
+		step, err := unit.Parse(fields[1])
+		if err != nil {
+			return err
+		}
+		stop, err := unit.Parse(fields[2])
+		if err != nil {
+			return err
+		}
+		return d.SetTran(step, stop)
+	case lower == ".end":
+		return nil
+	case strings.HasPrefix(lower, "."):
+		return fmt.Errorf("unsupported directive %q", strings.Fields(line)[0])
+	}
+
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return fmt.Errorf("element line needs at least 4 fields, got %d", len(fields))
+	}
+	name, a, b := fields[0], fields[1], fields[2]
+	rest := strings.Join(fields[3:], " ")
+	switch lower[0] {
+	case 'r':
+		v, err := unit.Parse(rest)
+		if err != nil {
+			return err
+		}
+		_, err = d.AddResistor(name, a, b, v)
+		return err
+	case 'l':
+		v, err := unit.Parse(rest)
+		if err != nil {
+			return err
+		}
+		_, err = d.AddInductor(name, a, b, v)
+		return err
+	case 'c':
+		v, err := unit.Parse(rest)
+		if err != nil {
+			return err
+		}
+		_, err = d.AddCapacitor(name, a, b, v)
+		return err
+	case 'v':
+		src, err := parseSource(rest)
+		if err != nil {
+			return err
+		}
+		_, err = d.AddVSource(name, a, b, src)
+		return err
+	case 'k':
+		// K<name> <L1> <L2> <coefficient>: a and b name inductors here.
+		v, err := unit.Parse(rest)
+		if err != nil {
+			return err
+		}
+		_, err = d.AddCoupling(name, a, b, v)
+		return err
+	default:
+		return fmt.Errorf("unsupported element %q (kinds: R, L, C, V, K)", name)
+	}
+}
+
+// parseSource parses the waveform portion of a V line.
+func parseSource(s string) (sources.Source, error) {
+	s = strings.TrimSpace(s)
+	upper := strings.ToUpper(s)
+	// Functional forms FN(args...).
+	if i := strings.IndexByte(s, '('); i >= 0 && strings.HasSuffix(s, ")") {
+		fn := strings.ToUpper(strings.TrimSpace(s[:i]))
+		args, err := parseArgs(s[i+1 : len(s)-1])
+		if err != nil {
+			return nil, err
+		}
+		switch fn {
+		case "STEP":
+			if len(args) < 2 || len(args) > 3 {
+				return nil, fmt.Errorf("STEP requires (v0 v1 [delay])")
+			}
+			st := sources.Step{V0: args[0], V1: args[1]}
+			if len(args) == 3 {
+				st.Delay = args[2]
+			}
+			return st, nil
+		case "EXP":
+			if len(args) < 2 || len(args) > 3 {
+				return nil, fmt.Errorf("EXP requires (vdd tau [delay])")
+			}
+			if args[1] <= 0 {
+				return nil, fmt.Errorf("EXP tau must be positive")
+			}
+			e := sources.Exponential{Vdd: args[0], Tau: args[1]}
+			if len(args) == 3 {
+				e.Delay = args[2]
+			}
+			return e, nil
+		case "RAMP":
+			if len(args) < 2 || len(args) > 3 {
+				return nil, fmt.Errorf("RAMP requires (vdd trise [delay])")
+			}
+			if args[1] <= 0 {
+				return nil, fmt.Errorf("RAMP trise must be positive")
+			}
+			rp := sources.Ramp{Vdd: args[0], TRise: args[1]}
+			if len(args) == 3 {
+				rp.Delay = args[2]
+			}
+			return rp, nil
+		case "PWL":
+			if len(args) == 0 || len(args)%2 != 0 {
+				return nil, fmt.Errorf("PWL requires an even number of values (t v pairs)")
+			}
+			pts := make([]sources.PWLPoint, len(args)/2)
+			for i := range pts {
+				pts[i] = sources.PWLPoint{T: args[2*i], V: args[2*i+1]}
+			}
+			return sources.NewPWL(pts)
+		default:
+			return nil, fmt.Errorf("unsupported source function %q", fn)
+		}
+	}
+	// "DC v" or a bare value.
+	if strings.HasPrefix(upper, "DC") {
+		s = strings.TrimSpace(s[2:])
+	}
+	v, err := unit.Parse(s)
+	if err != nil {
+		return nil, fmt.Errorf("source value: %w", err)
+	}
+	return sources.DC{Value: v}, nil
+}
+
+func parseArgs(s string) ([]float64, error) {
+	s = strings.ReplaceAll(s, ",", " ")
+	fields := strings.Fields(s)
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := unit.Parse(f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// WriteTo writes the deck in the format accepted by ParseDeck.
+func (d *Deck) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	if d.Title != "" {
+		if err := count(fmt.Fprintf(w, ".title %s\n", d.Title)); err != nil {
+			return n, err
+		}
+	}
+	for _, e := range d.Elements {
+		var err error
+		switch el := e.(type) {
+		case *Resistor:
+			err = count(fmt.Fprintf(w, "%s %s %s %s\n", el.name, d.NodeName(el.A), d.NodeName(el.B), unit.Format(el.R)))
+		case *Capacitor:
+			err = count(fmt.Fprintf(w, "%s %s %s %s\n", el.name, d.NodeName(el.A), d.NodeName(el.B), unit.Format(el.C)))
+		case *Inductor:
+			err = count(fmt.Fprintf(w, "%s %s %s %s\n", el.name, d.NodeName(el.A), d.NodeName(el.B), unit.Format(el.L)))
+		case *VSource:
+			err = count(fmt.Fprintf(w, "%s %s %s %s\n", el.name, d.NodeName(el.Pos), d.NodeName(el.Neg), sourceString(el.Src)))
+		case *Coupling:
+			err = count(fmt.Fprintf(w, "%s %s %s %s\n", el.name, el.LA, el.LB, unit.Format(el.K)))
+		default:
+			err = fmt.Errorf("circuit: cannot serialize element %T", e)
+		}
+		if err != nil {
+			return n, err
+		}
+	}
+	if d.Tran != nil {
+		if err := count(fmt.Fprintf(w, ".tran %s %s\n", unit.Format(d.Tran.Step), unit.Format(d.Tran.Stop))); err != nil {
+			return n, err
+		}
+	}
+	if err := count(fmt.Fprintln(w, ".end")); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+func sourceString(s sources.Source) string {
+	switch src := s.(type) {
+	case sources.DC:
+		return fmt.Sprintf("DC %s", unit.Format(src.Value))
+	case sources.Step:
+		return fmt.Sprintf("STEP(%s %s %s)", unit.Format(src.V0), unit.Format(src.V1), unit.Format(src.Delay))
+	case sources.Exponential:
+		return fmt.Sprintf("EXP(%s %s %s)", unit.Format(src.Vdd), unit.Format(src.Tau), unit.Format(src.Delay))
+	case sources.Ramp:
+		return fmt.Sprintf("RAMP(%s %s %s)", unit.Format(src.Vdd), unit.Format(src.TRise), unit.Format(src.Delay))
+	case sources.PWL:
+		var b strings.Builder
+		b.WriteString("PWL(")
+		for i, p := range src.Points() {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s %s", unit.Format(p.T), unit.Format(p.V))
+		}
+		b.WriteByte(')')
+		return b.String()
+	default:
+		return fmt.Sprintf("%v", s)
+	}
+}
+
+// Format returns the deck as text.
+func (d *Deck) Format() string {
+	var b strings.Builder
+	if _, err := d.WriteTo(&b); err != nil {
+		panic(err) // strings.Builder writes cannot fail
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package circuit
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: ParseDeck never panics on arbitrary byte soup — it either
+// parses or returns an error. Parsers are the canonical place for
+// injection bugs in EDA flows that consume third-party netlists.
+func TestParseDeckNeverPanics(t *testing.T) {
+	alphabet := []byte("RLCVrlcv .()*#\n\t0123456789abcnpfku+-eE_")
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(400)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		_, _ = ParseDeckString(string(buf))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any deck that parses also validates, re-serializes, and
+// re-parses to the same element count (writer/parser closure).
+func TestParsedDecksRoundTrip(t *testing.T) {
+	fragments := []string{
+		"R%d a%d 0 %d\n",
+		"C%d a%d 0 %dp\n",
+		"L%d a%d a%d 1n\n",
+		"V%d a%d 0 STEP(0 1)\n",
+		"V%d a%d 0 EXP(1 2n)\n",
+		"* comment\n",
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		n := 1 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			frag := fragments[rng.Intn(len(fragments))]
+			switch strings.Count(frag, "%d") {
+			case 0:
+				b.WriteString(frag)
+			case 3:
+				// The value placeholder must be positive.
+				b.WriteString(replaceInts(frag, i, rng.Intn(5), 1+rng.Intn(100)))
+			default:
+				b.WriteString(replaceInts(frag, i, rng.Intn(5), 1+rng.Intn(100)))
+			}
+		}
+		d, err := ParseDeckString(b.String())
+		if err != nil {
+			return true // rejected inputs are fine; we assert on accepted ones
+		}
+		back, err := ParseDeckString(d.Format())
+		if err != nil {
+			return false
+		}
+		return len(back.Elements) == len(d.Elements)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func replaceInts(frag string, vals ...int) string {
+	out := frag
+	for _, v := range vals {
+		out = strings.Replace(out, "%d", itoa(v), 1)
+	}
+	return out
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"eedtree/internal/rlctree"
+)
+
+// NodeAnalysis collects the equivalent-Elmore characterization of one tree
+// node for a step input: the second-order model and the closed-form timing
+// quantities of paper Sec. IV, alongside the classical Elmore (Wyatt) RC
+// delay for comparison.
+type NodeAnalysis struct {
+	Section *rlctree.Section
+	Model   SecondOrder
+
+	// Step-input metrics (paper eqs. 33–42).
+	Delay50      float64 // 50% propagation delay [s]
+	RiseTime     float64 // 10–90% rise time [s]
+	Overshoot    float64 // first overshoot as a fraction of the final value (0 if monotone)
+	SettlingTime float64 // time to settle within ±10% of the final value [s]
+
+	// Classical Elmore (Wyatt) baseline, which ignores inductance.
+	ElmoreDelay50  float64
+	ElmoreRiseTime float64
+}
+
+// SettlingBand is the ±fraction of the final value used for the settling
+// time in AnalyzeTree; the paper uses 0.1 (Sec. IV, [47]).
+const SettlingBand = 0.1
+
+// AnalyzeTree computes the equivalent Elmore characterization at every node
+// of an RLC tree. Its cost is linear in the number of branches — the same
+// property that made the classical Elmore delay practical for synthesis —
+// because all per-node summations come from the two O(n) passes of the
+// paper's Appendix.
+func AnalyzeTree(t *rlctree.Tree) ([]NodeAnalysis, error) {
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("core: empty tree")
+	}
+	sums := t.ElmoreSums()
+	out := make([]NodeAnalysis, t.Len())
+	for i, s := range t.Sections() {
+		m, err := FromSums(sums.SR[i], sums.SL[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: node %s: %w", s.Name(), err)
+		}
+		na := NodeAnalysis{
+			Section:        s,
+			Model:          m,
+			Delay50:        m.Delay50(),
+			RiseTime:       m.RiseTime(),
+			Overshoot:      m.Overshoot(1),
+			ElmoreDelay50:  m.ElmoreDelay50(),
+			ElmoreRiseTime: m.ElmoreRiseTime(),
+		}
+		if ts, err := m.SettlingTime(SettlingBand); err == nil {
+			na.SettlingTime = ts
+		} else {
+			na.SettlingTime = math.NaN()
+		}
+		out[i] = na
+	}
+	return out, nil
+}
+
+// AnalyzeNode computes the characterization for a single section.
+func AnalyzeNode(s *rlctree.Section) (NodeAnalysis, error) {
+	all, err := AnalyzeTree(s.Tree())
+	if err != nil {
+		return NodeAnalysis{}, err
+	}
+	return all[s.Index()], nil
+}

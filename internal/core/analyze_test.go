@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"eedtree/internal/rlctree"
+)
+
+func TestAnalyzeTreeEmpty(t *testing.T) {
+	if _, err := AnalyzeTree(rlctree.New()); err == nil {
+		t.Fatal("expected error for empty tree")
+	}
+}
+
+func TestAnalyzeTreeFig5Shape(t *testing.T) {
+	tr, err := rlctree.BalancedUniform(3, 2, rlctree.SectionValues{R: 25, L: 10e-9, C: 100e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := AnalyzeTree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != tr.Len() {
+		t.Fatalf("got %d analyses for %d sections", len(as), tr.Len())
+	}
+	byName := map[string]NodeAnalysis{}
+	for _, a := range as {
+		byName[a.Section.Name()] = a
+		if !a.Model.Stable() {
+			t.Fatalf("node %s unstable", a.Section.Name())
+		}
+		if a.Delay50 <= 0 || a.RiseTime <= 0 {
+			t.Fatalf("node %s has non-positive metrics", a.Section.Name())
+		}
+	}
+	// Delay must increase monotonically along any root→sink path.
+	if !(byName["n1_0"].Delay50 < byName["n2_0"].Delay50 &&
+		byName["n2_0"].Delay50 < byName["n3_0"].Delay50) {
+		t.Fatal("delay must increase toward the sinks")
+	}
+	// Symmetric siblings must match exactly.
+	if byName["n3_0"].Delay50 != byName["n3_3"].Delay50 {
+		t.Fatal("symmetric sinks must have identical delay")
+	}
+	// The EED delay of an inductive tree exceeds the Elmore RC delay
+	// prediction scaled check: Elmore delay is based only on ΣRC.
+	sink := byName["n3_0"]
+	if sink.ElmoreDelay50 <= 0 {
+		t.Fatal("Elmore baseline missing")
+	}
+	if sink.Model.Underdamped() && sink.Overshoot <= 0 {
+		t.Fatal("underdamped sink must report an overshoot")
+	}
+}
+
+func TestAnalyzeNode(t *testing.T) {
+	tr, err := rlctree.Line("w", 6, rlctree.SectionValues{R: 12, L: 2e-9, C: 40e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := tr.Leaves()[0]
+	a, err := AnalyzeNode(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Section != sink {
+		t.Fatal("wrong section in analysis")
+	}
+	m, err := AtNode(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Model.Zeta() != m.Zeta() || a.Model.OmegaN() != m.OmegaN() {
+		t.Fatal("AnalyzeNode and AtNode disagree")
+	}
+}
+
+// TestAnalyzeTreeRCMatchesClassicElmore: with zero inductance everywhere
+// the EED metrics must equal the classical Wyatt values at every node.
+func TestAnalyzeTreeRCMatchesClassicElmore(t *testing.T) {
+	tr, err := rlctree.BalancedUniform(4, 2, rlctree.SectionValues{R: 50, L: 0, C: 80e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := AnalyzeTree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range as {
+		if !a.Model.RCOnly() {
+			t.Fatalf("node %s should be RC-only", a.Section.Name())
+		}
+		if math.Abs(a.Delay50-a.ElmoreDelay50) > 1e-20 {
+			t.Fatalf("node %s: RC delay %g != Elmore %g", a.Section.Name(), a.Delay50, a.ElmoreDelay50)
+		}
+		if math.Abs(a.RiseTime-a.ElmoreRiseTime) > 1e-20 {
+			t.Fatalf("node %s: RC rise %g != Elmore %g", a.Section.Name(), a.RiseTime, a.ElmoreRiseTime)
+		}
+		if a.Overshoot != 0 {
+			t.Fatalf("node %s: RC tree cannot overshoot", a.Section.Name())
+		}
+		if math.IsNaN(a.SettlingTime) {
+			t.Fatalf("node %s: settling time missing", a.Section.Name())
+		}
+	}
+}
+
+// TestAnalyzeTreeSettlingNaNNeverForPhysical: settling time is defined for
+// every stable node.
+func TestAnalyzeTreeSettlingDefined(t *testing.T) {
+	tr, err := rlctree.BalancedUniform(3, 2, rlctree.SectionValues{R: 5, L: 20e-9, C: 60e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := AnalyzeTree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range as {
+		if math.IsNaN(a.SettlingTime) || a.SettlingTime <= 0 {
+			t.Fatalf("node %s settling time = %g", a.Section.Name(), a.SettlingTime)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"eedtree/internal/moments"
+	"eedtree/internal/rlctree"
+)
+
+// This file implements the *exact*-moment variant of the second-order
+// model, the approach of Kahng and Muddu [30] that the paper contrasts
+// itself against: match the true first and second moments of the node's
+// transfer function instead of the paper's eq.-(28) approximation.
+//
+// Expanding eq. (13), the second-order model has m1 = −2ζ/ω_n and
+// m2 = (4ζ² − 1)/ω_n², so
+//
+//	ω_n = 1/sqrt(m1² − m2),   ζ = −m1·ω_n/2.
+//
+// The construction is only valid when m1 < 0 and m1² > m2. For RLC trees
+// the paper's approximation m2 ≈ m1² − Σ C_k L_ik satisfies both by
+// construction (that is its stability guarantee); the exact m2 need not —
+// matching exact moments can fail outright or produce no real ω_n, which
+// is one reason [30] requires three separate formulae and the paper's
+// single continuous form is preferable for synthesis.
+
+// ErrMomentsUnrealizable reports that the exact first two moments of a
+// response cannot be matched by a stable second-order system.
+type ErrMomentsUnrealizable struct {
+	M1, M2 float64
+}
+
+func (e ErrMomentsUnrealizable) Error() string {
+	return fmt.Sprintf("core: moments m1=%g, m2=%g not realizable by a stable 2nd-order model (need m1 < 0 and m1² > m2)", e.M1, e.M2)
+}
+
+// FromExactMoments builds a second-order model matching the exact first
+// two transfer-function moments (the [30] approach). It fails with
+// ErrMomentsUnrealizable when the moments do not correspond to a stable
+// real second-order system.
+func FromExactMoments(m1, m2 float64) (SecondOrder, error) {
+	if math.IsNaN(m1) || math.IsNaN(m2) {
+		return SecondOrder{}, fmt.Errorf("core: NaN moments")
+	}
+	if m1 == 0 && m2 == 0 {
+		// Degenerate zero-delay node.
+		return SecondOrder{zeta: math.Inf(1), omegaN: math.Inf(1), tauRC: 0, rcOnly: true}, nil
+	}
+	disc := m1*m1 - m2
+	if m1 >= 0 || disc <= 0 {
+		return SecondOrder{}, ErrMomentsUnrealizable{M1: m1, M2: m2}
+	}
+	wn := 1 / math.Sqrt(disc)
+	return SecondOrder{
+		zeta:   -m1 * wn / 2,
+		omegaN: wn,
+		tauRC:  -m1,
+	}, nil
+}
+
+// AtNodeExactMoments builds the exact-moment second-order model at a tree
+// node, computing the true m1 and m2 with the moment recursion. Compare
+// with AtNode, which uses the paper's always-realizable eq.-(28)
+// approximation.
+func AtNodeExactMoments(s *rlctree.Section) (SecondOrder, error) {
+	ms, err := moments.At(s, 2)
+	if err != nil {
+		return SecondOrder{}, err
+	}
+	return FromExactMoments(ms[1], ms[2])
+}

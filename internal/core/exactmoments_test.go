@@ -1,0 +1,113 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"eedtree/internal/rlctree"
+)
+
+func TestFromExactMomentsSingleSectionIsExact(t *testing.T) {
+	// For a single RLC section m1 = −RC and m2 = R²C² − LC exactly, so the
+	// exact-moment model must coincide with the eq.-(28) model (which is
+	// exact there too).
+	r, l, c := 30.0, 5e-9, 80e-15
+	tr := rlctree.New()
+	s := tr.MustAddSection("s1", nil, r, l, c)
+	approx, err := AtNode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := AtNodeExactMoments(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(approx.Zeta()-exact.Zeta()) > 1e-9*approx.Zeta() {
+		t.Fatalf("ζ: approx %g vs exact %g", approx.Zeta(), exact.Zeta())
+	}
+	if math.Abs(approx.OmegaN()-exact.OmegaN()) > 1e-6*approx.OmegaN() {
+		t.Fatalf("ω_n: approx %g vs exact %g", approx.OmegaN(), exact.OmegaN())
+	}
+}
+
+func TestFromExactMomentsValidation(t *testing.T) {
+	// m1 ≥ 0 is unphysical for a passive tree.
+	if _, err := FromExactMoments(1e-12, 1e-24); err == nil {
+		t.Fatal("positive m1 must fail")
+	}
+	// m1² ≤ m2: no real ω_n — the realizability hazard eq. (28) avoids.
+	if _, err := FromExactMoments(-1e-12, 2e-24); err == nil {
+		t.Fatal("m1² ≤ m2 must fail")
+	}
+	var e ErrMomentsUnrealizable
+	_, err := FromExactMoments(-1e-12, 2e-24)
+	if !errors.As(err, &e) || e.M2 != 2e-24 {
+		t.Fatalf("error %v does not carry the moments", err)
+	}
+	if !strings.Contains(e.Error(), "m1") {
+		t.Fatalf("error text: %q", e.Error())
+	}
+	if _, err := FromExactMoments(math.NaN(), 0); err == nil {
+		t.Fatal("NaN moments must fail")
+	}
+	m, err := FromExactMoments(0, 0)
+	if err != nil || !m.RCOnly() {
+		t.Fatalf("zero moments should degrade to a zero-delay node: %v %v", m, err)
+	}
+}
+
+// TestExactMomentsTracksApproxOnTrees: on ordinary trees both variants
+// produce similar ζ/ω_n (the paper argues eq. 28 keeps the dominant part
+// of m2); the exact variant matches m2 perfectly, the approximate one is
+// always realizable.
+func TestExactMomentsTracksApproxOnTrees(t *testing.T) {
+	tr, err := rlctree.BalancedUniform(3, 2, rlctree.SectionValues{R: 25, L: 2e-9, C: 50e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := tr.Leaves()[0]
+	approx, err := AtNode(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := AtNodeExactMoments(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(approx.Zeta()-exact.Zeta()) / exact.Zeta(); rel > 0.5 {
+		t.Fatalf("ζ variants diverge: approx %g vs exact %g", approx.Zeta(), exact.Zeta())
+	}
+	// Both must predict delays within ~25% of each other here.
+	da, de := approx.Delay50(), exact.Delay50()
+	if rel := math.Abs(da-de) / de; rel > 0.25 {
+		t.Fatalf("delay variants diverge: %g vs %g", da, de)
+	}
+}
+
+// TestExactMomentsCanFailWhereApproxCannot: at nodes near the source of a
+// resistive line, the exact second moment exceeds m1² (the local transfer
+// function's zeros inflate m2), so the exact-moment construction of [30]
+// is unrealizable as a stable real second-order system — while the paper's
+// eq.-(28) model remains constructible at every node by design. This is
+// the stability-by-construction advantage, demonstrated.
+func TestExactMomentsCanFailWhereApproxCannot(t *testing.T) {
+	tr, err := rlctree.Line("w", 20, rlctree.SectionValues{R: 100, L: 5e-9, C: 50e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tr.Section("w1")
+	if _, err := AtNode(first); err != nil {
+		t.Fatalf("paper's model must always be constructible: %v", err)
+	}
+	var unreal ErrMomentsUnrealizable
+	if _, err := AtNodeExactMoments(first); !errors.As(err, &unreal) {
+		t.Fatalf("expected ErrMomentsUnrealizable at the near-source node, got %v", err)
+	}
+	// At the sink both variants work.
+	sink := tr.Leaves()[0]
+	if _, err := AtNodeExactMoments(sink); err != nil {
+		t.Fatalf("sink should be realizable: %v", err)
+	}
+}

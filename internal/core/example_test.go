@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"fmt"
+
+	"eedtree/internal/core"
+	"eedtree/internal/rlctree"
+)
+
+// ExampleFromSums builds the equivalent second-order model of a single
+// RLC section directly from its summations (paper eqs. 29–30) and reads
+// the closed-form timing quantities.
+func ExampleFromSums() {
+	// Single section: R = 100 Ω, L = 10 nH, C = 100 fF.
+	// S_R = R·C, S_L = L·C.
+	m, err := core.FromSums(100*100e-15, 10e-9*100e-15)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("zeta   = %.3f\n", m.Zeta())
+	fmt.Printf("omegaN = %.3g rad/s\n", m.OmegaN())
+	fmt.Printf("delay  = %.1f ps\n", 1e12*m.Delay50())
+	fmt.Printf("over   = %.1f %%\n", 100*m.Overshoot(1))
+	// Output:
+	// zeta   = 0.158
+	// omegaN = 3.16e+10 rad/s
+	// delay  = 34.4 ps
+	// over   = 60.5 %
+}
+
+// ExampleAnalyzeTree characterizes every node of a small RLC tree in one
+// linear-time pass.
+func ExampleAnalyzeTree() {
+	tree := rlctree.New()
+	trunk := tree.MustAddSection("trunk", nil, 25, 1e-9, 50e-15)
+	tree.MustAddSection("left", trunk, 25, 1e-9, 50e-15)
+	tree.MustAddSection("right", trunk, 25, 1e-9, 50e-15)
+
+	analyses, err := core.AnalyzeTree(tree)
+	if err != nil {
+		panic(err)
+	}
+	for _, a := range analyses {
+		fmt.Printf("%-5s zeta=%.2f delay=%.1fps elmore=%.1fps\n",
+			a.Section.Name(), a.Model.Zeta(), 1e12*a.Delay50, 1e12*a.ElmoreDelay50)
+	}
+	// Output:
+	// trunk zeta=0.15 delay=13.3ps elmore=2.6ps
+	// left  zeta=0.18 delay=15.5ps elmore=3.5ps
+	// right zeta=0.18 delay=15.5ps elmore=3.5ps
+}
+
+// ExampleSecondOrder_StepResponse evaluates the closed-form step response
+// of paper eq. (31).
+func ExampleSecondOrder_StepResponse() {
+	m, _ := core.FromZetaOmega(0.7, 1e10)
+	v := m.StepResponse(1.0)
+	for _, ps := range []float64{50, 100, 200, 500} {
+		fmt.Printf("t=%3.0fps v=%.3f\n", ps, v(ps*1e-12))
+	}
+	// Output:
+	// t= 50ps v=0.098
+	// t=100ps v=0.306
+	// t=200ps v=0.726
+	// t=500ps v=1.040
+}

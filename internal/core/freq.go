@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Frequency-domain characterizations of the equivalent second-order model.
+// These standard second-order quantities are not spelled out in the paper
+// but follow directly from eq. (13) and are routinely needed alongside the
+// time-domain metrics when the model is used for signal-integrity
+// screening (e.g. resonance checks on clock and bus nets).
+
+// Bandwidth returns the −3 dB bandwidth of the node's transfer function in
+// rad/s: the frequency at which |G(jω)| falls to 1/√2. For the
+// second-order model,
+//
+//	ω_3dB = ω_n·sqrt( (1−2ζ²) + sqrt((1−2ζ²)² + 1) ),
+//
+// and for an RC-only node 1/τ.
+func (m SecondOrder) Bandwidth() float64 {
+	if m.rcOnly {
+		if m.tauRC == 0 {
+			return math.Inf(1)
+		}
+		return 1 / m.tauRC
+	}
+	a := 1 - 2*m.zeta*m.zeta
+	return m.omegaN * math.Sqrt(a+math.Sqrt(a*a+1))
+}
+
+// ResonantFrequency returns the frequency of the peak of |G(jω)|,
+// ω_r = ω_n·sqrt(1 − 2ζ²), which exists only for ζ < 1/√2; it returns 0
+// for more damped nodes (no peaking).
+func (m SecondOrder) ResonantFrequency() float64 {
+	if m.rcOnly || m.zeta >= math.Sqrt2/2 {
+		return 0
+	}
+	return m.omegaN * math.Sqrt(1-2*m.zeta*m.zeta)
+}
+
+// PeakGain returns the maximum of |G(jω)| over frequency:
+// 1/(2ζ·sqrt(1−ζ²)) for ζ < 1/√2, otherwise 1 (no peaking). A peak gain
+// well above 1 flags a resonance-prone net.
+func (m SecondOrder) PeakGain() float64 {
+	if m.rcOnly || m.zeta >= math.Sqrt2/2 {
+		return 1
+	}
+	return 1 / (2 * m.zeta * math.Sqrt(1-m.zeta*m.zeta))
+}
+
+// QualityFactor returns Q = 1/(2ζ), the resonance quality factor of the
+// node (0 for RC-only nodes, which cannot resonate).
+func (m SecondOrder) QualityFactor() float64 {
+	if m.rcOnly {
+		return 0
+	}
+	return 1 / (2 * m.zeta)
+}
+
+// ThresholdDelay returns the time for the step response to first reach
+// frac of its final value, for any frac in (0, 1). frac = 0.5 matches
+// Delay50 up to the fit error of eq. (33) — ThresholdDelay solves the
+// response numerically instead of using the fit, so it is slower but
+// threshold-general (e.g. 0.9·Vdd receiver thresholds).
+func (m SecondOrder) ThresholdDelay(frac float64) (float64, error) {
+	if !(frac > 0 && frac < 1) {
+		return 0, fmt.Errorf("core: ThresholdDelay requires 0 < frac < 1, got %g", frac)
+	}
+	if m.rcOnly {
+		return -math.Log(1-frac) * m.tauRC, nil
+	}
+	x, err := scaledInverse(m.zeta, frac)
+	if err != nil {
+		return 0, err
+	}
+	return x / m.omegaN, nil
+}

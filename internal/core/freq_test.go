@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestBandwidthMatchesTransferFunction(t *testing.T) {
+	for _, zeta := range []float64{0.3, 0.707, 1.5, 4} {
+		m, _ := FromZetaOmega(zeta, 2e9)
+		w := m.Bandwidth()
+		g := cmplx.Abs(m.TransferFunction(complex(0, w)))
+		if math.Abs(g-1/math.Sqrt2) > 1e-9 {
+			t.Fatalf("ζ=%g: |G(jω_3dB)| = %g, want 0.7071", zeta, g)
+		}
+	}
+	// RC-only: ω_3dB = 1/τ.
+	rc, _ := FromSums(2e-9, 0)
+	if got := rc.Bandwidth(); math.Abs(got-0.5e9) > 1 {
+		t.Fatalf("RC bandwidth = %g", got)
+	}
+	g := cmplx.Abs(rc.TransferFunction(complex(0, rc.Bandwidth())))
+	if math.Abs(g-1/math.Sqrt2) > 1e-9 {
+		t.Fatalf("RC |G(jω_3dB)| = %g", g)
+	}
+	zero, _ := FromSums(0, 0)
+	if !math.IsInf(zero.Bandwidth(), 1) {
+		t.Fatal("zero-delay node must have infinite bandwidth")
+	}
+}
+
+func TestResonantPeak(t *testing.T) {
+	m, _ := FromZetaOmega(0.3, 1e9)
+	wr := m.ResonantFrequency()
+	if wr <= 0 || wr >= m.OmegaN() {
+		t.Fatalf("ω_r = %g out of range", wr)
+	}
+	peak := m.PeakGain()
+	gAtPeak := cmplx.Abs(m.TransferFunction(complex(0, wr)))
+	if math.Abs(gAtPeak-peak) > 1e-9*peak {
+		t.Fatalf("|G(jω_r)| = %g, PeakGain = %g", gAtPeak, peak)
+	}
+	// The peak must dominate nearby frequencies.
+	for _, f := range []float64{0.9, 1.1} {
+		if g := cmplx.Abs(m.TransferFunction(complex(0, f*wr))); g > peak {
+			t.Fatalf("|G| at %g·ω_r exceeds the peak", f)
+		}
+	}
+	// Heavily damped: no peaking.
+	hd, _ := FromZetaOmega(1.2, 1e9)
+	if hd.ResonantFrequency() != 0 || hd.PeakGain() != 1 {
+		t.Fatal("damped node must not report a resonance")
+	}
+	rc, _ := FromSums(1e-9, 0)
+	if rc.PeakGain() != 1 || rc.QualityFactor() != 0 {
+		t.Fatal("RC node resonance values wrong")
+	}
+}
+
+func TestQualityFactor(t *testing.T) {
+	m, _ := FromZetaOmega(0.25, 1e9)
+	if got := m.QualityFactor(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Q = %g, want 2", got)
+	}
+}
+
+func TestThresholdDelay(t *testing.T) {
+	m, _ := FromZetaOmega(0.8, 1e9)
+	step := m.StepResponse(1)
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		td, err := m.ThresholdDelay(frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := step(td); math.Abs(got-frac) > 1e-6 {
+			t.Fatalf("step(ThresholdDelay(%g)) = %g", frac, got)
+		}
+	}
+	// 50% threshold agrees with the eq.-(33) fit within its error.
+	td, _ := m.ThresholdDelay(0.5)
+	if rel := math.Abs(td-m.Delay50()) / td; rel > 0.03 {
+		t.Fatalf("ThresholdDelay(0.5) %g vs Delay50 %g (%.1f%%)", td, m.Delay50(), 100*rel)
+	}
+	// RC closed form.
+	rc, _ := FromSums(1e-9, 0)
+	td, err := rc.ThresholdDelay(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Log(10) * 1e-9; math.Abs(td-want) > 1e-18 {
+		t.Fatalf("RC ThresholdDelay(0.9) = %g, want %g", td, want)
+	}
+	// Validation.
+	for _, frac := range []float64{0, 1, -0.2, 1.5} {
+		if _, err := m.ThresholdDelay(frac); err == nil {
+			t.Errorf("ThresholdDelay(%g): expected error", frac)
+		}
+	}
+}

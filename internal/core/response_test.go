@@ -1,0 +1,356 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"eedtree/internal/sources"
+	"eedtree/internal/waveform"
+)
+
+func TestScaledStepRegimes(t *testing.T) {
+	// Underdamped against the direct eq.-(31) form.
+	zeta := 0.4
+	for _, x := range []float64{0.5, 1, 2, 5, 10} {
+		wd := math.Sqrt(1 - zeta*zeta)
+		want := 1 - math.Exp(-zeta*x)*(math.Cos(wd*x)+zeta/wd*math.Sin(wd*x))
+		if got := ScaledStep(zeta, x); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("underdamped ScaledStep(%g,%g) = %g, want %g", zeta, x, got, want)
+		}
+	}
+	// Critically damped: 1 − (1+x)e^{−x}.
+	for _, x := range []float64{0.1, 1, 3, 8} {
+		want := 1 - (1+x)*math.Exp(-x)
+		if got := ScaledStep(1, x); math.Abs(got-want) > 1e-10 {
+			t.Fatalf("critical ScaledStep(1,%g) = %g, want %g", x, got, want)
+		}
+	}
+	// Overdamped against the explicit two-pole form.
+	zeta = 2.5
+	s := math.Sqrt(zeta*zeta - 1)
+	s1, s2 := -zeta+s, -zeta-s
+	for _, x := range []float64{0.5, 2, 10, 40} {
+		want := 1 + (s2*math.Exp(s1*x)-s1*math.Exp(s2*x))/(s1-s2)
+		if got := ScaledStep(zeta, x); math.Abs(got-want) > 1e-10 {
+			t.Fatalf("overdamped ScaledStep(%g,%g) = %g, want %g", zeta, x, got, want)
+		}
+	}
+	// Before t=0 the response is identically zero.
+	if ScaledStep(0.5, -1) != 0 || ScaledStep(2, 0) != 0 {
+		t.Fatal("ScaledStep must be 0 for x ≤ 0")
+	}
+}
+
+// TestScaledStepContinuityAtCriticalDamping: the response must be
+// continuous in ζ across the critically damped boundary (the paper
+// stresses that the solution family is continuous — essential for
+// optimization use).
+func TestScaledStepContinuityAtCriticalDamping(t *testing.T) {
+	for _, x := range []float64{0.3, 1, 2.5, 7} {
+		below := ScaledStep(1-1e-9, x)
+		at := ScaledStep(1, x)
+		above := ScaledStep(1+1e-9, x)
+		if math.Abs(below-at) > 1e-6 || math.Abs(above-at) > 1e-6 {
+			t.Fatalf("discontinuity at ζ=1, x=%g: %g / %g / %g", x, below, at, above)
+		}
+	}
+}
+
+// TestScaledStepLargeZetaNoOverflow: very large ζ (deep RC regime) must not
+// overflow cosh and must approach the RC response 1−e^{−x/(2ζ)}.
+func TestScaledStepLargeZetaNoOverflow(t *testing.T) {
+	zeta := 500.0
+	for _, x := range []float64{100, 1000, 5000} {
+		got := ScaledStep(zeta, x)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("ScaledStep(%g,%g) = %g", zeta, x, got)
+		}
+		want := 1 - math.Exp(-x/(2*zeta))
+		if math.Abs(got-want) > 2e-3 {
+			t.Fatalf("large-ζ limit: got %g, want ≈ %g", got, want)
+		}
+	}
+}
+
+func TestStepResponseProperties(t *testing.T) {
+	m, _ := FromZetaOmega(0.6, 1e9)
+	f := m.StepResponse(1.8)
+	if f(0) != 0 || f(-1e-9) != 0 {
+		t.Fatal("response before the step must be 0")
+	}
+	if got := f(1e-6); math.Abs(got-1.8) > 1e-6 {
+		t.Fatalf("final value = %g, want 1.8", got)
+	}
+	// RC-only final value.
+	rc, _ := FromSums(1e-9, 0)
+	g := rc.StepResponse(1.0)
+	if got := g(20e-9); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("RC final value = %g", got)
+	}
+	// Degenerate zero-delay node: instant step.
+	z, _ := FromSums(0, 0)
+	h := z.StepResponse(1.0)
+	if h(1e-15) != 1 {
+		t.Fatal("zero-impedance node must follow the input instantly")
+	}
+}
+
+// TestExpResponseApproachesStepForFastInput: as τ→0 the exponential input
+// becomes a step, so the responses must converge (paper Sec. V-A).
+func TestExpResponseApproachesStepForFastInput(t *testing.T) {
+	m, _ := FromZetaOmega(0.8, 1e9)
+	step := m.StepResponse(1)
+	fast, err := m.ExpResponse(1, 1e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.5e-9, 1e-9, 3e-9, 6e-9} {
+		if d := math.Abs(step(tt) - fast(tt)); d > 2e-3 {
+			t.Fatalf("fast exp vs step at t=%g: diff %g", tt, d)
+		}
+	}
+}
+
+// TestExpResponseSlowInputTracksSource: for τ much slower than the node
+// the output tracks the input waveform closely (paper Fig. 9's trend).
+func TestExpResponseSlowInputTracksSource(t *testing.T) {
+	m, _ := FromZetaOmega(0.8, 1e9) // node time scale ~1 ns
+	tau := 100e-9
+	f, err := m.ExpResponse(1, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sources.Exponential{Vdd: 1, Tau: tau}
+	for _, tt := range []float64{20e-9, 50e-9, 150e-9} {
+		if d := math.Abs(f(tt) - src.V(tt)); d > 0.02 {
+			t.Fatalf("slow input tracking at t=%g: diff %g", tt, d)
+		}
+	}
+}
+
+func TestExpResponseRealness(t *testing.T) {
+	// Complex arithmetic must produce (numerically) real outputs.
+	for _, zeta := range []float64{0.3, 0.99, 1.0, 1.00000001, 2.5} {
+		m, _ := FromZetaOmega(zeta, 1e9)
+		f, err := m.ExpResponse(1, 0.7e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := 0.0; x < 20; x += 0.25 {
+			v := f(x * 1e-9)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("ζ=%g t=%gns: value %g", zeta, x, v)
+			}
+		}
+		if got := f(200e-9); math.Abs(got-1) > 1e-6 {
+			t.Fatalf("ζ=%g: exp-response final value %g", zeta, got)
+		}
+	}
+}
+
+func TestExpResponsePoleCollision(t *testing.T) {
+	// Input pole exactly on a system pole (overdamped): must stay finite.
+	m, _ := FromZetaOmega(2, 1e9)
+	p1, _ := m.Poles()
+	tau := -1 / real(p1)
+	f, err := m.ExpResponse(1, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.1; x < 50; x *= 2 {
+		v := f(x * 1e-9)
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < -0.1 || v > 1.5 {
+			t.Fatalf("pole-collision response misbehaves at t=%gns: %g", x, v)
+		}
+	}
+}
+
+func TestExpResponseRCOnly(t *testing.T) {
+	rc, _ := FromSums(1e-9, 0)
+	f, err := rc.ExpResponse(1, 2e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact: 1 + (a·e^{−bt} − b·e^{−at})/(b−a) with a=1/2ns, b=1/1ns.
+	a, b := 0.5e9, 1e9
+	for _, tt := range []float64{0.5e-9, 1e-9, 4e-9} {
+		want := 1 + (a*math.Exp(-b*tt)-b*math.Exp(-a*tt))/(b-a)
+		if got := f(tt); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("RC exp response(%g) = %g, want %g", tt, got, want)
+		}
+	}
+	// Degenerate equal time constants.
+	g, err := rc.ExpResponse(1, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := g(3e-9); math.IsNaN(v) || v <= 0 || v > 1 {
+		t.Fatalf("degenerate RC exp response = %g", v)
+	}
+	// Zero-impedance node follows the source exactly.
+	z, _ := FromSums(0, 0)
+	h, err := z.ExpResponse(1, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := h(1e-9), 1-math.Exp(-1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("zero-node exp response = %g, want %g", got, want)
+	}
+}
+
+func TestExpResponseValidatesTau(t *testing.T) {
+	m, _ := FromZetaOmega(1, 1e9)
+	if _, err := m.ExpResponse(1, 0); err == nil {
+		t.Fatal("expected error for tau = 0")
+	}
+	if _, err := m.RampResponse(1, -1); err == nil {
+		t.Fatal("expected error for negative rise time")
+	}
+}
+
+// TestRampResponseMatchesNumericalConvolution: the analytic ramp response
+// must equal the numerically integrated step response.
+func TestRampResponseMatchesNumericalConvolution(t *testing.T) {
+	m, _ := FromZetaOmega(0.5, 1e9)
+	tRise := 2e-9
+	f, err := m.RampResponse(1, tRise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := m.StepResponse(1)
+	// y(t) = (1/Tr)·∫_{t−Tr}^{t} step(u) du via fine Riemann sum.
+	numeric := func(tt float64) float64 {
+		const n = 4000
+		lo := tt - tRise
+		var sum float64
+		h := tRise / n
+		for i := 0; i < n; i++ {
+			sum += step(lo + (float64(i)+0.5)*h)
+		}
+		return sum * h / tRise
+	}
+	for _, tt := range []float64{0.5e-9, 1e-9, 2e-9, 4e-9, 8e-9} {
+		got, want := f(tt), numeric(tt)
+		if math.Abs(got-want) > 1e-4 {
+			t.Fatalf("ramp response(%g) = %g, want %g", tt, got, want)
+		}
+	}
+	if got := f(100e-9); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("ramp final value = %g", got)
+	}
+}
+
+func TestResponseDispatch(t *testing.T) {
+	m, _ := FromZetaOmega(0.7, 1e9)
+
+	// DC holds its value.
+	f, err := m.Response(sources.DC{Value: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f(0) != 0.9 || f(5e-9) != 0.9 {
+		t.Fatal("DC response wrong")
+	}
+
+	// A delayed step shifts the step response and offsets by V0.
+	f, err = m.Response(sources.Step{V0: 0.2, V1: 1.2, Delay: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f(0.5e-9); got != 0.2 {
+		t.Fatalf("before delayed step: %g, want 0.2", got)
+	}
+	if got := f(1e-6); math.Abs(got-1.2) > 1e-6 {
+		t.Fatalf("delayed step final: %g, want 1.2", got)
+	}
+
+	// Exponential and ramp dispatch respect delay.
+	f, err = m.Response(sources.Exponential{Vdd: 1, Tau: 1e-9, Delay: 2e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f(1.9e-9) != 0 {
+		t.Fatal("delayed exponential must be 0 before delay")
+	}
+
+	f, err = m.Response(sources.Ramp{Vdd: 1, TRise: 1e-9, Delay: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f(0.9e-9) != 0 {
+		t.Fatal("delayed ramp must be 0 before delay")
+	}
+	if got := f(100e-9); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("delayed ramp final: %g", got)
+	}
+}
+
+// TestPWLEquivalentToRamp: a PWL describing a simple ramp must produce the
+// same response as the dedicated ramp closed form.
+func TestPWLEquivalentToRamp(t *testing.T) {
+	m, _ := FromZetaOmega(0.45, 2e9)
+	pwl, err := sources.NewPWL([]sources.PWLPoint{{T: 0, V: 0}, {T: 2e-9, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := m.Response(pwl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := m.RampResponse(1, 2e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0.0; tt < 10e-9; tt += 0.1e-9 {
+		if d := math.Abs(fp(tt) - fr(tt)); d > 1e-9 {
+			t.Fatalf("PWL vs ramp at %g: diff %g", tt, d)
+		}
+	}
+}
+
+// TestPWLMultiSegment: a staircase-like PWL settles to its final value and
+// stays finite throughout.
+func TestPWLMultiSegment(t *testing.T) {
+	m, _ := FromZetaOmega(0.9, 1e9)
+	pwl, err := sources.NewPWL([]sources.PWLPoint{
+		{T: 0, V: 0}, {T: 1e-9, V: 0.5}, {T: 2e-9, V: 0.3}, {T: 3e-9, V: 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Response(pwl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := waveform.Sample(f, 0, 40e-9, 4000)
+	if got := w.Final(); math.Abs(got-1) > 1e-5 {
+		t.Fatalf("PWL final value = %g, want 1", got)
+	}
+}
+
+// Property: for any stable model the step response stays within physically
+// sensible bounds: v ∈ [−0.05, 2]·vdd (the maximum overshoot of a
+// second-order system is 100%) and reaches vdd.
+func TestStepResponseBoundsProperty(t *testing.T) {
+	f := func(zRaw, wRaw uint32) bool {
+		zeta := 0.05 + float64(zRaw%1000)/100 // 0.05 .. 10.04
+		wn := 1e8 * (1 + float64(wRaw%100))
+		m, err := FromZetaOmega(zeta, wn)
+		if err != nil {
+			return false
+		}
+		step := m.StepResponse(1)
+		horizon := 50 / (zeta * wn) * (1 + zeta*zeta)
+		for i := 0; i <= 2000; i++ {
+			v := step(horizon * float64(i) / 2000)
+			if math.IsNaN(v) || v < -0.05 || v > 2.0001 {
+				return false
+			}
+		}
+		return math.Abs(step(horizon*100)-1) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

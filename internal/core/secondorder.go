@@ -1,0 +1,138 @@
+// Package core implements the paper's contribution: the equivalent Elmore
+// delay for RLC trees. At every node of an RLC tree the exact transfer
+// function is approximated by the equivalent second-order system of paper
+// eq. (13),
+//
+//	G_i(s) ≈ 1 / (1 + (2ζ_i/ω_ni)·s + s²/ω_ni²)
+//
+// with per-node damping factor and natural frequency obtained from the two
+// recursive tree summations of the Appendix (eqs. 29–30):
+//
+//	ω_ni = 1 / sqrt(Σ_k C_k L_ik)
+//	ζ_i  = (Σ_k C_k R_ik) / (2·sqrt(Σ_k C_k L_ik))
+//
+// From this model the package provides the closed forms the paper derives:
+// the 50% propagation delay (eq. 33), 10–90% rise time (eq. 34), overshoot
+// magnitudes and times (eqs. 39–41), settling time (eq. 42), the full step
+// response (eq. 31), and responses to exponential, ramp and piecewise-
+// linear inputs (Sec. IV, eqs. 44–48). All expressions are continuous
+// across the underdamped/critically-damped/overdamped regimes and collapse
+// to the classical Elmore (Wyatt) RC forms as inductance vanishes.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"eedtree/internal/rlctree"
+)
+
+// SecondOrder is the equivalent second-order model at a tree node.
+// Construct with FromSums, FromZetaOmega, or the tree analysis in
+// AnalyzeTree. The zero value is invalid.
+type SecondOrder struct {
+	zeta   float64 // damping factor ζ (paper eq. 30); +Inf for RC-only paths
+	omegaN float64 // natural frequency ω_n [rad/s] (paper eq. 29); +Inf for RC-only
+	tauRC  float64 // Σ_k C_k·R_ik — the Elmore (RC) time constant [s]
+	rcOnly bool    // true when Σ_k C_k·L_ik == 0 (first-order/Wyatt limit)
+}
+
+// FromSums builds the model from the two tree summations at a node:
+// sr = Σ_k C_k·R_ik and sl = Σ_k C_k·L_ik (see rlctree.ElmoreSums).
+// A node with sl == 0 (no inductance anywhere on/under its path) yields the
+// classical first-order Elmore (Wyatt) model, which all methods honor.
+func FromSums(sr, sl float64) (SecondOrder, error) {
+	if math.IsNaN(sr) || math.IsNaN(sl) || sr < 0 || sl < 0 {
+		return SecondOrder{}, fmt.Errorf("core: invalid summations sr=%g sl=%g", sr, sl)
+	}
+	if sl == 0 {
+		return SecondOrder{zeta: math.Inf(1), omegaN: math.Inf(1), tauRC: sr, rcOnly: true}, nil
+	}
+	root := math.Sqrt(sl)
+	return SecondOrder{
+		zeta:   sr / (2 * root),
+		omegaN: 1 / root,
+		tauRC:  sr,
+	}, nil
+}
+
+// FromZetaOmega builds the model directly from a damping factor and a
+// natural frequency, e.g. for a single RLC section where ζ = (R/2)·√(C/L)
+// and ω_n = 1/√(LC) (paper eqs. 14–15).
+func FromZetaOmega(zeta, omegaN float64) (SecondOrder, error) {
+	if !(zeta > 0) || math.IsNaN(omegaN) || !(omegaN > 0) || math.IsInf(omegaN, 0) || math.IsInf(zeta, 0) {
+		return SecondOrder{}, fmt.Errorf("core: invalid ζ=%g, ω_n=%g", zeta, omegaN)
+	}
+	return SecondOrder{zeta: zeta, omegaN: omegaN, tauRC: 2 * zeta / omegaN}, nil
+}
+
+// AtNode builds the model for one node of an RLC tree. For whole-tree
+// analysis prefer AnalyzeTree, which shares the O(n) summation passes
+// across all nodes.
+func AtNode(s *rlctree.Section) (SecondOrder, error) {
+	sums := s.Tree().ElmoreSums()
+	i := s.Index()
+	return FromSums(sums.SR[i], sums.SL[i])
+}
+
+// Zeta returns the damping factor ζ. It is +Inf for an RC-only node.
+func (m SecondOrder) Zeta() float64 { return m.zeta }
+
+// OmegaN returns the natural frequency ω_n in rad/s (+Inf for RC-only).
+func (m SecondOrder) OmegaN() float64 { return m.omegaN }
+
+// TauRC returns the Elmore time constant Σ_k C_k·R_ik of the node, the
+// quantity the classical RC Elmore/Wyatt delay is built from.
+func (m SecondOrder) TauRC() float64 { return m.tauRC }
+
+// RCOnly reports whether the node degenerates to the first-order RC model
+// (no inductance contributes to its response).
+func (m SecondOrder) RCOnly() bool { return m.rcOnly }
+
+// Underdamped reports whether the response is non-monotone (ζ < 1), the
+// case the classical Elmore delay cannot represent.
+func (m SecondOrder) Underdamped() bool { return !m.rcOnly && m.zeta < 1 }
+
+// Stable reports whether the model is stable. By construction (eqs. 29–30
+// with non-negative R, L, C) every model produced from a physical RLC tree
+// has ζ > 0 and ω_n > 0 and is therefore always stable — one of the key
+// advantages the paper claims over moment-matching methods such as AWE.
+func (m SecondOrder) Stable() bool {
+	if m.rcOnly {
+		return m.tauRC >= 0
+	}
+	return m.zeta > 0 && m.omegaN > 0
+}
+
+// Poles returns the two poles of the second-order model,
+// s = ω_n(−ζ ± √(ζ²−1)) (paper eq. 16), as complex numbers. For an RC-only
+// node both slots hold the single first-order (Wyatt) pole −1/τ.
+func (m SecondOrder) Poles() (complex128, complex128) {
+	if m.rcOnly {
+		p := complex(-1/m.tauRC, 0)
+		return p, p
+	}
+	if m.zeta >= 1 {
+		d := math.Sqrt(m.zeta*m.zeta - 1)
+		return complex(m.omegaN*(-m.zeta+d), 0), complex(m.omegaN*(-m.zeta-d), 0)
+	}
+	d := math.Sqrt(1 - m.zeta*m.zeta)
+	return complex(-m.omegaN*m.zeta, m.omegaN*d), complex(-m.omegaN*m.zeta, -m.omegaN*d)
+}
+
+// TransferFunction evaluates the model's transfer function at a complex
+// frequency s.
+func (m SecondOrder) TransferFunction(s complex128) complex128 {
+	if m.rcOnly {
+		return 1 / (1 + complex(m.tauRC, 0)*s)
+	}
+	wn := complex(m.omegaN, 0)
+	return wn * wn / (s*s + complex(2*m.zeta*m.omegaN, 0)*s + wn*wn)
+}
+
+func (m SecondOrder) String() string {
+	if m.rcOnly {
+		return fmt.Sprintf("SecondOrder(RC-only τ=%.4g s)", m.tauRC)
+	}
+	return fmt.Sprintf("SecondOrder(ζ=%.4g ω_n=%.4g rad/s)", m.zeta, m.omegaN)
+}

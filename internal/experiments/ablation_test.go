@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAblationModelAccuracy asserts the positioning claims of the paper on
+// the regenerated ablation data:
+//   - the EED is always constructible (no NaN in its column);
+//   - on clearly underdamped circuits it beats the Elmore delay by a wide
+//     margin;
+//   - at least one higher-order/exact variant fails (NaN) somewhere, which
+//     is exactly the hazard the EED's construction avoids.
+func TestAblationModelAccuracy(t *testing.T) {
+	tbl, err := AblationModelAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zc := col(t, tbl, "zeta_sink")
+	elm := col(t, tbl, "elmore_err_pct")
+	eed := col(t, tbl, "eed_err_pct")
+	ex := col(t, tbl, "exact_m2_err_pct")
+	a2 := col(t, tbl, "awe2_err_pct")
+	a3 := col(t, tbl, "awe3_err_pct")
+
+	anyVariantFailed := false
+	for _, row := range tbl.Rows {
+		if math.IsNaN(row[eed]) || math.IsNaN(row[elm]) {
+			t.Fatalf("circuit %g: EED/Elmore must always be constructible", row[0])
+		}
+		if math.IsNaN(row[ex]) || math.IsNaN(row[a2]) || math.IsNaN(row[a3]) {
+			anyVariantFailed = true
+		}
+		// Strongly underdamped circuits: EED must beat Elmore clearly.
+		if row[zc] <= 0.55 {
+			if row[eed] >= row[elm]/2 {
+				t.Fatalf("circuit %g (ζ=%.2f): EED error %.1f%% not well below Elmore %.1f%%",
+					row[0], row[zc], row[eed], row[elm])
+			}
+		}
+	}
+	if !anyVariantFailed {
+		t.Fatal("expected at least one exact-moment/AWE failure across the circuits")
+	}
+	if len(tbl.Rows) < 5 {
+		t.Fatalf("ablation has only %d circuits", len(tbl.Rows))
+	}
+}

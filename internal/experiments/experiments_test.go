@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests run the actual figure reproductions and assert the paper's
+// qualitative claims on the regenerated data. Thresholds are set from the
+// claims where the paper states numbers, with honest slack for the
+// representative component values we substituted (DESIGN.md §4).
+
+func col(t *testing.T, tbl *Table, name string) int {
+	t.Helper()
+	for i, c := range tbl.Columns {
+		if c == name {
+			return i
+		}
+	}
+	t.Fatalf("table %s has no column %q (have %v)", tbl.ID, name, tbl.Columns)
+	return -1
+}
+
+func TestFig6FitAccuracy(t *testing.T) {
+	tbl, err := Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dErr := col(t, tbl, "t50_err_pct")
+	rErr := col(t, tbl, "tr_err_pct")
+	for _, row := range tbl.Rows {
+		if row[dErr] > 4 {
+			t.Fatalf("ζ=%g: delay fit error %.2f%% exceeds 4%%", row[0], row[dErr])
+		}
+		if row[rErr] > 4 {
+			t.Fatalf("ζ=%g: rise fit error %.2f%% exceeds 4%%", row[0], row[rErr])
+		}
+	}
+	if len(tbl.Rows) < 20 {
+		t.Fatalf("fig6 has only %d rows", len(tbl.Rows))
+	}
+}
+
+// TestFig9AccuracyImprovesWithRiseTime (paper Sec. V-A): the closed form
+// becomes more accurate as the input rise time increases; the ideal step
+// is the worst case.
+func TestFig9AccuracyImprovesWithRiseTime(t *testing.T) {
+	tbl, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wErr := col(t, tbl, "wave_err_pct")
+	dErr := col(t, tbl, "delay_err_pct")
+	rows := tbl.Rows
+	for i := 1; i < len(rows); i++ {
+		if rows[i][wErr] >= rows[i-1][wErr] {
+			t.Fatalf("waveform error did not decrease with rise time: rows %d→%d: %.2f%% → %.2f%%",
+				i-1, i, rows[i-1][wErr], rows[i][wErr])
+		}
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if first[wErr] < 2*last[wErr] {
+		t.Fatalf("step-input error %.2f%% not clearly worse than slow-input error %.2f%%", first[wErr], last[wErr])
+	}
+	// Delay error at the step must exceed the slowest input's.
+	if first[dErr] < last[dErr] {
+		t.Fatalf("step delay error %.2f%% below slow-input delay error %.2f%%", first[dErr], last[dErr])
+	}
+}
+
+// TestFig11BalancedTreeAccuracy (paper Sec. V-B): for the balanced tree
+// the propagation delay error stays small across damping regimes (the
+// paper reports < 4% with its component values; we allow ≤ 8% for ours)
+// while the Elmore (Wyatt) delay error explodes as ζ drops.
+func TestFig11BalancedTreeAccuracy(t *testing.T) {
+	tbl, err := Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zc := col(t, tbl, "zeta7")
+	dErr := col(t, tbl, "delay_err_pct")
+	eErr := col(t, tbl, "elmore_err_pct")
+	ovM := col(t, tbl, "overshoot_model_pct")
+	ovS := col(t, tbl, "overshoot_sim_pct")
+	for _, row := range tbl.Rows {
+		if row[dErr] > 8 {
+			t.Fatalf("ζ=%.2f: EED delay error %.2f%% exceeds 8%%", row[zc], row[dErr])
+		}
+		if row[zc] < 0.8 && row[eErr] < row[dErr] {
+			t.Fatalf("ζ=%.2f: Elmore error %.2f%% not worse than EED %.2f%%", row[zc], row[eErr], row[dErr])
+		}
+		if d := row[ovM] - row[ovS]; d > 5 || d < -5 {
+			t.Fatalf("ζ=%.2f: overshoot model %.1f%% vs sim %.1f%% differ too much", row[zc], row[ovM], row[ovS])
+		}
+	}
+	// Most underdamped row: the Elmore delay is off by tens of percent —
+	// the paper's core motivation.
+	if tbl.Rows[0][eErr] < 30 {
+		t.Fatalf("ζ=%.2f: Elmore error %.2f%% unexpectedly small", tbl.Rows[0][zc], tbl.Rows[0][eErr])
+	}
+}
+
+// TestFig12ErrorGrowsWithAsymmetry (paper Sec. V-B): the delay error grows
+// monotonically with the asymmetry factor and reaches the ~20% regime for
+// highly asymmetric trees.
+func TestFig12ErrorGrowsWithAsymmetry(t *testing.T) {
+	tbl, err := Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dErr := col(t, tbl, "delay_err_sink_pct")
+	wErr := col(t, tbl, "wave_err_sink_pct")
+	rows := tbl.Rows
+	for i := 1; i < len(rows); i++ {
+		if rows[i][dErr] <= rows[i-1][dErr] {
+			t.Fatalf("delay error not increasing with asym: %.2f%% then %.2f%%", rows[i-1][dErr], rows[i][dErr])
+		}
+		if rows[i][wErr] <= rows[i-1][wErr] {
+			t.Fatalf("wave error not increasing with asym: %.2f%% then %.2f%%", rows[i-1][wErr], rows[i][wErr])
+		}
+	}
+	if last := rows[len(rows)-1][dErr]; last < 15 {
+		t.Fatalf("highly asymmetric delay error %.2f%% below the ~20%% regime", last)
+	}
+	if first := rows[0][dErr]; first > 8 {
+		t.Fatalf("balanced (asym=1) delay error %.2f%% too large", first)
+	}
+}
+
+// TestFig13BranchingFactor (paper Sec. V-C): with the same 16 sinks, the
+// binary tree is modeled less accurately than the branching-factor-16
+// tree.
+func TestFig13BranchingFactor(t *testing.T) {
+	tbl, err := Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("fig13 rows = %d", len(tbl.Rows))
+	}
+	wErr := col(t, tbl, "wave_err_pct")
+	dErr := col(t, tbl, "delay_err_pct")
+	binary, flat := tbl.Rows[0], tbl.Rows[1]
+	if binary[wErr] <= flat[wErr] {
+		t.Fatalf("binary tree wave error %.2f%% not above 16-ary %.2f%%", binary[wErr], flat[wErr])
+	}
+	if binary[dErr] <= flat[dErr] {
+		t.Fatalf("binary tree delay error %.2f%% not above 16-ary %.2f%%", binary[dErr], flat[dErr])
+	}
+}
+
+// TestFig14DepthEffect (paper Sec. V-D): for a single line the model error
+// grows with the number of sections (at constant sink damping).
+func TestFig14DepthEffect(t *testing.T) {
+	tbl, err := Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := col(t, tbl, "branching")
+	wErr := col(t, tbl, "wave_err_pct")
+	var prev float64
+	n := 0
+	for _, row := range tbl.Rows {
+		if row[br] != 1 {
+			continue
+		}
+		if n > 0 && row[wErr] <= prev {
+			t.Fatalf("line wave error not increasing with depth: %.2f%% then %.2f%%", prev, row[wErr])
+		}
+		prev = row[wErr]
+		n++
+	}
+	if n < 4 {
+		t.Fatalf("only %d line rows", n)
+	}
+}
+
+// TestFig15NodePosition (paper Sec. V-E): the error is largest near the
+// source and smallest at the sinks.
+func TestFig15NodePosition(t *testing.T) {
+	tbl, err := Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wErr := col(t, tbl, "wave_err_pct")
+	rows := tbl.Rows
+	first, last := rows[0][wErr], rows[len(rows)-1][wErr]
+	if first < 3*last {
+		t.Fatalf("source-adjacent error %.2f%% not ≫ sink error %.2f%%", first, last)
+	}
+	// Decreasing through the intermediate levels (small slack at the sink).
+	for i := 1; i < len(rows)-1; i++ {
+		if rows[i][wErr] >= rows[i-1][wErr] {
+			t.Fatalf("wave error not decreasing toward sinks at level %g", rows[i][0])
+		}
+	}
+}
+
+// TestFig16SecondOrderOscillations (paper Sec. V-F): the simulator shows
+// higher-frequency oscillations the 2-pole model cannot represent, yet the
+// macro delay stays accurate.
+func TestFig16SecondOrderOscillations(t *testing.T) {
+	tbl, err := Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tbl.Rows[0]
+	exM := row[col(t, tbl, "extrema_model")]
+	exS := row[col(t, tbl, "extrema_sim")]
+	if exS <= 2*exM {
+		t.Fatalf("simulated extrema %g not well above model extrema %g", exS, exM)
+	}
+	if dErr := row[col(t, tbl, "delay_err_pct")]; dErr > 5 {
+		t.Fatalf("macro delay error %.2f%% exceeds 5%%", dErr)
+	}
+	ovM := row[col(t, tbl, "overshoot_model_pct")]
+	ovS := row[col(t, tbl, "overshoot_sim_pct")]
+	if d := ovM - ovS; d > 6 || d < -6 {
+		t.Fatalf("primary overshoot model %.1f%% vs sim %.1f%%", ovM, ovS)
+	}
+}
+
+// TestAppendixLinearScaling: the per-section cost of whole-tree analysis
+// stays bounded as the tree grows 64× — linear complexity in practice.
+func TestAppendixLinearScaling(t *testing.T) {
+	tbl, err := AppendixComplexity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := col(t, tbl, "ns_per_section")
+	rows := tbl.Rows
+	// Compare the largest sizes (≥1024 sections), where per-node work has
+	// stabilized: within 3× of each other.
+	var lo, hi float64
+	for _, row := range rows {
+		if row[0] < 1024 {
+			continue
+		}
+		v := row[per]
+		if lo == 0 || v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi > 3*lo {
+		t.Fatalf("per-section cost varies %gx across large trees (%g..%g ns) — not linear", hi/lo, lo, hi)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Notes:   []string{"hello"},
+	}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow(3e-12, 0)
+	s := tbl.String()
+	for _, want := range []string{"== x: demo ==", "a", "b", "2.5", "note: hello"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q:\n%s", want, s)
+		}
+	}
+	csv := tbl.CSV()
+	if !strings.HasPrefix(csv, "a,b\n1,2.5\n") {
+		t.Fatalf("CSV wrong:\n%s", csv)
+	}
+}
+
+func TestTableAddRowPanics(t *testing.T) {
+	tbl := &Table{Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong row length")
+		}
+	}()
+	tbl.AddRow(1)
+}
+
+func TestByIDAndAll(t *testing.T) {
+	for _, id := range []string{"fig6", "fig9", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "appendix", "ablation"} {
+		if ByID(id) == nil {
+			t.Fatalf("ByID(%q) = nil", id)
+		}
+	}
+	if ByID("nope") != nil {
+		t.Fatal("ByID must return nil for unknown ids")
+	}
+}

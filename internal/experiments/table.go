@@ -1,0 +1,104 @@
+// Package experiments regenerates the data behind every figure of the
+// paper's evaluation (Secs. IV–V): each FigN function builds the figure's
+// circuit, runs both the closed-form equivalent Elmore model and the
+// transient simulator (the AS/X stand-in), and returns the comparison as a
+// printable table. The cmd/figures binary and the repository benchmarks
+// both drive these functions, and EXPERIMENTS.md records the paper-claim
+// vs. measured outcome for each.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a figure's regenerated data: named columns of float rows plus
+// free-form notes about the workload.
+type Table struct {
+	ID      string // e.g. "fig11"
+	Title   string
+	Columns []string
+	Rows    [][]float64
+	Notes   []string
+}
+
+// AddRow appends a data row; its length must match Columns.
+func (t *Table) AddRow(vals ...float64) {
+	if len(vals) != len(t.Columns) {
+		panic(fmt.Sprintf("experiments: row has %d values for %d columns", len(vals), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, vals)
+}
+
+// String renders an aligned text table.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	cells := make([][]string, len(t.Rows))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for r, row := range t.Rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			s := formatCell(v)
+			cells[r][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for r := range cells {
+		for i, s := range cells[r] {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], s)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatCell(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 0.01 && av < 1e6:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.3e", v)
+	}
+}

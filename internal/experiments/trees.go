@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"eedtree/internal/core"
+	"eedtree/internal/rlctree"
+	"eedtree/internal/sources"
+	"eedtree/internal/transim"
+	"eedtree/internal/waveform"
+)
+
+// This file holds the circuit builders and measurement helpers shared by
+// the figure reproductions. The absolute component values of the paper's
+// Figs. 5, 8 and 13 were lost in the OCR of the source text (DESIGN.md §4);
+// the values below are representative on-chip interconnect values chosen
+// so that the equivalent damping factors at the observed nodes span the
+// same regimes as the published figures.
+
+// fig5Values are the per-section values of the balanced Fig.-5-style tree
+// used by Figs. 11 and 12: 3 levels, binary fan-out, four sinks.
+var fig5Values = rlctree.SectionValues{R: 25, L: 5e-9, C: 100e-15}
+
+// fig5Tree builds the paper's Fig.-5 topology (sections 1; 2–3; 4–7).
+// The sink corresponding to "node 7" is section n3_3.
+func fig5Tree(v rlctree.SectionValues) (*rlctree.Tree, *rlctree.Section, error) {
+	t, err := rlctree.BalancedUniform(3, 2, v)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, t.Section("n3_3"), nil
+}
+
+// fig8Tree builds an 8-section unbalanced tree in the spirit of the
+// paper's Fig. 8: a trunk feeding a long branch (the observed output O
+// at its end) and a shorter side branch, with moderately inductive values
+// so that the output response is underdamped.
+func fig8Tree(v rlctree.SectionValues) (*rlctree.Tree, *rlctree.Section, error) {
+	t := rlctree.New()
+	s1, err := t.AddSection("s1", nil, v.R, v.L, v.C)
+	if err != nil {
+		return nil, nil, err
+	}
+	s2, err := t.AddSection("s2", s1, v.R, v.L, v.C)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Side branch off the trunk: two sections.
+	b1, err := t.AddSection("b1", s1, 2*v.R, 2*v.L, v.C)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := t.AddSection("b2", b1, 2*v.R, 2*v.L, 1.5*v.C); err != nil {
+		return nil, nil, err
+	}
+	// Main branch continues three more sections to the output O.
+	s3, err := t.AddSection("s3", s2, v.R, v.L, v.C)
+	if err != nil {
+		return nil, nil, err
+	}
+	s4, err := t.AddSection("s4", s3, v.R, v.L, v.C)
+	if err != nil {
+		return nil, nil, err
+	}
+	s5, err := t.AddSection("s5", s4, v.R, v.L, v.C)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := t.AddSection("O", s5, v.R, v.L, 2*v.C)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, out, nil
+}
+
+// withZetaAt returns a copy of the balanced-tree section values with the
+// inductance scaled so that the equivalent damping factor at the given
+// node of the rebuilt tree equals targetZeta. Because ζ = S_R/(2√S_L) and
+// S_L scales linearly in a global inductance multiplier, the multiplier
+// has the closed form m = (S_R/(2ζ_target))²/S_L0.
+func withZetaAt(build func(rlctree.SectionValues) (*rlctree.Tree, *rlctree.Section, error),
+	base rlctree.SectionValues, targetZeta float64) (rlctree.SectionValues, error) {
+	if base.L <= 0 {
+		return rlctree.SectionValues{}, fmt.Errorf("experiments: base inductance must be positive")
+	}
+	t, node, err := build(base)
+	if err != nil {
+		return rlctree.SectionValues{}, err
+	}
+	sums := t.ElmoreSums()
+	i := node.Index()
+	if sums.SL[i] <= 0 {
+		return rlctree.SectionValues{}, fmt.Errorf("experiments: node %s has no inductance on its path", node.Name())
+	}
+	m := math.Pow(sums.SR[i]/(2*targetZeta), 2) / sums.SL[i]
+	scaled := base
+	scaled.L = base.L * m
+	return scaled, nil
+}
+
+// simulateTree runs the transient simulator on the tree with the given
+// source and returns waveforms for the requested node names. The time
+// step and horizon are derived from the slowest node model so every
+// response is fully settled.
+func simulateTree(t *rlctree.Tree, src sources.Source, names []string, points int) (map[string]*waveform.Waveform, float64, error) {
+	analyses, err := core.AnalyzeTree(t)
+	if err != nil {
+		return nil, 0, err
+	}
+	var horizon float64
+	for _, a := range analyses {
+		h := 6 * a.Delay50
+		if !math.IsNaN(a.SettlingTime) && 2.5*a.SettlingTime > h {
+			h = 2.5 * a.SettlingTime
+		}
+		if h > horizon {
+			horizon = h
+		}
+	}
+	// Include the source's own time scale (e.g. slow exponential inputs).
+	switch s := src.(type) {
+	case sources.Exponential:
+		if h := 8 * s.Tau; h > horizon {
+			horizon = h
+		}
+	case sources.Ramp:
+		if h := 3 * s.TRise; h > horizon {
+			horizon = h
+		}
+	}
+	if points <= 0 {
+		points = 20000
+	}
+	deck, err := t.ToDeck(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := transim.Simulate(deck, transim.Options{Step: horizon / float64(points), Stop: horizon})
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make(map[string]*waveform.Waveform, len(names))
+	for _, n := range names {
+		w, err := res.Node(n)
+		if err != nil {
+			return nil, 0, err
+		}
+		out[n] = w
+	}
+	return out, horizon, nil
+}
+
+// comparison measures the closed-form model of a node against a simulated
+// waveform. Two model delays are reported: DelayFit from the fitted
+// eq.-(33)/(35) closed form (step inputs only), and DelayWave from the 50%
+// crossing of the analytic time-domain response (valid for any input).
+type comparison struct {
+	Zeta         float64
+	DelayFit     float64 // eq.-(33) fitted step-input delay
+	DelayWave    float64 // 50% crossing of the analytic response
+	DelaySim     float64
+	DelayErrPct  float64 // DelayFit vs DelaySim
+	WaveDelayErr float64 // DelayWave vs DelaySim, percent
+	WaveErrPct   float64 // max |model − sim| / Vfinal · 100
+	ElmoreDelay  float64
+	ElmoreErrPct float64
+}
+
+func compareNode(model core.SecondOrder, analytic func(float64) float64, sim *waveform.Waveform, vdd float64) (comparison, error) {
+	c := comparison{
+		Zeta:        model.Zeta(),
+		DelayFit:    model.Delay50(),
+		ElmoreDelay: model.ElmoreDelay50(),
+	}
+	dSim, err := sim.Delay50(vdd)
+	if err != nil {
+		return c, fmt.Errorf("experiments: simulated delay: %w", err)
+	}
+	c.DelaySim = dSim
+	c.DelayErrPct = 100 * math.Abs(c.DelayFit-dSim) / dSim
+	c.ElmoreErrPct = 100 * math.Abs(c.ElmoreDelay-dSim) / dSim
+	an := waveform.Sample(analytic, sim.Start(), sim.End(), 8000)
+	c.WaveErrPct = 100 * waveform.MaxAbsDiff(an, sim) / math.Abs(vdd)
+	if dw, err := an.Delay50(vdd); err == nil {
+		c.DelayWave = dw
+		c.WaveDelayErr = 100 * math.Abs(dw-dSim) / dSim
+	} else {
+		c.DelayWave = math.NaN()
+		c.WaveDelayErr = math.NaN()
+	}
+	return c, nil
+}

@@ -1,0 +1,162 @@
+// Package fit provides the curve-fitting substrate used to reproduce the
+// paper's methodology for eqs. (33) and (34): the scaled 50% delay and
+// rise time of the second-order system are solved numerically on a grid of
+// damping factors ζ (the data points of Fig. 6) and the paper's functional
+// forms are then fitted by least squares.
+//
+// Two fitters are provided: linear least squares over an arbitrary basis
+// (normal equations) and a damped Gauss–Newton (Levenberg-style) iteration
+// for nonlinear models with numerically differenced Jacobians.
+package fit
+
+import (
+	"fmt"
+	"math"
+
+	"eedtree/internal/lina"
+)
+
+// Model is a parametric scalar model y = f(params, x).
+type Model func(params []float64, x float64) float64
+
+// LinearLeastSquares fits coefficients c so that Σ_j c_j·basis_j(x_i) ≈ y_i
+// in the least-squares sense. basis[j][i] holds basis function j evaluated
+// at sample i.
+func LinearLeastSquares(basis [][]float64, y []float64) ([]float64, error) {
+	if len(basis) == 0 {
+		return nil, fmt.Errorf("fit: no basis functions")
+	}
+	n := len(y)
+	for j, b := range basis {
+		if len(b) != n {
+			return nil, fmt.Errorf("fit: basis %d has %d samples, want %d", j, len(b), n)
+		}
+	}
+	a := lina.NewMatrix(n, len(basis))
+	for i := 0; i < n; i++ {
+		for j := range basis {
+			a.Set(i, j, basis[j][i])
+		}
+	}
+	return lina.SolveLeastSquares(a, y)
+}
+
+// Options controls the Gauss–Newton iteration.
+type Options struct {
+	MaxIter int     // maximum iterations (default 200)
+	Tol     float64 // relative improvement tolerance (default 1e-12)
+	Lambda  float64 // initial damping (default 1e-3)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-12
+	}
+	if o.Lambda <= 0 {
+		o.Lambda = 1e-3
+	}
+	return o
+}
+
+// Result reports the outcome of a nonlinear fit.
+type Result struct {
+	Params []float64
+	RMSE   float64 // root-mean-square residual
+	Iters  int
+}
+
+// GaussNewton fits the nonlinear model to (xs, ys) starting from p0, using
+// a Levenberg-damped Gauss–Newton iteration with forward-difference
+// Jacobians. It returns the best parameters found even if the improvement
+// tolerance was not reached within MaxIter (EDA curve fits are smooth and
+// overdetermined, so this is the practical behaviour wanted here); it
+// returns an error only for malformed inputs or a singular normal system
+// at the very first step.
+func GaussNewton(m Model, p0 []float64, xs, ys []float64, opt Options) (Result, error) {
+	if len(xs) != len(ys) {
+		return Result{}, fmt.Errorf("fit: %d xs vs %d ys", len(xs), len(ys))
+	}
+	if len(xs) < len(p0) {
+		return Result{}, fmt.Errorf("fit: %d samples cannot determine %d parameters", len(xs), len(p0))
+	}
+	opt = opt.withDefaults()
+	n, np := len(xs), len(p0)
+	p := append([]float64(nil), p0...)
+
+	residuals := func(p []float64) []float64 {
+		r := make([]float64, n)
+		for i := range xs {
+			r[i] = ys[i] - m(p, xs[i])
+		}
+		return r
+	}
+	sumsq := func(r []float64) float64 {
+		var s float64
+		for _, v := range r {
+			s += v * v
+		}
+		return s
+	}
+
+	r := residuals(p)
+	cost := sumsq(r)
+	lambda := opt.Lambda
+	iters := 0
+	for ; iters < opt.MaxIter; iters++ {
+		// Forward-difference Jacobian of the residuals: J[i][j] = ∂r_i/∂p_j.
+		jac := lina.NewMatrix(n, np)
+		for j := 0; j < np; j++ {
+			h := 1e-7 * math.Max(1, math.Abs(p[j]))
+			pj := p[j]
+			p[j] = pj + h
+			rp := residuals(p)
+			p[j] = pj
+			for i := 0; i < n; i++ {
+				jac.Set(i, j, (rp[i]-r[i])/h)
+			}
+		}
+		// Solve (JᵀJ + λ·diag(JᵀJ))·δ = −Jᵀr for the step δ (note r = y−f,
+		// so the Gauss–Newton step is p ← p + δ with δ from JᵀJ δ = −Jᵀr;
+		// here residual derivative already carries the sign).
+		jt := jac.Transpose()
+		jtj := jt.Mul(jac)
+		jtr := jt.MulVec(r)
+		improved := false
+		for try := 0; try < 30; try++ {
+			a := jtj.Clone()
+			for d := 0; d < np; d++ {
+				a.Add(d, d, lambda*math.Max(jtj.At(d, d), 1e-12))
+			}
+			delta, err := lina.SolveDense(a, jtr)
+			if err != nil {
+				lambda *= 10
+				continue
+			}
+			cand := make([]float64, np)
+			for j := range cand {
+				cand[j] = p[j] - delta[j]
+			}
+			rc := residuals(cand)
+			cc := sumsq(rc)
+			if cc < cost && !math.IsNaN(cc) {
+				rel := (cost - cc) / math.Max(cost, 1e-300)
+				p, r, cost = cand, rc, cc
+				lambda = math.Max(lambda/3, 1e-12)
+				improved = true
+				if rel < opt.Tol {
+					iters++
+					return Result{Params: p, RMSE: math.Sqrt(cost / float64(n)), Iters: iters}, nil
+				}
+				break
+			}
+			lambda *= 10
+		}
+		if !improved {
+			break
+		}
+	}
+	return Result{Params: p, RMSE: math.Sqrt(cost / float64(n)), Iters: iters}, nil
+}

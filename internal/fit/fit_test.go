@@ -1,0 +1,112 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLinearLeastSquaresPolynomial(t *testing.T) {
+	// Fit y = 3 − x + 0.5x² exactly.
+	var xs []float64
+	for x := 0.0; x <= 5; x += 0.25 {
+		xs = append(xs, x)
+	}
+	ones := make([]float64, len(xs))
+	lin := make([]float64, len(xs))
+	quad := make([]float64, len(xs))
+	y := make([]float64, len(xs))
+	for i, x := range xs {
+		ones[i], lin[i], quad[i] = 1, x, x*x
+		y[i] = 3 - x + 0.5*x*x
+	}
+	c, err := LinearLeastSquares([][]float64{ones, lin, quad}, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, -1, 0.5}
+	for i := range want {
+		if math.Abs(c[i]-want[i]) > 1e-9 {
+			t.Fatalf("coef %d = %g, want %g", i, c[i], want[i])
+		}
+	}
+}
+
+func TestLinearLeastSquaresErrors(t *testing.T) {
+	if _, err := LinearLeastSquares(nil, []float64{1}); err == nil {
+		t.Fatal("expected error for empty basis")
+	}
+	if _, err := LinearLeastSquares([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("expected error for sample mismatch")
+	}
+}
+
+func TestGaussNewtonExponentialDecay(t *testing.T) {
+	// Recover y = 2.5·e^{−1.3·x} + 0.4 from noiseless data.
+	model := func(p []float64, x float64) float64 {
+		return p[0]*math.Exp(-p[1]*x) + p[2]
+	}
+	var xs, ys []float64
+	for x := 0.0; x <= 4; x += 0.1 {
+		xs = append(xs, x)
+		ys = append(ys, model([]float64{2.5, 1.3, 0.4}, x))
+	}
+	res, err := GaussNewton(model, []float64{1, 1, 0}, xs, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2.5, 1.3, 0.4}
+	for i := range want {
+		if math.Abs(res.Params[i]-want[i]) > 1e-6 {
+			t.Fatalf("param %d = %g, want %g (RMSE %g)", i, res.Params[i], want[i], res.RMSE)
+		}
+	}
+	if res.RMSE > 1e-8 {
+		t.Fatalf("RMSE = %g on noiseless data", res.RMSE)
+	}
+}
+
+func TestGaussNewtonNoisyData(t *testing.T) {
+	model := func(p []float64, x float64) float64 {
+		return p[0]*math.Exp(-x/p[1]) + p[2]*x
+	}
+	truth := []float64{1.05, 0.85, 1.39}
+	rng := rand.New(rand.NewSource(3))
+	var xs, ys []float64
+	for x := 0.2; x <= 4; x += 0.05 {
+		xs = append(xs, x)
+		ys = append(ys, model(truth, x)+0.002*rng.NormFloat64())
+	}
+	res, err := GaussNewton(model, []float64{1, 1, 1}, xs, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if math.Abs(res.Params[i]-truth[i]) > 0.05 {
+			t.Fatalf("param %d = %g, want ≈ %g", i, res.Params[i], truth[i])
+		}
+	}
+}
+
+func TestGaussNewtonValidation(t *testing.T) {
+	model := func(p []float64, x float64) float64 { return p[0] * x }
+	if _, err := GaussNewton(model, []float64{1}, []float64{1, 2}, []float64{1}, Options{}); err == nil {
+		t.Fatal("expected xs/ys mismatch error")
+	}
+	if _, err := GaussNewton(model, []float64{1, 2, 3}, []float64{1}, []float64{1}, Options{}); err == nil {
+		t.Fatal("expected underdetermined error")
+	}
+}
+
+func TestGaussNewtonAlreadyConverged(t *testing.T) {
+	model := func(p []float64, x float64) float64 { return p[0] * x }
+	xs := []float64{1, 2, 3}
+	ys := []float64{2, 4, 6}
+	res, err := GaussNewton(model, []float64{2}, xs, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Params[0]-2) > 1e-9 {
+		t.Fatalf("param = %g, want 2", res.Params[0])
+	}
+}

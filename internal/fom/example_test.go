@@ -1,0 +1,28 @@
+package fom_test
+
+import (
+	"fmt"
+
+	"eedtree/internal/fom"
+)
+
+// Example screens a 10 mm global wire: for a 50 ps edge, inductance
+// matters only for lengths in a window around a few millimetres.
+func Example() {
+	wire := fom.LineParams{R: 26, L: 0.5e-9, C: 0.2e-12} // per mm
+	lmin, lmax, ok, err := wire.InductanceRange(50e-12)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("window: ok=%v, %.2f mm .. %.2f mm\n", ok, lmin, lmax)
+	for _, l := range []float64{1.0, 3.0, 10.0} {
+		matters, _ := wire.InductanceMatters(l, 50e-12)
+		fmt.Printf("%4.0f mm: inductance matters = %v (zeta=%.2f)\n",
+			l, matters, wire.DampingFactor(l))
+	}
+	// Output:
+	// window: ok=true, 2.50 mm .. 3.85 mm
+	//    1 mm: inductance matters = false (zeta=0.26)
+	//    3 mm: inductance matters = true (zeta=0.78)
+	//   10 mm: inductance matters = false (zeta=2.60)
+}

@@ -1,0 +1,122 @@
+// Package fom implements the figures of merit that characterize when
+// on-chip inductance matters, from the authors' companion paper cited in
+// the introduction as [8]: Y. I. Ismail, E. G. Friedman, and J. L. Neves,
+// "Figures of Merit to Characterize the Importance of On-Chip
+// Inductance," DAC 1998 (journal version IEEE TVLSI 7(4), 1999).
+//
+// For a uniform lossy line with per-unit-length resistance r, inductance l
+// and capacitance c, driven by a signal with rise time t_r, inductive
+// effects are significant for line lengths in the range
+//
+//	t_r / (2·sqrt(l·c))  <  ℓ  <  2/r · sqrt(l/c)
+//
+// The lower limit says the line's time of flight must be comparable to the
+// signal edge; the upper limit says attenuation must not have damped the
+// wave away (equivalently, the line damping factor ζ = (rℓ/2)·sqrt(c/l)
+// must be below 1 at ℓ_max). These screens decide when the RLC equivalent
+// Elmore model of internal/core is needed instead of the plain RC Elmore
+// delay.
+package fom
+
+import (
+	"fmt"
+	"math"
+
+	"eedtree/internal/rlctree"
+)
+
+// LineParams holds the per-unit-length parameters of a uniform
+// interconnect line. Any consistent length unit works (values per mm, per
+// µm, …) as long as lengths passed to the methods use the same unit.
+type LineParams struct {
+	R float64 // resistance per unit length [Ω/len], ≥ 0
+	L float64 // inductance per unit length [H/len], > 0
+	C float64 // capacitance per unit length [F/len], > 0
+}
+
+// Validate checks the parameters.
+func (p LineParams) Validate() error {
+	if !(p.L > 0) || !(p.C > 0) || p.R < 0 ||
+		math.IsNaN(p.R+p.L+p.C) || math.IsInf(p.R+p.L+p.C, 0) {
+		return fmt.Errorf("fom: invalid line parameters %+v", p)
+	}
+	return nil
+}
+
+// Z0 returns the lossless characteristic impedance sqrt(l/c) of the line.
+func (p LineParams) Z0() float64 { return math.Sqrt(p.L / p.C) }
+
+// TimeOfFlight returns the wave propagation time ℓ·sqrt(l·c) over a line
+// of the given length.
+func (p LineParams) TimeOfFlight(length float64) float64 {
+	return length * math.Sqrt(p.L*p.C)
+}
+
+// DampingFactor returns the line damping factor ζ = (r·ℓ/2)·sqrt(c/l) of a
+// length-ℓ line — the transmission-line analog of the per-node ζ of the
+// equivalent Elmore model. ζ ≥ 1 means the line is too lossy to show
+// inductive behavior.
+func (p LineParams) DampingFactor(length float64) float64 {
+	if p.R == 0 {
+		return 0
+	}
+	return (p.R * length / 2) * math.Sqrt(p.C/p.L)
+}
+
+// Attenuation returns the amplitude attenuation factor e^{−rℓ/(2·Z0)} of a
+// wave traversing a length-ℓ line once.
+func (p LineParams) Attenuation(length float64) float64 {
+	return math.Exp(-p.R * length / (2 * p.Z0()))
+}
+
+// InductanceRange returns the range of line lengths [lmin, lmax] over
+// which inductance significantly affects the response for the given input
+// rise time. When the range is empty (lmin ≥ lmax — the line is too
+// resistive for its speed, or the edge too slow), it returns ok = false:
+// the plain RC Elmore model suffices at every length.
+func (p LineParams) InductanceRange(tRise float64) (lmin, lmax float64, ok bool, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, 0, false, err
+	}
+	if tRise < 0 || math.IsNaN(tRise) {
+		return 0, 0, false, fmt.Errorf("fom: invalid rise time %g", tRise)
+	}
+	lmin = tRise / (2 * math.Sqrt(p.L*p.C))
+	if p.R == 0 {
+		return lmin, math.Inf(1), true, nil
+	}
+	lmax = (2 / p.R) * math.Sqrt(p.L/p.C)
+	return lmin, lmax, lmin < lmax, nil
+}
+
+// InductanceMatters reports whether a line of the given length driven with
+// the given rise time falls in the inductance-significant range.
+func (p LineParams) InductanceMatters(length, tRise float64) (bool, error) {
+	lmin, lmax, ok, err := p.InductanceRange(tRise)
+	if err != nil {
+		return false, err
+	}
+	return ok && length > lmin && length < lmax, nil
+}
+
+// Discretize builds an n-section lumped RLC tree model of a length-ℓ line,
+// ready for the equivalent Elmore analysis or transient simulation. The
+// paper's evaluation uses exactly this lumped-section modeling of
+// distributed wires.
+func (p LineParams) Discretize(length float64, sections int) (*rlctree.Tree, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !(length > 0) {
+		return nil, fmt.Errorf("fom: length must be positive, got %g", length)
+	}
+	if sections < 1 {
+		return nil, fmt.Errorf("fom: need ≥ 1 section, got %d", sections)
+	}
+	seg := length / float64(sections)
+	return rlctree.Line("seg", sections, rlctree.SectionValues{
+		R: p.R * seg,
+		L: p.L * seg,
+		C: p.C * seg,
+	})
+}

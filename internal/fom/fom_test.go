@@ -1,0 +1,165 @@
+package fom
+
+import (
+	"math"
+	"testing"
+
+	"eedtree/internal/core"
+)
+
+// A representative copper global wire: 26 Ω/mm, 0.5 nH/mm, 0.2 pF/mm.
+var wire = LineParams{R: 26, L: 0.5e-9, C: 0.2e-12}
+
+func TestValidate(t *testing.T) {
+	if err := wire.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []LineParams{
+		{R: -1, L: 1e-9, C: 1e-12},
+		{R: 1, L: 0, C: 1e-12},
+		{R: 1, L: 1e-9, C: 0},
+		{R: math.NaN(), L: 1e-9, C: 1e-12},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v): expected error", p)
+		}
+	}
+}
+
+func TestBasicQuantities(t *testing.T) {
+	if got, want := wire.Z0(), math.Sqrt(0.5e-9/0.2e-12); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Z0 = %g, want %g", got, want)
+	}
+	// 10 mm line: tof = 10·sqrt(LC) = 10·10ps = 100 ps.
+	if got := wire.TimeOfFlight(10); math.Abs(got-1e-10) > 1e-13 {
+		t.Fatalf("TimeOfFlight = %g, want 100ps", got)
+	}
+	// ζ at the upper critical length is exactly 1.
+	_, lmax, ok, err := wire.InductanceRange(0)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if z := wire.DampingFactor(lmax); math.Abs(z-1) > 1e-12 {
+		t.Fatalf("ζ(lmax) = %g, want 1", z)
+	}
+	// Attenuation decreases with length and is e^{-1} at lmax... at
+	// ℓ = 2Z0/r the exponent is −1.
+	if got, want := wire.Attenuation(lmax), math.Exp(-1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Attenuation(lmax) = %g, want %g", got, want)
+	}
+	if wire.Attenuation(0) != 1 {
+		t.Fatal("zero-length attenuation must be 1")
+	}
+	lossless := LineParams{R: 0, L: 0.5e-9, C: 0.2e-12}
+	if lossless.DampingFactor(100) != 0 {
+		t.Fatal("lossless line must have ζ = 0")
+	}
+}
+
+func TestInductanceRange(t *testing.T) {
+	// 50 ps edge on the global wire.
+	lmin, lmax, ok, err := wire.InductanceRange(50e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("global wire should have a non-empty inductive range")
+	}
+	// lmin = tr/(2√(lc)) = 50ps/(2·10ps/mm) = 2.5 mm.
+	if math.Abs(lmin-2.5) > 1e-9 {
+		t.Fatalf("lmin = %g mm, want 2.5", lmin)
+	}
+	// lmax = (2/r)√(l/c) = (2/26)·50 = 3.85 mm.
+	if math.Abs(lmax-100.0/26) > 1e-9 {
+		t.Fatalf("lmax = %g mm, want %g", lmax, 100.0/26)
+	}
+
+	// Slow edge: the range closes (RC treatment suffices everywhere).
+	if _, _, ok, _ := wire.InductanceRange(200e-12); ok {
+		t.Fatal("200 ps edge should close the inductive window for this wire")
+	}
+
+	// Lossless line: range open above lmin.
+	lossless := LineParams{R: 0, L: 0.5e-9, C: 0.2e-12}
+	_, lmax, ok, err = lossless.InductanceRange(50e-12)
+	if err != nil || !ok || !math.IsInf(lmax, 1) {
+		t.Fatalf("lossless range = %v %v %v", lmax, ok, err)
+	}
+
+	if _, _, _, err := wire.InductanceRange(-1); err == nil {
+		t.Fatal("negative rise time must fail")
+	}
+	bad := LineParams{}
+	if _, _, _, err := bad.InductanceRange(1e-12); err == nil {
+		t.Fatal("invalid params must fail")
+	}
+}
+
+func TestInductanceMatters(t *testing.T) {
+	inside, err := wire.InductanceMatters(3.0, 50e-12) // within [2.5, 3.85]
+	if err != nil || !inside {
+		t.Fatalf("3 mm line should be inductance-significant: %v %v", inside, err)
+	}
+	short, _ := wire.InductanceMatters(1.0, 50e-12)
+	long, _ := wire.InductanceMatters(10.0, 50e-12)
+	if short || long {
+		t.Fatalf("outside the window: short=%v long=%v, want false", short, long)
+	}
+	if _, err := (LineParams{}).InductanceMatters(1, 1e-12); err == nil {
+		t.Fatal("invalid params must fail")
+	}
+}
+
+// TestFOMConsistentWithEEDZeta: the line figure of merit must agree with
+// the equivalent Elmore model built from the discretized line — a line
+// inside the inductive window is underdamped at its sink; a line far past
+// the window is overdamped.
+func TestFOMConsistentWithEEDZeta(t *testing.T) {
+	cases := []struct {
+		length      float64
+		underdamped bool
+	}{
+		{3.0, true},   // inside the window
+		{30.0, false}, // far past lmax: resistive regime
+	}
+	for _, cse := range cases {
+		tree, err := wire.Discretize(cse.length, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := core.AtNode(tree.Leaves()[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Underdamped(); got != cse.underdamped {
+			t.Fatalf("length %g: underdamped = %v (ζ=%.3g), want %v", cse.length, got, m.Zeta(), cse.underdamped)
+		}
+	}
+}
+
+func TestDiscretizeValidation(t *testing.T) {
+	if _, err := wire.Discretize(0, 8); err == nil {
+		t.Fatal("zero length must fail")
+	}
+	if _, err := wire.Discretize(1, 0); err == nil {
+		t.Fatal("zero sections must fail")
+	}
+	if _, err := (LineParams{}).Discretize(1, 8); err == nil {
+		t.Fatal("invalid params must fail")
+	}
+	tree, err := wire.Discretize(10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 20 {
+		t.Fatalf("sections = %d", tree.Len())
+	}
+	// Totals preserved.
+	var totC float64
+	for _, s := range tree.Sections() {
+		totC += s.C()
+	}
+	if math.Abs(totC-10*0.2e-12) > 1e-18 {
+		t.Fatalf("total C = %g", totC)
+	}
+}

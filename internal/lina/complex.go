@@ -1,0 +1,83 @@
+package lina
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// CMatrix is a dense row-major complex matrix, used by the AC (phasor)
+// analysis and the AWE residue solves.
+type CMatrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewCMatrix returns a zeroed rows×cols complex matrix.
+func NewCMatrix(rows, cols int) *CMatrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("lina: invalid dimensions %dx%d", rows, cols))
+	}
+	return &CMatrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// At returns the element at row r, column c.
+func (m *CMatrix) At(r, c int) complex128 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at row r, column c.
+func (m *CMatrix) Set(r, c int, v complex128) { m.Data[r*m.Cols+c] = v }
+
+// Add accumulates v into the element at row r, column c.
+func (m *CMatrix) Add(r, c int, v complex128) { m.Data[r*m.Cols+c] += v }
+
+// SolveComplex solves the square complex system a·x = b by Gaussian
+// elimination with partial pivoting. a and b are not modified.
+func SolveComplex(a *CMatrix, b []complex128) ([]complex128, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("lina: SolveComplex requires a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("lina: SolveComplex dimension mismatch: %d vs %d", len(b), n)
+	}
+	m := make([]complex128, len(a.Data))
+	copy(m, a.Data)
+	x := make([]complex128, n)
+	copy(x, b)
+	for k := 0; k < n; k++ {
+		p := k
+		max := cmplx.Abs(m[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(m[i*n+k]); v > max {
+				max, p = v, i
+			}
+		}
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for c := k; c < n; c++ {
+				m[p*n+c], m[k*n+c] = m[k*n+c], m[p*n+c]
+			}
+			x[p], x[k] = x[k], x[p]
+		}
+		pivot := m[k*n+k]
+		for i := k + 1; i < n; i++ {
+			f := m[i*n+k] / pivot
+			if f == 0 {
+				continue
+			}
+			for c := k; c < n; c++ {
+				m[i*n+c] -= f * m[k*n+c]
+			}
+			x[i] -= f * x[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		var s complex128
+		for c := i + 1; c < n; c++ {
+			s += m[i*n+c] * x[c]
+		}
+		x[i] = (x[i] - s) / m[i*n+i]
+	}
+	return x, nil
+}

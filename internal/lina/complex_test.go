@@ -1,0 +1,73 @@
+package lina
+
+import (
+	"math/cmplx"
+	"testing"
+)
+
+func TestCMatrixAccessors(t *testing.T) {
+	m := NewCMatrix(2, 2)
+	m.Set(0, 1, complex(1, 2))
+	m.Add(0, 1, complex(0, 1))
+	if m.At(0, 1) != complex(1, 3) {
+		t.Fatalf("At = %v", m.At(0, 1))
+	}
+}
+
+func TestNewCMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCMatrix(0, 1)
+}
+
+func TestSolveComplexKnown(t *testing.T) {
+	// (1+j)x + 2y = 3+j; x − jy = 1  →  verify by residual.
+	a := NewCMatrix(2, 2)
+	a.Set(0, 0, complex(1, 1))
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, complex(0, -1))
+	b := []complex128{complex(3, 1), 1}
+	x, err := SolveComplex(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := complex(1, 1)*x[0] + 2*x[1] - b[0]
+	r1 := x[0] - complex(0, 1)*x[1] - b[1]
+	if cmplx.Abs(r0) > 1e-12 || cmplx.Abs(r1) > 1e-12 {
+		t.Fatalf("residuals %v %v", r0, r1)
+	}
+}
+
+func TestSolveComplexPivoting(t *testing.T) {
+	a := NewCMatrix(2, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	x, err := SolveComplex(a, []complex128{5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 7 || x[1] != 5 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveComplexErrors(t *testing.T) {
+	a := NewCMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := SolveComplex(a, []complex128{1, 1}); err == nil {
+		t.Fatal("singular must fail")
+	}
+	if _, err := SolveComplex(NewCMatrix(2, 3), []complex128{1, 1}); err == nil {
+		t.Fatal("non-square must fail")
+	}
+	if _, err := SolveComplex(NewCMatrix(2, 2), []complex128{1}); err == nil {
+		t.Fatal("dimension mismatch must fail")
+	}
+}

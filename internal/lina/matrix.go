@@ -1,0 +1,224 @@
+// Package lina provides the small dense linear-algebra kernel shared by the
+// MNA circuit formulation and the least-squares fitting code: a row-major
+// dense matrix, LU factorization with partial pivoting, and solves.
+//
+// The circuits analyzed in this library (RLC interconnect trees) have at
+// most a few thousand unknowns, so a dense kernel is both simple and fast
+// enough; the tree-specific O(n) algorithms in internal/rlctree are used
+// where asymptotic complexity matters.
+package lina
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, Data[r*Cols+c]
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("lina: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element at row r, column c.
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at row r, column c.
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Add accumulates v into the element at row r, column c.
+func (m *Matrix) Add(r, c int, v float64) { m.Data[r*m.Cols+c] += v }
+
+// Zero resets every element to zero, preserving the allocation.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec computes y = m·x. The receiver must be Rows×Cols with len(x)==Cols.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("lina: MulVec dimension mismatch: %d vs %d", len(x), m.Cols))
+	}
+	y := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		var s float64
+		for c, v := range row {
+			s += v * x[c]
+		}
+		y[r] = s
+	}
+	return y
+}
+
+// Transpose returns mᵀ as a new matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			t.Set(c, r, m.At(r, c))
+		}
+	}
+	return t
+}
+
+// Mul returns m·b as a new matrix.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("lina: Mul dimension mismatch: %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	p := NewMatrix(m.Rows, b.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(r, k)
+			if a == 0 {
+				continue
+			}
+			for c := 0; c < b.Cols; c++ {
+				p.Add(r, c, a*b.At(k, c))
+			}
+		}
+	}
+	return p
+}
+
+// ErrSingular reports that LU factorization hit a (numerically) zero pivot.
+var ErrSingular = errors.New("lina: matrix is singular to working precision")
+
+// LU holds an LU factorization with partial pivoting of a square matrix,
+// P·A = L·U, suitable for repeated solves against many right-hand sides.
+type LU struct {
+	n    int
+	lu   []float64 // packed L (unit diagonal, below) and U (on/above diagonal)
+	piv  []int     // row permutation
+	sign int       // permutation parity (for Det)
+}
+
+// Factor computes the LU factorization of the square matrix a.
+// The input matrix is not modified.
+func Factor(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("lina: Factor requires a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
+	copy(f.lu, a.Data)
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	lu := f.lu
+	for k := 0; k < n; k++ {
+		// Partial pivot: largest magnitude in column k at or below the diagonal.
+		p := k
+		max := math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu[i*n+k]); v > max {
+				max, p = v, i
+			}
+		}
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for c := 0; c < n; c++ {
+				lu[p*n+c], lu[k*n+c] = lu[k*n+c], lu[p*n+c]
+			}
+			f.piv[p], f.piv[k] = f.piv[k], f.piv[p]
+			f.sign = -f.sign
+		}
+		pivot := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / pivot
+			lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			for c := k + 1; c < n; c++ {
+				lu[i*n+c] -= m * lu[k*n+c]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b using the factorization, returning x.
+// b is not modified.
+func (f *LU) Solve(b []float64) []float64 {
+	if len(b) != f.n {
+		panic(fmt.Sprintf("lina: Solve dimension mismatch: %d vs %d", len(b), f.n))
+	}
+	n := f.n
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit-lower-triangular L.
+	for i := 1; i < n; i++ {
+		var s float64
+		for c := 0; c < i; c++ {
+			s += f.lu[i*n+c] * x[c]
+		}
+		x[i] -= s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for c := i + 1; c < n; c++ {
+			s += f.lu[i*n+c] * x[c]
+		}
+		x[i] = (x[i] - s) / f.lu[i*n+i]
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}
+
+// SolveDense solves A·x = b for a single right-hand side, factoring A once.
+func SolveDense(a *Matrix, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// SolveLeastSquares solves the overdetermined system A·x ≈ b (Rows ≥ Cols)
+// in the least-squares sense via the normal equations AᵀA·x = Aᵀb.
+// The basis matrices produced by the fitting code are tiny and
+// well-conditioned, so the normal-equation approach is adequate.
+func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("lina: least squares dimension mismatch: %d rows vs %d observations", a.Rows, len(b))
+	}
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("lina: underdetermined system: %d rows < %d cols", a.Rows, a.Cols)
+	}
+	at := a.Transpose()
+	ata := at.Mul(a)
+	atb := at.MulVec(b)
+	return SolveDense(ata, atb)
+}

@@ -1,0 +1,247 @@
+package lina
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixAccessors(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 1, 2.5)
+	m.Add(0, 1, 0.5)
+	if got := m.At(0, 1); got != 3 {
+		t.Fatalf("At(0,1) = %g, want 3", got)
+	}
+	if got := m.At(1, 2); got != 0 {
+		t.Fatalf("At(1,2) = %g, want 0", got)
+	}
+	c := m.Clone()
+	c.Set(0, 1, 99)
+	if m.At(0, 1) != 3 {
+		t.Fatal("Clone aliases the original data")
+	}
+	m.Zero()
+	if m.At(0, 1) != 0 {
+		t.Fatal("Zero did not clear")
+	}
+}
+
+func TestNewMatrixPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0x3 matrix")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	// [1 2 3; 4 5 6] · [1 1 1]ᵀ = [6 15]ᵀ
+	for c := 0; c < 3; c++ {
+		m.Set(0, c, float64(c+1))
+		m.Set(1, c, float64(c+4))
+	}
+	y := m.MulVec([]float64{1, 1, 1})
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v, want [6 15]", y)
+	}
+}
+
+func TestTransposeMul(t *testing.T) {
+	a := NewMatrix(2, 3)
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	copy(a.Data, vals)
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatalf("Transpose wrong: %+v", at)
+	}
+	p := a.Mul(at) // 2x2: [[14 32][32 77]]
+	want := [][]float64{{14, 32}, {32, 77}}
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			if p.At(r, c) != want[r][c] {
+				t.Fatalf("Mul[%d][%d] = %g, want %g", r, c, p.At(r, c), want[r][c])
+			}
+		}
+	}
+}
+
+func TestFactorSolveKnown(t *testing.T) {
+	// x + 2y = 5; 3x + 4y = 11 → x=1, y=2
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{1, 2, 3, 4})
+	x, err := SolveDense(a, []float64{5, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("solution = %v, want [1 2]", x)
+	}
+}
+
+func TestFactorNeedsPivoting(t *testing.T) {
+	// Zero on the leading diagonal forces a row swap.
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{0, 1, 1, 0})
+	x, err := SolveDense(a, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 7 || x[1] != 3 {
+		t.Fatalf("solution = %v, want [7 3]", x)
+	}
+}
+
+func TestFactorSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{1, 2, 2, 4})
+	if _, err := Factor(a); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestFactorRejectsNonSquare(t *testing.T) {
+	if _, err := Factor(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := NewMatrix(3, 3)
+	copy(a.Data, []float64{2, 0, 0, 0, 3, 0, 0, 0, 4})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Det()-24) > 1e-12 {
+		t.Fatalf("Det = %g, want 24", f.Det())
+	}
+	// Permutation flips the sign; the det must still come out right.
+	b := NewMatrix(2, 2)
+	copy(b.Data, []float64{0, 1, 1, 0})
+	fb, err := Factor(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fb.Det()+1) > 1e-12 {
+		t.Fatalf("Det = %g, want -1", fb.Det())
+	}
+}
+
+func TestSolveReusableFactorization(t *testing.T) {
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{4, 1, 1, 3})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range [][]float64{{1, 0}, {0, 1}, {5, 5}} {
+		x := f.Solve(b)
+		y := a.MulVec(x)
+		for i := range b {
+			if math.Abs(y[i]-b[i]) > 1e-12 {
+				t.Fatalf("residual too large for b=%v: got %v", b, y)
+			}
+		}
+	}
+}
+
+// TestSolveRandomProperty: random diagonally dominant systems solve with a
+// small residual.
+func TestSolveRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := NewMatrix(n, n)
+		for r := 0; r < n; r++ {
+			var rowSum float64
+			for c := 0; c < n; c++ {
+				v := rng.NormFloat64()
+				a.Set(r, c, v)
+				rowSum += math.Abs(v)
+			}
+			a.Add(r, r, rowSum+1) // dominance ⇒ nonsingular
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := SolveDense(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveLeastSquaresExact(t *testing.T) {
+	// Fit y = 2 + 3x exactly through an overdetermined consistent system.
+	xs := []float64{0, 1, 2, 3, 4}
+	a := NewMatrix(len(xs), 2)
+	b := make([]float64, len(xs))
+	for i, x := range xs {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		b[i] = 2 + 3*x
+	}
+	c, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c[0]-2) > 1e-10 || math.Abs(c[1]-3) > 1e-10 {
+		t.Fatalf("coefficients = %v, want [2 3]", c)
+	}
+}
+
+func TestSolveLeastSquaresResidualOrthogonality(t *testing.T) {
+	// For a noisy fit, the residual must be orthogonal to the column space.
+	rng := rand.New(rand.NewSource(7))
+	n := 40
+	a := NewMatrix(n, 3)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := float64(i) / 10
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		a.Set(i, 2, x*x)
+		b[i] = 1 - 2*x + 0.5*x*x + 0.01*rng.NormFloat64()
+	}
+	c, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitv := a.MulVec(c)
+	res := make([]float64, n)
+	for i := range res {
+		res[i] = b[i] - fitv[i]
+	}
+	proj := a.Transpose().MulVec(res)
+	for j, v := range proj {
+		if math.Abs(v) > 1e-8 {
+			t.Fatalf("Aᵀ·residual[%d] = %g, want ≈ 0", j, v)
+		}
+	}
+}
+
+func TestSolveLeastSquaresErrors(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := SolveLeastSquares(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for underdetermined system")
+	}
+	b := NewMatrix(3, 2)
+	if _, err := SolveLeastSquares(b, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for mismatched observations")
+	}
+}

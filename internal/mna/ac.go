@@ -1,0 +1,123 @@
+package mna
+
+import (
+	"fmt"
+	"math"
+
+	"eedtree/internal/circuit"
+	"eedtree/internal/lina"
+)
+
+// AC (phasor) analysis: the circuit is solved in the frequency domain with
+// every independent voltage source replaced by a unit-magnitude phasor (the
+// SPICE ".ac" convention with AC magnitude 1), so the solution at a node
+// IS the transfer function from the input to that node. This provides a
+// circuit-level reference for the model-order Bode comparisons: the
+// equivalent second-order model (internal/core) and the AWE models
+// (internal/awe) can be checked against the exact H(jω) of the full
+// netlist.
+
+// ACSolution holds the phasor solution at one angular frequency.
+type ACSolution struct {
+	Omega float64      // rad/s
+	V     []complex128 // node phasors indexed by NodeID; V[0] = 0 (ground)
+	I     []complex128 // branch-current phasors (V sources and inductors, deck order)
+}
+
+// VoltageAt returns the phasor voltage of a node.
+func (s *ACSolution) VoltageAt(n circuit.NodeID) complex128 { return s.V[n] }
+
+// AC solves the circuit at angular frequency omega (rad/s, ≥ 0) with all
+// voltage sources set to unit phasors. Element stamps: resistor 1/R,
+// capacitor jωC, inductor branch v_a − v_b − jωL·i = 0.
+func (s *System) AC(omega float64) (*ACSolution, error) {
+	if omega < 0 || math.IsNaN(omega) || math.IsInf(omega, 0) {
+		return nil, fmt.Errorf("mna: invalid angular frequency %g", omega)
+	}
+	n := s.size
+	m := lina.NewCMatrix(n, n)
+	rhs := make([]complex128, n)
+	for i := 0; i < s.numNodes; i++ {
+		m.Add(i, i, complex(Gmin, 0))
+	}
+	stampAdmittance := func(a, b circuit.NodeID, y complex128) {
+		ia, ib := s.NodeIndex(a), s.NodeIndex(b)
+		if ia >= 0 {
+			m.Add(ia, ia, y)
+		}
+		if ib >= 0 {
+			m.Add(ib, ib, y)
+		}
+		if ia >= 0 && ib >= 0 {
+			m.Add(ia, ib, -y)
+			m.Add(ib, ia, -y)
+		}
+	}
+	stampBranch := func(a, b circuit.NodeID, k int) {
+		if ia := s.NodeIndex(a); ia >= 0 {
+			m.Add(ia, k, 1)
+			m.Add(k, ia, 1)
+		}
+		if ib := s.NodeIndex(b); ib >= 0 {
+			m.Add(ib, k, -1)
+			m.Add(k, ib, -1)
+		}
+	}
+	for i, e := range s.Deck.Elements {
+		switch el := e.(type) {
+		case *circuit.Resistor:
+			stampAdmittance(el.A, el.B, complex(1/el.R, 0))
+		case *circuit.Capacitor:
+			stampAdmittance(el.A, el.B, complex(0, omega*el.C))
+		case *circuit.Inductor:
+			k := s.branch[i]
+			stampBranch(el.A, el.B, k)
+			m.Add(k, k, complex(0, -omega*el.L))
+		case *circuit.VSource:
+			k := s.branch[i]
+			stampBranch(el.Pos, el.Neg, k)
+			rhs[k] = 1 // unit AC phasor
+		case *circuit.Coupling:
+			k1, k2, mm, err := s.CouplingBranches(el)
+			if err != nil {
+				return nil, err
+			}
+			m.Add(k1, k2, complex(0, -omega*mm))
+			m.Add(k2, k1, complex(0, -omega*mm))
+		default:
+			return nil, fmt.Errorf("mna: unsupported element %T", e)
+		}
+	}
+	x, err := lina.SolveComplex(m, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("mna: AC solve at ω=%g: %w", omega, err)
+	}
+	sol := &ACSolution{
+		Omega: omega,
+		V:     make([]complex128, s.numNodes+1),
+		I:     make([]complex128, s.size-s.numNodes),
+	}
+	copy(sol.V[1:], x[:s.numNodes])
+	copy(sol.I, x[s.numNodes:])
+	return sol, nil
+}
+
+// TransferFunction sweeps the exact H(jω) from the (unit-phasor) sources
+// to the named node over the given angular frequencies.
+func (s *System) TransferFunction(node circuit.NodeID, omegas []float64) ([]complex128, error) {
+	if node == circuit.Ground {
+		return nil, fmt.Errorf("mna: transfer function to ground is identically zero")
+	}
+	if int(node) <= 0 || int(node) > s.numNodes {
+		return nil, fmt.Errorf("mna: node id %d out of range", node)
+	}
+	out := make([]complex128, len(omegas))
+	for i, w := range omegas {
+		sol, err := s.AC(w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sol.VoltageAt(node)
+	}
+	return out, nil
+}

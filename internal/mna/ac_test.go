@@ -1,0 +1,161 @@
+package mna
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"eedtree/internal/circuit"
+	"eedtree/internal/core"
+	"eedtree/internal/rlctree"
+	"eedtree/internal/sources"
+)
+
+func rcDeckAC(t *testing.T) (*System, circuit.NodeID, float64) {
+	t.Helper()
+	d := circuit.NewDeck("rc")
+	if _, err := d.AddVSource("V1", "in", "0", sources.DC{Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddResistor("R1", "in", "out", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddCapacitor("C1", "out", "0", 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := d.Lookup("out")
+	return s, out, 1000 * 1e-12 // τ
+}
+
+// TestACFirstOrderExact: the RC lowpass has H(jω) = 1/(1 + jωτ) exactly.
+func TestACFirstOrderExact(t *testing.T) {
+	s, out, tau := rcDeckAC(t)
+	for _, w := range []float64{0, 1e8, 1e9, 1e10} {
+		sol, err := s.AC(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 / complex(1, w*tau)
+		if cmplx.Abs(sol.VoltageAt(out)-want) > 1e-9 {
+			t.Fatalf("ω=%g: H = %v, want %v", w, sol.VoltageAt(out), want)
+		}
+	}
+}
+
+func TestACValidation(t *testing.T) {
+	s, out, _ := rcDeckAC(t)
+	if _, err := s.AC(-1); err == nil {
+		t.Fatal("negative frequency must fail")
+	}
+	if _, err := s.AC(math.Inf(1)); err == nil {
+		t.Fatal("infinite frequency must fail")
+	}
+	if _, err := s.TransferFunction(circuit.Ground, []float64{1}); err == nil {
+		t.Fatal("ground transfer must fail")
+	}
+	if _, err := s.TransferFunction(circuit.NodeID(99), []float64{1}); err == nil {
+		t.Fatal("bad node must fail")
+	}
+	if hs, err := s.TransferFunction(out, []float64{0, 1e9}); err != nil || len(hs) != 2 {
+		t.Fatalf("sweep failed: %v %v", hs, err)
+	}
+}
+
+// TestACSingleRLCSectionMatchesModel: for a single RLC section the
+// second-order model is exact, so the AC solution must match its transfer
+// function at every frequency — including the resonance peak and the
+// −3 dB point.
+func TestACSingleRLCSectionMatchesModel(t *testing.T) {
+	tr := rlctree.New()
+	sec := tr.MustAddSection("s1", nil, 30, 5e-9, 100e-15)
+	deck, err := tr.ToDeck(sources.Step{V0: 0, V1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.AtNode(sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, _ := deck.Lookup("s1")
+	for _, frac := range []float64{0.1, 0.5, 1, 2, 5} {
+		w := frac * model.OmegaN()
+		sol, err := sys.AC(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := model.TransferFunction(complex(0, w))
+		if cmplx.Abs(sol.VoltageAt(node)-want) > 1e-6 {
+			t.Fatalf("ω=%g: AC %v vs model %v", w, sol.VoltageAt(node), want)
+		}
+	}
+	// Circuit-level −3 dB point equals the model's Bandwidth.
+	sol, err := sys.AC(model.Bandwidth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := cmplx.Abs(sol.VoltageAt(node)); math.Abs(g-1/math.Sqrt2) > 1e-6 {
+		t.Fatalf("|H| at Bandwidth = %g, want 0.7071", g)
+	}
+	// Circuit-level peak location and magnitude match ResonantFrequency /
+	// PeakGain.
+	wr := model.ResonantFrequency()
+	if wr <= 0 {
+		t.Fatal("section should resonate")
+	}
+	sol, _ = sys.AC(wr)
+	if g := cmplx.Abs(sol.VoltageAt(node)); math.Abs(g-model.PeakGain()) > 1e-6*model.PeakGain() {
+		t.Fatalf("peak |H| = %g, want %g", g, model.PeakGain())
+	}
+}
+
+// TestACDCLimitIsUnity: at ω = 0 every tree node sits at the source phasor
+// (DC gain 1 through any RLC tree).
+func TestACDCLimitIsUnity(t *testing.T) {
+	tr, err := rlctree.BalancedUniform(3, 2, rlctree.SectionValues{R: 25, L: 2e-9, C: 40e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deck, err := tr.ToDeck(sources.Step{V0: 0, V1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := sys.AC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tr.Sections() {
+		id, _ := deck.Lookup(s.Name())
+		if cmplx.Abs(sol.VoltageAt(id)-1) > 1e-6 {
+			t.Fatalf("node %s DC gain %v", s.Name(), sol.VoltageAt(id))
+		}
+	}
+}
+
+// TestACHighFrequencyRollsOff: far above the natural frequency the tree
+// attenuates strongly.
+func TestACHighFrequencyRollsOff(t *testing.T) {
+	tr, _ := rlctree.BalancedUniform(3, 2, rlctree.SectionValues{R: 25, L: 2e-9, C: 40e-15})
+	deck, _ := tr.ToDeck(sources.Step{V0: 0, V1: 1})
+	sys, _ := New(deck)
+	sink, _ := deck.Lookup("n3_0")
+	m, _ := core.AtNode(tr.Section("n3_0"))
+	sol, err := sys.AC(50 * m.OmegaN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := cmplx.Abs(sol.VoltageAt(sink)); g > 0.02 {
+		t.Fatalf("|H| at 50·ω_n = %g, want ≪ 1", g)
+	}
+}

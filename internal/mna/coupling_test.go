@@ -1,0 +1,146 @@
+package mna
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"eedtree/internal/circuit"
+	"eedtree/internal/sources"
+)
+
+// transformerDeck: primary loop (V source, R1, L1 to ground) magnetically
+// coupled to a secondary loop (L2, R2 to ground).
+func transformerDeck(t *testing.T) *circuit.Deck {
+	t.Helper()
+	d := circuit.NewDeck("transformer")
+	mustOK := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := d.AddVSource("V1", "in", "0", sources.DC{Value: 1})
+	mustOK(err)
+	_, err = d.AddResistor("R1", "in", "p", 50)
+	mustOK(err)
+	_, err = d.AddInductor("L1", "p", "0", 10e-9)
+	mustOK(err)
+	_, err = d.AddInductor("L2", "s", "0", 10e-9)
+	mustOK(err)
+	_, err = d.AddResistor("R2", "s", "0", 100)
+	mustOK(err)
+	_, err = d.AddCoupling("K1", "L1", "L2", 0.8)
+	mustOK(err)
+	return d
+}
+
+// TestACTransformerAnalytic: solve the two coupled loops by hand and
+// compare with the AC MNA solution.
+//
+// Primary: 1 = I1·(R1 + jωL1) + jωM·I2
+// Secondary KVL around L2 and R2 (I2 defined flowing out of the dot into
+// R2): 0 = I2·(R2 + jωL2) + jωM·I1.
+func TestACTransformerAnalytic(t *testing.T) {
+	d := transformerDeck(t)
+	sys, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		r1, l1 = 50.0, 10e-9
+		r2, l2 = 100.0, 10e-9
+		m      = 0.8 * 10e-9
+	)
+	for _, w := range []float64{1e8, 1e9, 2e10} {
+		sol, err := sys.AC(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jw := complex(0, w)
+		// Hand solve: with i1 (i2) the currents through L1 (L2) into
+		// ground, KVL gives
+		//   1 = (R1 + jωL1)·i1 + jωM·i2
+		//   0 = jωM·i1 + (R2 + jωL2)·i2
+		// and the secondary node voltage is v_s = −R2·i2.
+		a11 := complex(r1, 0) + jw*complex(l1, 0)
+		a12 := jw * complex(m, 0)
+		a22 := complex(r2, 0) + jw*complex(l2, 0)
+		det := a11*a22 - a12*a12
+		i2 := -a12 / det // Cramer on [1; 0]
+		wantVs := -complex(r2, 0) * i2
+		node, _ := d.Lookup("s")
+		got := sol.VoltageAt(node)
+		if cmplx.Abs(got-wantVs) > 1e-9*(1+cmplx.Abs(wantVs)) {
+			t.Fatalf("ω=%g: V(s) = %v, want %v", w, got, wantVs)
+		}
+	}
+}
+
+// TestACCouplingZeroFrequency: at DC the mutual has no effect and the
+// secondary floats at 0.
+func TestACCouplingZeroFrequency(t *testing.T) {
+	d := transformerDeck(t)
+	sys, _ := New(d)
+	sol, err := sys.AC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, _ := d.Lookup("s")
+	if v := cmplx.Abs(sol.VoltageAt(node)); v > 1e-9 {
+		t.Fatalf("secondary at DC = %g, want 0", v)
+	}
+}
+
+// TestOperatingPointWithCoupling: the DC solve must accept K elements.
+func TestOperatingPointWithCoupling(t *testing.T) {
+	d := transformerDeck(t)
+	sys, _ := New(d)
+	op, err := sys.OperatingPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := d.Lookup("p")
+	if v := op.VoltageAt(p); math.Abs(v) > 1e-6 {
+		t.Fatalf("primary node at DC = %g, want 0 (L1 shorts it)", v)
+	}
+}
+
+// TestDescriptorWithCoupling: the C matrix must carry symmetric −M cross
+// terms on the inductor branch rows.
+func TestDescriptorWithCoupling(t *testing.T) {
+	d := transformerDeck(t)
+	sys, _ := New(d)
+	_, c, _, err := sys.Descriptor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var k1, k2 int
+	for i, e := range d.Elements {
+		switch e.Name() {
+		case "L1":
+			k1 = sys.BranchIndex(i)
+		case "L2":
+			k2 = sys.BranchIndex(i)
+		}
+	}
+	m := 0.8 * 10e-9
+	if math.Abs(c.At(k1, k2)+m) > 1e-18 || math.Abs(c.At(k2, k1)+m) > 1e-18 {
+		t.Fatalf("descriptor cross terms %g %g, want −%g", c.At(k1, k2), c.At(k2, k1), m)
+	}
+}
+
+func TestCouplingBranchesError(t *testing.T) {
+	d := circuit.NewDeck("x")
+	_, _ = d.AddInductor("L1", "a", "0", 1e-9)
+	_, _ = d.AddInductor("L2", "b", "0", 1e-9)
+	k, _ := d.AddCoupling("K1", "L1", "L2", 0.5)
+	_, _ = d.AddVSource("V1", "a", "0", sources.DC{Value: 1})
+	sys, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := sys.CouplingBranches(k); err != nil {
+		t.Fatal(err)
+	}
+}

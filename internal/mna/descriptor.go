@@ -1,0 +1,69 @@
+package mna
+
+import (
+	"fmt"
+
+	"eedtree/internal/circuit"
+	"eedtree/internal/lina"
+)
+
+// Descriptor returns the linear descriptor-system matrices of the circuit,
+//
+//	C·ẋ + G·x = B·u(t),
+//
+// in the MNA unknown layout of the System (node voltages then branch
+// currents), with every independent voltage source driven by the shared
+// scalar input u (unit coefficient). Output selectors come from
+// NodeSelector. This is the state-space form consumed by Krylov
+// model-order reduction (internal/mor), mirroring the PRIMA formulation
+// the paper cites among the reduced-order methods [42], [43].
+//
+// Stamps: resistors contribute 1/R to G; capacitors ωC-style stamps to C;
+// inductor branch rows carry v_a − v_b in G and −L·di/dt in C; voltage
+// source rows carry v_pos − v_neg = u.
+func (s *System) Descriptor() (g, c *lina.Matrix, b []float64, err error) {
+	n := s.size
+	g = lina.NewMatrix(n, n)
+	c = lina.NewMatrix(n, n)
+	b = make([]float64, n)
+	for i := 0; i < s.numNodes; i++ {
+		g.Add(i, i, Gmin)
+	}
+	for i, e := range s.Deck.Elements {
+		switch el := e.(type) {
+		case *circuit.Resistor:
+			s.StampConductance(g, el.A, el.B, 1/el.R)
+		case *circuit.Capacitor:
+			s.StampConductance(c, el.A, el.B, el.C)
+		case *circuit.Inductor:
+			k := s.branch[i]
+			s.StampBranch(g, el.A, el.B, k)
+			c.Add(k, k, -el.L)
+		case *circuit.VSource:
+			k := s.branch[i]
+			s.StampBranch(g, el.Pos, el.Neg, k)
+			b[k] = 1
+		case *circuit.Coupling:
+			k1, k2, m, cerr := s.CouplingBranches(el)
+			if cerr != nil {
+				return nil, nil, nil, cerr
+			}
+			c.Add(k1, k2, -m)
+			c.Add(k2, k1, -m)
+		default:
+			return nil, nil, nil, fmt.Errorf("mna: unsupported element %T", e)
+		}
+	}
+	return g, c, b, nil
+}
+
+// NodeSelector returns the output row vector l with lᵀ·x = v(node).
+func (s *System) NodeSelector(node circuit.NodeID) ([]float64, error) {
+	idx := s.NodeIndex(node)
+	if idx < 0 {
+		return nil, fmt.Errorf("mna: no selector for ground")
+	}
+	l := make([]float64, s.size)
+	l[idx] = 1
+	return l, nil
+}

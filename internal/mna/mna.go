@@ -1,0 +1,192 @@
+// Package mna builds the modified nodal analysis (MNA) formulation of a
+// circuit deck: the unknown vector layout (node voltages plus branch
+// currents for voltage sources and inductors), DC operating-point
+// analysis, and the index bookkeeping shared with the transient simulator.
+package mna
+
+import (
+	"fmt"
+
+	"eedtree/internal/circuit"
+	"eedtree/internal/lina"
+)
+
+// Gmin is a tiny conductance added from every node to ground, as in SPICE,
+// so that nodes isolated at DC (e.g. connected only through capacitors) do
+// not make the operating-point matrix singular. It is ≥ 12 orders of
+// magnitude below typical interconnect conductances and does not perturb
+// results at double precision.
+const Gmin = 1e-12
+
+// System is the MNA view of a deck. The unknown vector is
+// x = [v_1 … v_N, i_1 … i_M] where v_k is the voltage of node k (ground
+// excluded) and the i's are the branch currents of voltage sources and
+// inductors in deck order.
+type System struct {
+	Deck *circuit.Deck
+
+	numNodes int   // non-ground nodes
+	branch   []int // per deck element: branch-current index, or -1
+	size     int
+}
+
+// New analyzes the deck and assigns the MNA unknown layout.
+func New(d *circuit.Deck) (*System, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		Deck:     d,
+		numNodes: d.NumNodes() - 1,
+		branch:   make([]int, len(d.Elements)),
+	}
+	next := s.numNodes
+	for i, e := range d.Elements {
+		switch e.(type) {
+		case *circuit.VSource, *circuit.Inductor:
+			s.branch[i] = next
+			next++
+		default:
+			s.branch[i] = -1
+		}
+	}
+	s.size = next
+	return s, nil
+}
+
+// Size returns the number of MNA unknowns.
+func (s *System) Size() int { return s.size }
+
+// NumNodes returns the number of non-ground nodes.
+func (s *System) NumNodes() int { return s.numNodes }
+
+// NodeIndex maps a node to its position in the unknown vector, or -1 for
+// ground.
+func (s *System) NodeIndex(n circuit.NodeID) int {
+	if n == circuit.Ground {
+		return -1
+	}
+	return int(n) - 1
+}
+
+// BranchIndex returns the unknown index of the branch current of element
+// position i in the deck, or -1 if the element has no current unknown.
+func (s *System) BranchIndex(i int) int { return s.branch[i] }
+
+// CouplingBranches resolves a mutual coupling to the branch-current
+// indices of its two inductors and the mutual inductance M.
+func (s *System) CouplingBranches(k *circuit.Coupling) (k1, k2 int, m float64, err error) {
+	la, lb := k.InductorNames()
+	k1, k2 = -1, -1
+	for i, e := range s.Deck.Elements {
+		switch e.Name() {
+		case la:
+			k1 = s.branch[i]
+		case lb:
+			k2 = s.branch[i]
+		}
+	}
+	if k1 < 0 || k2 < 0 {
+		return 0, 0, 0, fmt.Errorf("mna: coupling %q references missing inductor branches", k.Name())
+	}
+	return k1, k2, s.Deck.Mutual(k), nil
+}
+
+// StampConductance adds a conductance g between nodes a and b into matrix
+// m (the standard 4-point stamp, skipping ground rows/columns).
+func (s *System) StampConductance(m *lina.Matrix, a, b circuit.NodeID, g float64) {
+	ia, ib := s.NodeIndex(a), s.NodeIndex(b)
+	if ia >= 0 {
+		m.Add(ia, ia, g)
+	}
+	if ib >= 0 {
+		m.Add(ib, ib, g)
+	}
+	if ia >= 0 && ib >= 0 {
+		m.Add(ia, ib, -g)
+		m.Add(ib, ia, -g)
+	}
+}
+
+// StampCurrent adds a current injection j flowing into node a and out of
+// node b on the right-hand side.
+func (s *System) StampCurrent(rhs []float64, a, b circuit.NodeID, j float64) {
+	if ia := s.NodeIndex(a); ia >= 0 {
+		rhs[ia] += j
+	}
+	if ib := s.NodeIndex(b); ib >= 0 {
+		rhs[ib] -= j
+	}
+}
+
+// StampBranch wires the branch current unknown k into the KCL rows of its
+// terminal nodes (current flows a→b through the element) and the voltage
+// unknowns into the branch row: row k gets +v_a −v_b.
+func (s *System) StampBranch(m *lina.Matrix, a, b circuit.NodeID, k int) {
+	if ia := s.NodeIndex(a); ia >= 0 {
+		m.Add(ia, k, 1)
+		m.Add(k, ia, 1)
+	}
+	if ib := s.NodeIndex(b); ib >= 0 {
+		m.Add(ib, k, -1)
+		m.Add(k, ib, -1)
+	}
+}
+
+// Solution holds an operating point: node voltages (indexed by NodeID,
+// entry 0 is ground = 0) and branch currents (indexed like the unknown
+// layout, offset removed).
+type Solution struct {
+	V []float64 // len NumNodes()+1, V[0] = 0
+	I []float64 // len Size()-NumNodes()
+}
+
+// VoltageAt returns the node voltage for a NodeID.
+func (sol *Solution) VoltageAt(n circuit.NodeID) float64 { return sol.V[n] }
+
+// OperatingPoint computes the DC solution at time t: capacitors open,
+// inductors shorted (their branch equation degenerates to v_a − v_b = 0),
+// sources at their value at time t. This is the consistent initial
+// condition the transient simulator starts from.
+func (s *System) OperatingPoint(t float64) (*Solution, error) {
+	m := lina.NewMatrix(s.size, s.size)
+	rhs := make([]float64, s.size)
+	for i := 0; i < s.numNodes; i++ {
+		m.Add(i, i, Gmin)
+	}
+	for i, e := range s.Deck.Elements {
+		switch el := e.(type) {
+		case *circuit.Resistor:
+			s.StampConductance(m, el.A, el.B, 1/el.R)
+		case *circuit.Capacitor:
+			// Open at DC.
+		case *circuit.Inductor:
+			k := s.branch[i]
+			s.StampBranch(m, el.A, el.B, k)
+			// Branch row: v_a − v_b = 0 (short). rhs[k] stays 0.
+		case *circuit.VSource:
+			k := s.branch[i]
+			s.StampBranch(m, el.Pos, el.Neg, k)
+			rhs[k] = el.Src.V(t)
+		case *circuit.Coupling:
+			// Mutual inductance carries no DC voltage (inductors short).
+		default:
+			return nil, fmt.Errorf("mna: unsupported element %T", e)
+		}
+	}
+	x, err := lina.SolveDense(m, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("mna: operating point: %w", err)
+	}
+	return s.solutionFromVector(x), nil
+}
+
+func (s *System) solutionFromVector(x []float64) *Solution {
+	sol := &Solution{
+		V: make([]float64, s.numNodes+1),
+		I: make([]float64, s.size-s.numNodes),
+	}
+	copy(sol.V[1:], x[:s.numNodes])
+	copy(sol.I, x[s.numNodes:])
+	return sol
+}

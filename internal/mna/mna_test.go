@@ -1,0 +1,211 @@
+package mna
+
+import (
+	"math"
+	"testing"
+
+	"eedtree/internal/circuit"
+	"eedtree/internal/sources"
+)
+
+func TestNewLayout(t *testing.T) {
+	d := circuit.NewDeck("t")
+	mustAdd(t, d, func() error { _, err := d.AddVSource("V1", "in", "0", sources.DC{Value: 1}); return err })
+	mustAdd(t, d, func() error { _, err := d.AddResistor("R1", "in", "a", 10); return err })
+	mustAdd(t, d, func() error { _, err := d.AddInductor("L1", "a", "b", 1e-9); return err })
+	mustAdd(t, d, func() error { _, err := d.AddCapacitor("C1", "b", "0", 1e-12); return err })
+	s, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 non-ground nodes + 2 branch currents (V1, L1).
+	if s.NumNodes() != 3 || s.Size() != 5 {
+		t.Fatalf("NumNodes=%d Size=%d, want 3 and 5", s.NumNodes(), s.Size())
+	}
+	if s.NodeIndex(circuit.Ground) != -1 {
+		t.Fatal("ground must map to -1")
+	}
+	if s.BranchIndex(0) != 3 || s.BranchIndex(2) != 4 {
+		t.Fatalf("branch indices %d %d, want 3 4", s.BranchIndex(0), s.BranchIndex(2))
+	}
+	if s.BranchIndex(1) != -1 || s.BranchIndex(3) != -1 {
+		t.Fatal("R and C must not get branch currents")
+	}
+}
+
+func mustAdd(t *testing.T, _ *circuit.Deck, f func() error) {
+	t.Helper()
+	if err := f(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRejectsInvalidDeck(t *testing.T) {
+	if _, err := New(circuit.NewDeck("empty")); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+// TestOperatingPointDivider: classic two-resistor divider.
+func TestOperatingPointDivider(t *testing.T) {
+	d := circuit.NewDeck("divider")
+	_, _ = d.AddVSource("V1", "in", "0", sources.DC{Value: 10})
+	_, _ = d.AddResistor("R1", "in", "mid", 6)
+	_, _ = d.AddResistor("R2", "mid", "0", 4)
+	s, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := s.OperatingPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, _ := d.Lookup("mid")
+	if got := op.VoltageAt(mid); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("V(mid) = %g, want 4", got)
+	}
+	// Source current: 10 V across 10 Ω = 1 A flowing in→0 inside the
+	// circuit, i.e. −1 A through the source branch (pos→neg internal).
+	if got := op.I[0]; math.Abs(got+1) > 1e-9 {
+		t.Fatalf("I(V1) = %g, want -1", got)
+	}
+}
+
+// TestOperatingPointInductorShort: at DC an inductor is a short; the
+// capacitor is open.
+func TestOperatingPointRLC(t *testing.T) {
+	d := circuit.NewDeck("rlc")
+	_, _ = d.AddVSource("V1", "in", "0", sources.DC{Value: 2})
+	_, _ = d.AddResistor("R1", "in", "a", 100)
+	_, _ = d.AddInductor("L1", "a", "b", 1e-9)
+	_, _ = d.AddCapacitor("C1", "b", "0", 1e-12)
+	s, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := s.OperatingPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No DC path to ground except the capacitor ⇒ no current flows, the
+	// full source voltage appears across the (open) capacitor.
+	a, _ := d.Lookup("a")
+	b, _ := d.Lookup("b")
+	if got := op.VoltageAt(a); math.Abs(got-2) > 1e-6 {
+		t.Fatalf("V(a) = %g, want 2", got)
+	}
+	if got := op.VoltageAt(b); math.Abs(got-2) > 1e-6 {
+		t.Fatalf("V(b) = %g, want 2 (inductor shorts a to b)", got)
+	}
+}
+
+// TestOperatingPointTimeDependentSource: the operating point honors the
+// source value at the requested time.
+func TestOperatingPointTimeDependentSource(t *testing.T) {
+	d := circuit.NewDeck("step")
+	_, _ = d.AddVSource("V1", "in", "0", sources.Step{V0: 0.5, V1: 3, Delay: 1e-9})
+	_, _ = d.AddResistor("R1", "in", "0", 10)
+	s, _ := New(d)
+	op0, err := s.OperatingPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := d.Lookup("in")
+	if got := op0.VoltageAt(in); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("V(in, t=0) = %g, want 0.5", got)
+	}
+	op1, err := s.OperatingPoint(2e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := op1.VoltageAt(in); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("V(in, t=2ns) = %g, want 3", got)
+	}
+}
+
+// TestOperatingPointFloatingNodeGmin: a node connected only through a
+// capacitor would be singular without Gmin; with it the solve succeeds and
+// the node floats to 0.
+func TestOperatingPointFloatingNodeGmin(t *testing.T) {
+	d := circuit.NewDeck("floating")
+	_, _ = d.AddVSource("V1", "in", "0", sources.DC{Value: 1})
+	_, _ = d.AddCapacitor("C1", "in", "x", 1e-12)
+	_, _ = d.AddCapacitor("C2", "x", "0", 1e-12)
+	s, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := s.OperatingPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := d.Lookup("x")
+	if got := op.VoltageAt(x); math.Abs(got) > 1e-6 {
+		t.Fatalf("floating node voltage = %g, want ≈ 0", got)
+	}
+}
+
+// TestOperatingPointZeroVoltShort: a DC-0 source acts as an ideal short
+// (used for zero-impedance tree junctions).
+func TestOperatingPointZeroVoltShort(t *testing.T) {
+	d := circuit.NewDeck("short")
+	_, _ = d.AddVSource("V1", "in", "0", sources.DC{Value: 5})
+	_, _ = d.AddResistor("R1", "in", "a", 10)
+	_, _ = d.AddVSource("Vs", "a", "b", sources.DC{Value: 0})
+	_, _ = d.AddResistor("R2", "b", "0", 10)
+	s, _ := New(d)
+	op, err := s.OperatingPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := d.Lookup("a")
+	b, _ := d.Lookup("b")
+	if math.Abs(op.VoltageAt(a)-op.VoltageAt(b)) > 1e-9 {
+		t.Fatal("0 V source must short its nodes")
+	}
+	if got := op.VoltageAt(a); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("divider with short = %g, want 2.5", got)
+	}
+}
+
+func TestStampCurrent(t *testing.T) {
+	d := circuit.NewDeck("t")
+	_, _ = d.AddResistor("R1", "a", "b", 10)
+	_, _ = d.AddCapacitor("C1", "b", "0", 1e-12)
+	s, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := make([]float64, s.Size())
+	a, _ := d.Lookup("a")
+	b, _ := d.Lookup("b")
+	s.StampCurrent(rhs, a, b, 2.5)
+	if rhs[s.NodeIndex(a)] != 2.5 || rhs[s.NodeIndex(b)] != -2.5 {
+		t.Fatalf("rhs = %v", rhs)
+	}
+	// Ground terminal contributes nothing.
+	s.StampCurrent(rhs, circuit.Ground, b, 1.0)
+	if rhs[s.NodeIndex(b)] != -3.5 {
+		t.Fatalf("rhs after ground stamp = %v", rhs)
+	}
+}
+
+func TestNodeSelector(t *testing.T) {
+	d := circuit.NewDeck("t")
+	_, _ = d.AddResistor("R1", "a", "0", 10)
+	s, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := d.Lookup("a")
+	l, err := s.NodeSelector(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) != s.Size() || l[s.NodeIndex(a)] != 1 {
+		t.Fatalf("selector = %v", l)
+	}
+	if _, err := s.NodeSelector(circuit.Ground); err == nil {
+		t.Fatal("ground selector must fail")
+	}
+}

@@ -1,0 +1,88 @@
+// Package moments computes the exact voltage moments of RLC trees — the
+// coefficients m_k of the normalized transfer-function expansion
+// G_i(s) = Σ_k m_k^{(i)} s^k at every node i (paper eqs. 20–27).
+//
+// The first two moments drive the paper's second-order model; higher
+// moments feed the AWE baseline (internal/awe). The computation follows the
+// classic RICE/Ratzlaff recursion for RLC trees [35], [48]: for each order,
+// a bottom-up pass accumulates the per-branch "moment currents" and a
+// top-down pass accumulates the voltage drops along each path, so each
+// additional order costs O(n).
+package moments
+
+import (
+	"fmt"
+
+	"eedtree/internal/rlctree"
+)
+
+// Compute returns the voltage moments at every section node of the tree:
+// result[k][i] is the k-th moment of the normalized transfer function at
+// section index i, for k = 0..order. The zeroth moment is identically 1
+// (unit DC gain from input to every node of a tree with no resistive path
+// to ground).
+//
+// The recursion: writing I_w^{(k)} = Σ_{j downstream of w} C_j·m_{k-1}^{(j)}
+// for the k-th-order moment of the current through branch w,
+//
+//	m_k^{(i)} = −Σ_{w ∈ path(i)} ( R_w·I_w^{(k)} + L_w·I_w^{(k-1)} )
+//
+// with m_{-1} ≡ 0. For k = 1 this reduces to the (negated) Elmore sums of
+// rlctree.ElmoreSums; for k = 2 it yields the exact second moment, of which
+// paper eq. (28) keeps the dominant part.
+func Compute(t *rlctree.Tree, order int) ([][]float64, error) {
+	if order < 0 {
+		return nil, fmt.Errorf("moments: order must be ≥ 0, got %d", order)
+	}
+	n := t.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("moments: empty tree")
+	}
+	sections := t.Sections()
+	m := make([][]float64, order+1)
+	m[0] = make([]float64, n)
+	for i := range m[0] {
+		m[0][i] = 1
+	}
+	prevI := make([]float64, n) // I^{(k-1)}; zero for k = 1 (m_{-1} ≡ 0)
+	curI := make([]float64, n)
+	for k := 1; k <= order; k++ {
+		// Bottom-up: curI[w] = Σ_{j ∈ down(w)} C_j·m_{k-1}[j].
+		for i := range curI {
+			curI[i] = 0
+		}
+		for i := n - 1; i >= 0; i-- {
+			s := sections[i]
+			curI[i] += s.C() * m[k-1][i]
+			if p := s.Parent(); p != nil {
+				curI[p.Index()] += curI[i]
+			}
+		}
+		// Top-down: accumulate the series voltage drops along each path.
+		mk := make([]float64, n)
+		for i, s := range sections {
+			var base float64
+			if p := s.Parent(); p != nil {
+				base = mk[p.Index()]
+			}
+			mk[i] = base - s.R()*curI[i] - s.L()*prevI[i]
+		}
+		m[k] = mk
+		prevI, curI = curI, prevI
+	}
+	return m, nil
+}
+
+// At returns the moments m_0..m_order at a single section's node. The cost
+// is the same as Compute for the whole tree (O(n) per order).
+func At(s *rlctree.Section, order int) ([]float64, error) {
+	all, err := Compute(s.Tree(), order)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, order+1)
+	for k := 0; k <= order; k++ {
+		out[k] = all[k][s.Index()]
+	}
+	return out, nil
+}

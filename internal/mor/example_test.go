@@ -1,0 +1,42 @@
+package mor_test
+
+import (
+	"fmt"
+
+	"eedtree/internal/mor"
+	"eedtree/internal/rlctree"
+	"eedtree/internal/sources"
+)
+
+// Example reduces a 12-section RLC line (25 MNA unknowns) to a 6-state
+// PRIMA macromodel and evaluates its step response at the sink.
+func Example() {
+	tree, err := rlctree.Line("w", 12, rlctree.SectionValues{R: 25, L: 1e-9, C: 40e-15})
+	if err != nil {
+		panic(err)
+	}
+	deck, err := tree.ToDeck(sources.Step{V0: 0, V1: 1})
+	if err != nil {
+		panic(err)
+	}
+	node, _ := deck.Lookup("w12")
+	m, lhat, err := mor.ReduceNode(deck, node, 6)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("reduced order = %d\n", m.Order())
+	h, err := m.TransferFunction(lhat, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("DC gain       = %.4f\n", real(h))
+	y, err := m.StepResponse(lhat, 5e-12, 2000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("v(10ns)       = %.4f\n", y[2000])
+	// Output:
+	// reduced order = 6
+	// DC gain       = 1.0000
+	// v(10ns)       = 1.0000
+}

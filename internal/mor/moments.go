@@ -1,0 +1,60 @@
+package mor
+
+import (
+	"fmt"
+
+	"eedtree/internal/circuit"
+	"eedtree/internal/lina"
+	"eedtree/internal/mna"
+)
+
+// Moments computes the transfer-function moments m_0..m_order at a node
+// of an arbitrary linear circuit via the MNA descriptor system: with
+// C·ẋ + G·x = B·u, the transfer function to output l is
+// H(s) = lᵀ(G + sC)⁻¹B = Σ_k (−1)^k lᵀ(G⁻¹C)^k G⁻¹B · s^k, so the k-th
+// moment is lᵀ·v_k with v_0 = G⁻¹B and v_{k+1} = −G⁻¹(C·v_k) — the same
+// Krylov vectors the PRIMA reduction projects onto.
+//
+// For RLC trees this agrees with the O(n)-per-order tree recursion of
+// internal/moments (the cross-check between the two independent
+// formulations is part of the test suite) while also covering non-tree
+// circuits — coupled lines, meshes — where the recursion does not apply.
+func Moments(d *circuit.Deck, node circuit.NodeID, order int) ([]float64, error) {
+	if order < 0 {
+		return nil, fmt.Errorf("mor: order must be ≥ 0, got %d", order)
+	}
+	sys, err := mna.New(d)
+	if err != nil {
+		return nil, err
+	}
+	g, c, b, err := sys.Descriptor()
+	if err != nil {
+		return nil, err
+	}
+	l, err := sys.NodeSelector(node)
+	if err != nil {
+		return nil, err
+	}
+	lu, err := lina.Factor(g)
+	if err != nil {
+		return nil, fmt.Errorf("mor: G matrix singular: %w", err)
+	}
+	v := lu.Solve(b)
+	out := make([]float64, order+1)
+	for k := 0; ; k++ {
+		var m float64
+		for i := range l {
+			m += l[i] * v[i]
+		}
+		out[k] = m
+		if k == order {
+			break
+		}
+		cv := c.MulVec(v)
+		v = lu.Solve(cv)
+		for i := range v {
+			v[i] = -v[i]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package mor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eedtree/internal/circuit"
+	"eedtree/internal/moments"
+	"eedtree/internal/rlctree"
+	"eedtree/internal/sources"
+)
+
+// TestMomentsMatchTreeRecursion: the MNA-descriptor moment computation and
+// the tree recursion of internal/moments are independent formulations of
+// the same quantities; they must agree on random trees at every node.
+func TestMomentsMatchTreeRecursion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := rlctree.Random(rng, rlctree.RandomSpec{Sections: 2 + rng.Intn(12)})
+		const order = 4
+		treeMoments, err := moments.Compute(tree, order)
+		if err != nil {
+			return false
+		}
+		deck, err := tree.ToDeck(sources.Step{V0: 0, V1: 1})
+		if err != nil {
+			return false
+		}
+		for _, s := range tree.Sections() {
+			node, ok := deck.Lookup(s.Name())
+			if !ok {
+				return false
+			}
+			deckMoments, err := Moments(deck, node, order)
+			if err != nil {
+				return false
+			}
+			for k := 0; k <= order; k++ {
+				a, b := treeMoments[k][s.Index()], deckMoments[k]
+				scale := math.Max(math.Abs(a), math.Abs(b))
+				// The MNA descriptor carries the SPICE-style Gmin leakage
+				// at every node (absent from the ideal tree recursion),
+				// which perturbs moments of high-impedance trees by up to
+				// ~Gmin·R per order.
+				if scale > 0 && math.Abs(a-b) > 1e-4*scale {
+					t.Logf("seed %d node %s m%d: tree %g vs deck %g", seed, s.Name(), k, a, b)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMomentsCoupledCircuit: the descriptor path also covers circuits the
+// tree recursion cannot express — here a mutually coupled pair. Moment 0
+// of the driven line's output is 1; the quiet victim's DC gain is 0 and
+// its first coupling contribution appears at m2.
+func TestMomentsCoupledCircuit(t *testing.T) {
+	d := circuit.NewDeck("pair")
+	mustOK := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := d.AddVSource("V1", "in", "0", sources.Step{V0: 0, V1: 1})
+	mustOK(err)
+	_, err = d.AddResistor("Ra", "in", "am", 30)
+	mustOK(err)
+	_, err = d.AddInductor("La", "am", "ao", 2e-9)
+	mustOK(err)
+	_, err = d.AddCapacitor("Ca", "ao", "0", 50e-15)
+	mustOK(err)
+	_, err = d.AddResistor("Rv", "0", "vm", 30)
+	mustOK(err)
+	_, err = d.AddInductor("Lv", "vm", "vo", 2e-9)
+	mustOK(err)
+	_, err = d.AddCapacitor("Cv", "vo", "0", 50e-15)
+	mustOK(err)
+	_, err = d.AddCoupling("K1", "La", "Lv", 0.4)
+	mustOK(err)
+
+	agg, _ := d.Lookup("ao")
+	vic, _ := d.Lookup("vo")
+	ma, err := Moments(d, agg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ma[0]-1) > 1e-9 {
+		t.Fatalf("aggressor m0 = %g, want 1", ma[0])
+	}
+	if ma[1] >= 0 {
+		t.Fatalf("aggressor m1 = %g, want negative", ma[1])
+	}
+	mv, err := Moments(d, vic, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mv[0]) > 1e-9 {
+		t.Fatalf("victim m0 = %g, want 0", mv[0])
+	}
+	if mv[2] == 0 {
+		t.Fatal("victim m2 should be non-zero through the mutual inductance")
+	}
+}
+
+func TestMomentsValidation(t *testing.T) {
+	d := circuit.NewDeck("x")
+	if _, err := d.AddVSource("V1", "a", "0", sources.DC{Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddResistor("R1", "a", "0", 10); err != nil {
+		t.Fatal(err)
+	}
+	node, _ := d.Lookup("a")
+	if _, err := Moments(d, node, -1); err == nil {
+		t.Fatal("negative order must fail")
+	}
+	if _, err := Moments(d, circuit.Ground, 2); err == nil {
+		t.Fatal("ground node must fail")
+	}
+	ms, err := Moments(d, node, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node a is the source node: all moments beyond m0 vanish.
+	if math.Abs(ms[0]-1) > 1e-9 || math.Abs(ms[1]) > 1e-20 {
+		t.Fatalf("source-node moments = %v", ms)
+	}
+}

@@ -1,0 +1,198 @@
+// Package mor implements Krylov-subspace model-order reduction in the
+// style of PRIMA [42], [43] — the family of reduced-order interconnect
+// macromodels the paper's background section surveys alongside AWE. The
+// circuit's MNA descriptor system C·ẋ + G·x = B·u is projected onto the
+// order-q Krylov subspace span{A⁰r, …, A^{q−1}r} with A = G⁻¹C and
+// r = G⁻¹B, which matches the first q transfer-function moments while —
+// unlike AWE's explicit Padé — remaining numerically robust at higher
+// orders (the projection never forms the ill-conditioned moment matrix).
+package mor
+
+import (
+	"fmt"
+	"math"
+
+	"eedtree/internal/circuit"
+	"eedtree/internal/lina"
+	"eedtree/internal/mna"
+)
+
+// Model is a reduced-order macromodel ĈÂ…: Ĉ·ż + Ĝ·z = B̂·u with full-order
+// state recovered as x ≈ V·z.
+type Model struct {
+	Ghat, Chat *lina.Matrix // q×q projected matrices
+	Bhat       []float64    // q projected input
+	V          *lina.Matrix // n×q orthonormal projection basis
+}
+
+// Order returns the reduced order q.
+func (m *Model) Order() int { return m.Ghat.Rows }
+
+// Reduce builds an order-q PRIMA-style macromodel of the descriptor
+// system (g, c, b). q must be ≥ 1; the effective order may come out lower
+// when the Krylov sequence deflates (the true system order is smaller),
+// which is reported via the returned model's Order.
+func Reduce(g, c *lina.Matrix, b []float64, q int) (*Model, error) {
+	if q < 1 {
+		return nil, fmt.Errorf("mor: order must be ≥ 1, got %d", q)
+	}
+	n := g.Rows
+	if g.Cols != n || c.Rows != n || c.Cols != n || len(b) != n {
+		return nil, fmt.Errorf("mor: inconsistent system dimensions")
+	}
+	lu, err := lina.Factor(g)
+	if err != nil {
+		return nil, fmt.Errorf("mor: G is singular: %w", err)
+	}
+	// Arnoldi with modified Gram–Schmidt on A = G⁻¹C, r = G⁻¹B.
+	basis := make([][]float64, 0, q)
+	v := lu.Solve(b)
+	for k := 0; k < q; k++ {
+		// Orthogonalize v against the basis (twice, for robustness).
+		for pass := 0; pass < 2; pass++ {
+			for _, u := range basis {
+				h := dot(u, v)
+				axpy(v, u, -h)
+			}
+		}
+		nv := norm(v)
+		if nv < 1e-13 {
+			break // Krylov deflation: true order reached
+		}
+		scale(v, 1/nv)
+		basis = append(basis, append([]float64(nil), v...))
+		// Next direction: A·v = G⁻¹(C·v).
+		v = lu.Solve(c.MulVec(v))
+	}
+	if len(basis) == 0 {
+		return nil, fmt.Errorf("mor: empty Krylov basis (zero input vector)")
+	}
+	qEff := len(basis)
+	vm := lina.NewMatrix(n, qEff)
+	for j, u := range basis {
+		for i := 0; i < n; i++ {
+			vm.Set(i, j, u[i])
+		}
+	}
+	vt := vm.Transpose()
+	return &Model{
+		Ghat: vt.Mul(g.Mul(vm)),
+		Chat: vt.Mul(c.Mul(vm)),
+		Bhat: vt.MulVec(b),
+		V:    vm,
+	}, nil
+}
+
+// ReduceNode builds an order-q macromodel of a deck and returns it with
+// the projected output selector for the given node, ŷ = l̂ᵀz.
+func ReduceNode(d *circuit.Deck, node circuit.NodeID, q int) (*Model, []float64, error) {
+	sys, err := mna.New(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, c, b, err := sys.Descriptor()
+	if err != nil {
+		return nil, nil, err
+	}
+	l, err := sys.NodeSelector(node)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := Reduce(g, c, b, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, m.ProjectOutput(l), nil
+}
+
+// ProjectOutput maps a full-order output selector l to the reduced space:
+// l̂ = Vᵀl.
+func (m *Model) ProjectOutput(l []float64) []float64 {
+	return m.V.Transpose().MulVec(l)
+}
+
+// TransferFunction evaluates the reduced ĤH(s) = l̂ᵀ(Ĝ + sĈ)⁻¹B̂.
+func (m *Model) TransferFunction(lhat []float64, s complex128) (complex128, error) {
+	q := m.Order()
+	a := lina.NewCMatrix(q, q)
+	rhs := make([]complex128, q)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			a.Set(i, j, complex(m.Ghat.At(i, j), 0)+s*complex(m.Chat.At(i, j), 0))
+		}
+		rhs[i] = complex(m.Bhat[i], 0)
+	}
+	z, err := lina.SolveComplex(a, rhs)
+	if err != nil {
+		return 0, fmt.Errorf("mor: reduced solve at s=%v: %w", s, err)
+	}
+	var h complex128
+	for i := 0; i < q; i++ {
+		h += complex(lhat[i], 0) * z[i]
+	}
+	return h, nil
+}
+
+// StepResponse integrates the reduced system for a unit step input with
+// the trapezoidal rule and returns the output samples ŷ(k·h) for
+// k = 0..steps at the projected output l̂.
+func (m *Model) StepResponse(lhat []float64, h float64, steps int) ([]float64, error) {
+	if !(h > 0) || steps < 1 {
+		return nil, fmt.Errorf("mor: need h > 0 and steps ≥ 1")
+	}
+	q := m.Order()
+	if len(lhat) != q {
+		return nil, fmt.Errorf("mor: output selector has %d entries for order %d", len(lhat), q)
+	}
+	// (2Ĉ/h + Ĝ)·z_{n+1} = (2Ĉ/h − Ĝ)·z_n + B̂·(u_{n+1} + u_n)
+	lhs := lina.NewMatrix(q, q)
+	rhsM := lina.NewMatrix(q, q)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			lhs.Set(i, j, 2*m.Chat.At(i, j)/h+m.Ghat.At(i, j))
+			rhsM.Set(i, j, 2*m.Chat.At(i, j)/h-m.Ghat.At(i, j))
+		}
+	}
+	lu, err := lina.Factor(lhs)
+	if err != nil {
+		return nil, fmt.Errorf("mor: reduced system singular at step %g: %w", h, err)
+	}
+	z := make([]float64, q)
+	out := make([]float64, steps+1)
+	u := 0.0
+	for k := 1; k <= steps; k++ {
+		rhs := rhsM.MulVec(z)
+		uNext := 1.0
+		for i := 0; i < q; i++ {
+			rhs[i] += m.Bhat[i] * (u + uNext)
+		}
+		z = lu.Solve(rhs)
+		u = uNext
+		out[k] = dot(lhat, z)
+	}
+	return out, nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func axpy(y, x []float64, a float64) {
+	for i := range y {
+		y[i] += a * x[i]
+	}
+}
+
+func norm(x []float64) float64 {
+	return math.Sqrt(dot(x, x))
+}
+
+func scale(x []float64, a float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}

@@ -1,0 +1,244 @@
+package mor
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"eedtree/internal/lina"
+	"eedtree/internal/mna"
+	"eedtree/internal/rlctree"
+	"eedtree/internal/sources"
+	"eedtree/internal/transim"
+	"eedtree/internal/waveform"
+)
+
+func deckAndNode(t *testing.T, tree *rlctree.Tree, name string) (*Model, []float64, *mna.System) {
+	t.Helper()
+	deck, err := tree.ToDeck(sources.Step{V0: 0, V1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := mna.New(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, ok := deck.Lookup(name)
+	if !ok {
+		t.Fatalf("node %q missing", name)
+	}
+	m, lhat, err := ReduceNode(deck, node, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, lhat, sys
+}
+
+func TestReduceValidation(t *testing.T) {
+	g := lina.NewMatrix(2, 2)
+	c := lina.NewMatrix(2, 2)
+	if _, err := Reduce(g, c, []float64{1, 0}, 0); err == nil {
+		t.Fatal("order 0 must fail")
+	}
+	if _, err := Reduce(g, c, []float64{1}, 2); err == nil {
+		t.Fatal("dimension mismatch must fail")
+	}
+	// Singular G.
+	if _, err := Reduce(g, c, []float64{1, 0}, 2); err == nil {
+		t.Fatal("singular G must fail")
+	}
+	// Zero input vector deflates immediately.
+	g.Set(0, 0, 1)
+	g.Set(1, 1, 1)
+	if _, err := Reduce(g, c, []float64{0, 0}, 2); err == nil {
+		t.Fatal("zero input must fail")
+	}
+}
+
+// TestDCGainExact: at s = 0 the reduced transfer function must equal the
+// exact DC gain (1 for any node of an ideally driven tree) — moment 0 is
+// always matched.
+func TestDCGainExact(t *testing.T) {
+	tree, err := rlctree.BalancedUniform(3, 2, rlctree.SectionValues{R: 25, L: 2e-9, C: 40e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, lhat, _ := deckAndNode(t, tree, "n3_0")
+	h, err := m.TransferFunction(lhat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(h-1) > 1e-9 {
+		t.Fatalf("reduced DC gain = %v, want 1", h)
+	}
+}
+
+// TestMatchesExactACLowFrequency: the reduced model must match the exact
+// AC (phasor) solution closely through the dominant-frequency range.
+func TestMatchesExactACLowFrequency(t *testing.T) {
+	tree, err := rlctree.Line("w", 12, rlctree.SectionValues{R: 30, L: 1.5e-9, C: 50e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, lhat, sys := deckAndNode(t, tree, "w12")
+	deckNode, _ := sys.Deck.Lookup("w12")
+	// Dominant frequency scale ~ 1/sqrt(total L · total C).
+	w0 := 1 / math.Sqrt(12*1.5e-9*12*50e-15)
+	for _, frac := range []float64{0.01, 0.1, 0.5, 1, 2} {
+		w := frac * w0
+		exact, err := sys.AC(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := m.TransferFunction(lhat, complex(0, w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := cmplx.Abs(red - exact.VoltageAt(deckNode)); d > 2e-2 {
+			t.Fatalf("ω=%.3g·ω0: |reduced − exact| = %g", frac, d)
+		}
+	}
+}
+
+// TestStepResponseMatchesTransim: the reduced macromodel's step response
+// must track the full transient simulation.
+func TestStepResponseMatchesTransim(t *testing.T) {
+	tree, err := rlctree.BalancedUniform(4, 2, rlctree.SectionValues{R: 20, L: 1e-9, C: 40e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deck, err := tree.ToDeck(sources.Step{V0: 0, V1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, _ := deck.Lookup("n4_0")
+	m, lhat, err := ReduceNode(deck, node, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const h, steps = 2e-12, 5000
+	red, err := m.StepResponse(lhat, h, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := make([]float64, steps+1)
+	for i := range times {
+		times[i] = float64(i) * h
+	}
+	redW, err := waveform.New(times, red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := transim.Simulate(deck, transim.Options{Step: h, Stop: h * steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := res.Node("n4_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := waveform.MaxAbsDiff(redW, sim); diff > 5e-3 {
+		t.Fatalf("reduced vs transim differ by %g", diff)
+	}
+	if got := red[steps]; math.Abs(got-1) > 1e-3 {
+		t.Fatalf("reduced final value %g", got)
+	}
+}
+
+// TestAccuracyImprovesWithOrder: unlike AWE's explicit Padé, the Krylov
+// projection stays usable as q grows; accuracy vs the simulator improves
+// (or saturates at machine-level) monotonically enough to compare q=2 vs
+// q=8.
+func TestAccuracyImprovesWithOrder(t *testing.T) {
+	tree, err := rlctree.Line("w", 10, rlctree.SectionValues{R: 25, L: 2e-9, C: 50e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deck, err := tree.ToDeck(sources.Step{V0: 0, V1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, _ := deck.Lookup("w10")
+	const h, steps = 4e-12, 6000
+	res, err := transim.Simulate(deck, transim.Options{Step: h, Stop: h * steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := res.Node("w10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rms := func(q int) float64 {
+		m, lhat, err := ReduceNode(deck, node, q)
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		red, err := m.StepResponse(lhat, h, steps)
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		times := make([]float64, steps+1)
+		for i := range times {
+			times[i] = float64(i) * h
+		}
+		w, _ := waveform.New(times, red)
+		return waveform.RMSDiff(w, sim, 3000)
+	}
+	e2, e8 := rms(2), rms(8)
+	if e8 >= e2 {
+		t.Fatalf("order 8 RMS %g not below order 2 RMS %g", e8, e2)
+	}
+	if e8 > 2e-2 {
+		t.Fatalf("order 8 RMS %g too large", e8)
+	}
+}
+
+// TestDeflationOnSmallSystem: asking for more order than the system has
+// deflates to the true order instead of failing (the robustness advantage
+// over AWE's singular Hankel).
+func TestDeflationOnSmallSystem(t *testing.T) {
+	tree := rlctree.New()
+	tree.MustAddSection("s1", nil, 100, 0, 1e-12) // first-order RC
+	deck, err := tree.ToDeck(sources.Step{V0: 0, V1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, _ := deck.Lookup("s1")
+	m, lhat, err := ReduceNode(deck, node, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Order() >= 12 {
+		t.Fatalf("expected deflation below 12, got order %d", m.Order())
+	}
+	// Still accurate: H(jω) = 1/(1+jωRC).
+	w := 1e10
+	hred, err := m.TransferFunction(lhat, complex(0, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / complex(1, w*100e-12)
+	if cmplx.Abs(hred-want) > 1e-6 {
+		t.Fatalf("deflated model TF %v, want %v", hred, want)
+	}
+}
+
+func TestStepResponseValidation(t *testing.T) {
+	tree := rlctree.New()
+	tree.MustAddSection("s1", nil, 100, 0, 1e-12)
+	deck, _ := tree.ToDeck(sources.Step{V0: 0, V1: 1})
+	node, _ := deck.Lookup("s1")
+	m, lhat, err := ReduceNode(deck, node, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.StepResponse(lhat, 0, 10); err == nil {
+		t.Fatal("zero step must fail")
+	}
+	if _, err := m.StepResponse(lhat, 1e-12, 0); err == nil {
+		t.Fatal("zero steps must fail")
+	}
+	if _, err := m.StepResponse([]float64{1, 2, 3, 4, 5}, 1e-12, 10); err == nil {
+		t.Fatal("selector length mismatch must fail")
+	}
+}

@@ -1,0 +1,181 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+// A 10 mm copper global wire, roughly: 26 Ω/mm·0.26... use representative
+// totals: R = 260 Ω, L = 5 nH, C = 2 pF.
+var testLine = LineSpec{R: 260, L: 5e-9, C: 2e-12, Sections: 12}
+
+// A unit repeater comparable to a small inverter.
+var testRep = Repeater{ROut: 3000, CIn: 5e-15, TIntrinsic: 5e-12}
+
+func TestGoldenSection(t *testing.T) {
+	min := goldenSection(func(x float64) float64 { return (x - 2.5) * (x - 2.5) }, 0, 10, 1e-10)
+	if math.Abs(min-2.5) > 1e-6 {
+		t.Fatalf("golden section found %g, want 2.5", min)
+	}
+}
+
+func TestStageDelayValidation(t *testing.T) {
+	if _, err := StageDelay(LineSpec{}, testRep, 1, 1); err == nil {
+		t.Fatal("bad line must fail")
+	}
+	if _, err := StageDelay(testLine, Repeater{}, 1, 1); err == nil {
+		t.Fatal("bad repeater must fail")
+	}
+	if _, err := StageDelay(testLine, testRep, 0, 1); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+	if _, err := StageDelay(testLine, testRep, 1, 0); err == nil {
+		t.Fatal("size=0 must fail")
+	}
+}
+
+func TestStageDelaySizeTradeoff(t *testing.T) {
+	// A larger repeater lowers driver resistance: for a resistive line the
+	// stage delay at size 10 must be below size 0.1.
+	small, err := StageDelay(testLine, testRep, 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := StageDelay(testLine, testRep, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large >= small {
+		t.Fatalf("size 10 stage delay %g not below size 0.1 delay %g", large, small)
+	}
+}
+
+func TestInsertRepeatersImprovesLongLine(t *testing.T) {
+	plan, err := InsertRepeaters(testLine, testRep, 8, 0.5, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.K < 1 || plan.K > 8 {
+		t.Fatalf("plan K = %d", plan.K)
+	}
+	// Unrepeated delay with the same (optimally sized) driver:
+	single := math.Inf(1)
+	for _, s := range []float64{1, 10, 50, 100, 300} {
+		if d, err := StageDelay(testLine, testRep, 1, s); err == nil && d < single {
+			single = d
+		}
+	}
+	if plan.TotalDelay > single*1.0001 {
+		t.Fatalf("optimized plan (%g s) worse than best single stage (%g s)", plan.TotalDelay, single)
+	}
+	if plan.TotalDelay <= 0 || plan.StageDelay <= 0 {
+		t.Fatal("degenerate plan")
+	}
+	if math.Abs(plan.TotalDelay-float64(plan.K)*plan.StageDelay) > 1e-15 {
+		t.Fatal("TotalDelay must be K·StageDelay")
+	}
+}
+
+// TestInductanceReducesOptimalRepeaterCount: the headline result of
+// RLC-aware repeater insertion — accounting for inductance calls for
+// fewer repeaters than the RC-only analysis of the same line.
+func TestInductanceReducesOptimalRepeaterCount(t *testing.T) {
+	rcLine := testLine
+	rcLine.L = 0
+	rlc, err := InsertRepeaters(testLine, testRep, 10, 0.5, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := InsertRepeaters(rcLine, testRep, 10, 0.5, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rlc.K > rc.K {
+		t.Fatalf("RLC-aware plan uses %d repeaters, RC-only %d — inductance should not increase the count", rlc.K, rc.K)
+	}
+}
+
+func TestInsertRepeatersValidation(t *testing.T) {
+	if _, err := InsertRepeaters(testLine, testRep, 0, 1, 10); err == nil {
+		t.Fatal("maxK=0 must fail")
+	}
+	if _, err := InsertRepeaters(testLine, testRep, 4, 10, 1); err == nil {
+		t.Fatal("inverted size range must fail")
+	}
+}
+
+var testSizing = SizingProblem{
+	Segments: 8,
+	Model: WireModel{
+		RUnit:     40,     // Ω·(unit width) per segment
+		CAreaUnit: 30e-15, // F per unit width per segment
+		CFringe:   10e-15, // F per segment
+		LUnit:     0.6e-9, // H per segment
+	},
+	WMin:    0.5,
+	WMax:    4,
+	RDriver: 100,
+	CLoad:   50e-15,
+}
+
+func TestSizingDelayValidation(t *testing.T) {
+	if _, err := testSizing.Delay([]float64{1}); err == nil {
+		t.Fatal("wrong width count must fail")
+	}
+	w := make([]float64, testSizing.Segments)
+	for i := range w {
+		w[i] = 1
+	}
+	w[0] = 99
+	if _, err := testSizing.Delay(w); err == nil {
+		t.Fatal("out-of-range width must fail")
+	}
+	bad := testSizing
+	bad.WMin = 0
+	if _, err := OptimizeWidths(bad, 0, 0); err == nil {
+		t.Fatal("invalid problem must fail")
+	}
+}
+
+func TestOptimizeWidthsImproves(t *testing.T) {
+	uniform := make([]float64, testSizing.Segments)
+	for i := range uniform {
+		uniform[i] = math.Sqrt(testSizing.WMin * testSizing.WMax)
+	}
+	base, err := testSizing.Delay(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := OptimizeWidths(testSizing, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delay > base {
+		t.Fatalf("optimizer worsened delay: %g > %g", res.Delay, base)
+	}
+	if res.Sweeps < 1 {
+		t.Fatal("no sweeps recorded")
+	}
+	// Verify the reported delay matches a fresh evaluation.
+	check, err := testSizing.Delay(res.Widths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(check-res.Delay) > 1e-18 {
+		t.Fatalf("reported delay %g != evaluated %g", res.Delay, check)
+	}
+}
+
+// TestOptimalWidthsTaper: the classical wire-sizing result — optimal
+// widths are (weakly) wider near the driver and taper toward the load.
+func TestOptimalWidthsTaper(t *testing.T) {
+	res, err := OptimizeWidths(testSizing, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Widths); i++ {
+		if res.Widths[i] > res.Widths[i-1]*1.05 {
+			t.Fatalf("widths do not taper: w[%d]=%g > w[%d]=%g", i, res.Widths[i], i-1, res.Widths[i-1])
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package opt
+
+import (
+	"testing"
+
+	"eedtree/internal/rlctree"
+)
+
+// imbalancedClockTree builds a 3-level H-tree whose left-half sinks carry
+// extra latch load, then exposes the four leaf branches as tunable.
+func imbalancedClockTree(t *testing.T) (*rlctree.Tree, []string) {
+	t.Helper()
+	tree, err := rlctree.HTree(3, rlctree.SectionValues{R: 20, L: 2e-9, C: 120e-15}, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := tree.Leaves()
+	var tunable []string
+	for i, lf := range leaves {
+		load := 30e-15
+		if i < len(leaves)/2 {
+			load = 90e-15 // imbalance
+		}
+		if _, err := tree.AddSection("latch_"+lf.Name(), lf, 1, 0, load); err != nil {
+			t.Fatal(err)
+		}
+		tunable = append(tunable, lf.Name())
+	}
+	return tree, tunable
+}
+
+func TestBalanceSkewValidation(t *testing.T) {
+	tree, tunable := imbalancedClockTree(t)
+	cases := []SkewProblem{
+		{},
+		{Tree: tree},
+		{Tree: tree, Tunable: tunable, WMin: 0, WMax: 4},
+		{Tree: tree, Tunable: tunable, WMin: 2, WMax: 4},     // WMin > 1
+		{Tree: tree, Tunable: tunable, WMin: 0.5, WMax: 0.8}, // WMax < 1
+		{Tree: tree, Tunable: []string{"nope"}, WMin: 0.5, WMax: 4},
+	}
+	for i, p := range cases {
+		if _, err := BalanceSkew(p, 0, 0); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestBalanceSkewReducesSkew(t *testing.T) {
+	tree, tunable := imbalancedClockTree(t)
+	p := SkewProblem{Tree: tree, Tunable: tunable, WMin: 0.4, WMax: 6}
+	res, err := BalanceSkew(p, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SkewBefore <= 0 {
+		t.Fatalf("imbalanced tree has zero initial skew: %g", res.SkewBefore)
+	}
+	if res.SkewAfter > 0.4*res.SkewBefore {
+		t.Fatalf("skew only reduced from %g to %g", res.SkewBefore, res.SkewAfter)
+	}
+	for name, w := range res.Widths {
+		if w < p.WMin || w > p.WMax {
+			t.Fatalf("width %s = %g outside bounds", name, w)
+		}
+	}
+	// The solution must be asymmetric: the two sides end at different
+	// widths. (Which side widens depends on whether a branch's own added
+	// capacitance or its reduced resistance dominates — for lightly loaded
+	// leaf wires, widening *slows* the branch, so the optimizer may widen
+	// the fast side rather than the slow one.)
+	heavy := res.Widths[tunable[0]]
+	light := res.Widths[tunable[len(tunable)-1]]
+	if diff := heavy - light; diff > -1e-3 && diff < 1e-3 {
+		t.Fatalf("expected asymmetric widths, got heavy %g ≈ light %g", heavy, light)
+	}
+}
+
+func TestBalanceSkewAlreadyBalanced(t *testing.T) {
+	tree, err := rlctree.HTree(3, rlctree.SectionValues{R: 20, L: 2e-9, C: 120e-15}, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tunable []string
+	for _, lf := range tree.Leaves() {
+		tunable = append(tunable, lf.Name())
+	}
+	res, err := BalanceSkew(SkewProblem{Tree: tree, Tunable: tunable, WMin: 0.5, WMax: 4}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SkewBefore > 1e-18 {
+		t.Fatalf("balanced tree reports skew %g", res.SkewBefore)
+	}
+	if res.SkewAfter > res.SkewBefore+1e-18 {
+		t.Fatalf("optimizer worsened a balanced tree: %g → %g", res.SkewBefore, res.SkewAfter)
+	}
+}

@@ -1,0 +1,181 @@
+// Package poly provides complex polynomial utilities used by the AWE
+// (asymptotic waveform evaluation) baseline: evaluation, arithmetic, and
+// simultaneous root finding with the Durand–Kerner (Weierstrass) iteration.
+package poly
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Poly is a polynomial with complex coefficients in ascending order:
+// p[0] + p[1]·s + p[2]·s² + …  A nil or empty Poly is the zero polynomial.
+type Poly []complex128
+
+// FromReal builds a Poly from real coefficients in ascending order.
+func FromReal(coeffs ...float64) Poly {
+	p := make(Poly, len(coeffs))
+	for i, c := range coeffs {
+		p[i] = complex(c, 0)
+	}
+	return p
+}
+
+// Degree returns the degree of p after trimming trailing (near-)zero
+// coefficients. The zero polynomial has degree -1.
+func (p Poly) Degree() int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Trim returns p with trailing zero coefficients removed.
+func (p Poly) Trim() Poly {
+	return p[:p.Degree()+1]
+}
+
+// Eval evaluates p at s using Horner's method.
+func (p Poly) Eval(s complex128) complex128 {
+	var v complex128
+	for i := len(p) - 1; i >= 0; i-- {
+		v = v*s + p[i]
+	}
+	return v
+}
+
+// Derivative returns dp/ds.
+func (p Poly) Derivative() Poly {
+	if len(p) <= 1 {
+		return Poly{}
+	}
+	d := make(Poly, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		d[i-1] = p[i] * complex(float64(i), 0)
+	}
+	return d
+}
+
+// Mul returns the product p·q.
+func (p Poly) Mul(q Poly) Poly {
+	if len(p) == 0 || len(q) == 0 {
+		return Poly{}
+	}
+	r := make(Poly, len(p)+len(q)-1)
+	for i, a := range p {
+		if a == 0 {
+			continue
+		}
+		for j, b := range q {
+			r[i+j] += a * b
+		}
+	}
+	return r
+}
+
+// FromRoots returns the monic polynomial with the given roots.
+func FromRoots(roots ...complex128) Poly {
+	p := Poly{1}
+	for _, r := range roots {
+		p = p.Mul(Poly{-r, 1})
+	}
+	return p
+}
+
+// ErrNoConvergence reports that the root iteration failed to converge.
+var ErrNoConvergence = errors.New("poly: root finding did not converge")
+
+// Roots finds all complex roots of p with the Durand–Kerner iteration.
+// The polynomial must have degree ≥ 1. Roots are returned in no particular
+// order; multiple roots converge to clustered values.
+func (p Poly) Roots() ([]complex128, error) {
+	p = p.Trim()
+	n := p.Degree()
+	if n < 1 {
+		return nil, fmt.Errorf("poly: Roots requires degree ≥ 1, got %d", n)
+	}
+	// Normalize to monic to keep the iteration well scaled.
+	monic := make(Poly, n+1)
+	lead := p[n]
+	for i := range monic {
+		monic[i] = p[i] / lead
+	}
+	// Initial guesses on a circle whose radius tracks the root magnitudes
+	// (Cauchy bound), offset from the axes to break symmetry.
+	radius := 0.0
+	for i := 0; i < n; i++ {
+		if v := cmplx.Abs(monic[i]); v > radius {
+			radius = v
+		}
+	}
+	radius = 1 + radius
+	roots := make([]complex128, n)
+	for i := range roots {
+		angle := 2*math.Pi*float64(i)/float64(n) + 0.4
+		roots[i] = complex(radius*math.Cos(angle), radius*math.Sin(angle))
+	}
+	const maxIter = 500
+	const tol = 1e-13
+	for iter := 0; iter < maxIter; iter++ {
+		maxStep := 0.0
+		for i := range roots {
+			num := monic.Eval(roots[i])
+			den := complex(1, 0)
+			for j := range roots {
+				if j != i {
+					den *= roots[i] - roots[j]
+				}
+			}
+			if den == 0 {
+				// Coincident iterates: nudge apart deterministically.
+				roots[i] += complex(1e-8*radius, 1e-8*radius)
+				maxStep = math.Inf(1)
+				continue
+			}
+			step := num / den
+			roots[i] -= step
+			scale := cmplx.Abs(roots[i])
+			if scale < 1 {
+				scale = 1
+			}
+			if rel := cmplx.Abs(step) / scale; rel > maxStep {
+				maxStep = rel
+			}
+		}
+		if maxStep < tol {
+			return roots, nil
+		}
+	}
+	// Accept the result if residuals are small even when the step criterion
+	// was not met (common for clustered roots).
+	for _, r := range roots {
+		scale := 1.0
+		if v := cmplx.Abs(r); v > 1 {
+			scale = math.Pow(v, float64(n))
+		}
+		if cmplx.Abs(monic.Eval(r))/scale > 1e-6 {
+			return nil, ErrNoConvergence
+		}
+	}
+	return roots, nil
+}
+
+// RealRoots filters roots whose imaginary part is negligible relative to
+// their magnitude, returning their real parts.
+func RealRoots(roots []complex128, tol float64) []float64 {
+	var out []float64
+	for _, r := range roots {
+		scale := cmplx.Abs(r)
+		if scale < 1 {
+			scale = 1
+		}
+		if math.Abs(imag(r)) <= tol*scale {
+			out = append(out, real(r))
+		}
+	}
+	return out
+}

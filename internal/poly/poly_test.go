@@ -1,0 +1,177 @@
+package poly
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalHorner(t *testing.T) {
+	p := FromReal(1, -2, 3) // 1 - 2s + 3s²
+	if got := p.Eval(2); got != complex(9, 0) {
+		t.Fatalf("Eval(2) = %v, want 9", got)
+	}
+	if got := p.Eval(0); got != complex(1, 0) {
+		t.Fatalf("Eval(0) = %v, want 1", got)
+	}
+}
+
+func TestDegreeTrim(t *testing.T) {
+	p := Poly{1, 2, 0, 0}
+	if p.Degree() != 1 {
+		t.Fatalf("Degree = %d, want 1", p.Degree())
+	}
+	if got := len(p.Trim()); got != 2 {
+		t.Fatalf("Trim length = %d, want 2", got)
+	}
+	var zero Poly
+	if zero.Degree() != -1 {
+		t.Fatalf("zero Degree = %d, want -1", zero.Degree())
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	p := FromReal(5, 4, 3, 2) // 5 + 4s + 3s² + 2s³
+	d := p.Derivative()       // 4 + 6s + 6s²
+	want := FromReal(4, 6, 6)
+	if len(d) != len(want) {
+		t.Fatalf("Derivative length = %d, want %d", len(d), len(want))
+	}
+	for i := range d {
+		if d[i] != want[i] {
+			t.Fatalf("Derivative[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+	if got := FromReal(7).Derivative(); len(got) != 0 {
+		t.Fatalf("constant derivative should be zero poly, got %v", got)
+	}
+}
+
+func TestMul(t *testing.T) {
+	// (1+s)(1-s) = 1 - s²
+	p := FromReal(1, 1).Mul(FromReal(1, -1))
+	want := FromReal(1, 0, -1)
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("Mul[%d] = %v, want %v", i, p[i], want[i])
+		}
+	}
+}
+
+func TestRootsQuadratic(t *testing.T) {
+	// s² + 3s + 2 = (s+1)(s+2)
+	roots, err := FromReal(2, 3, 1).Roots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := RealRoots(roots, 1e-8)
+	sort.Float64s(rr)
+	if len(rr) != 2 || math.Abs(rr[0]+2) > 1e-9 || math.Abs(rr[1]+1) > 1e-9 {
+		t.Fatalf("roots = %v, want [-2 -1]", rr)
+	}
+}
+
+func TestRootsComplexPair(t *testing.T) {
+	// s² + 2s + 5 → roots -1 ± 2i
+	roots, err := FromReal(5, 2, 1).Roots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range roots {
+		if math.Abs(real(r)+1) > 1e-9 || math.Abs(math.Abs(imag(r))-2) > 1e-9 {
+			t.Fatalf("root %v, want -1±2i", r)
+		}
+	}
+}
+
+func TestRootsFromRootsRoundTrip(t *testing.T) {
+	want := []complex128{-1, -3, complex(-0.5, 2), complex(-0.5, -2), -10}
+	p := FromRoots(want...)
+	got, err := p.Roots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d roots, want %d", len(got), len(want))
+	}
+	for _, w := range want {
+		best := math.Inf(1)
+		for _, g := range got {
+			if d := cmplx.Abs(g - w); d < best {
+				best = d
+			}
+		}
+		if best > 1e-7 {
+			t.Fatalf("root %v not recovered (closest distance %g)", w, best)
+		}
+	}
+}
+
+func TestRootsClustered(t *testing.T) {
+	// (s+1)² (double root) — Durand–Kerner converges slowly but residuals
+	// must still be acceptable.
+	p := FromRoots(-1, -1)
+	roots, err := p.Roots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range roots {
+		if cmplx.Abs(r-(-1)) > 1e-5 {
+			t.Fatalf("clustered root %v too far from -1", r)
+		}
+	}
+}
+
+func TestRootsRejectsConstants(t *testing.T) {
+	if _, err := FromReal(3).Roots(); err == nil {
+		t.Fatal("expected error for constant polynomial")
+	}
+	if _, err := (Poly{}).Roots(); err == nil {
+		t.Fatal("expected error for zero polynomial")
+	}
+}
+
+func TestRealRootsFilters(t *testing.T) {
+	roots := []complex128{complex(2, 1e-12), complex(3, 1)}
+	rr := RealRoots(roots, 1e-9)
+	if len(rr) != 1 || rr[0] != 2 {
+		t.Fatalf("RealRoots = %v, want [2]", rr)
+	}
+}
+
+// Property: polynomials built from random negative-real roots (the stable
+// pole configurations AWE produces) are recovered by Roots to high
+// accuracy, verified via residuals.
+func TestRootsRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		roots := make([]complex128, 0, n)
+		for len(roots) < n {
+			if n-len(roots) >= 2 && rng.Intn(2) == 0 {
+				re := -0.1 - 3*rng.Float64()
+				im := 0.1 + 3*rng.Float64()
+				roots = append(roots, complex(re, im), complex(re, -im))
+			} else {
+				roots = append(roots, complex(-0.1-5*rng.Float64(), 0))
+			}
+		}
+		p := FromRoots(roots...)
+		got, err := p.Roots()
+		if err != nil {
+			return false
+		}
+		for _, g := range got {
+			if cmplx.Abs(p.Eval(g)) > 1e-6*(1+cmplx.Abs(g)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+package rlctree
+
+import (
+	"fmt"
+	"math"
+)
+
+// SectionValues bundles the per-section element values used by builders.
+type SectionValues struct {
+	R float64 // ohms
+	L float64 // henries
+	C float64 // farads
+}
+
+func (v SectionValues) validate() error {
+	for _, f := range [...]struct {
+		label string
+		val   float64
+	}{{"R", v.R}, {"L", v.L}, {"C", v.C}} {
+		if math.IsNaN(f.val) || math.IsInf(f.val, 0) || f.val < 0 {
+			return fmt.Errorf("rlctree: invalid section %s = %g", f.label, f.val)
+		}
+	}
+	return nil
+}
+
+// scaleImpedance returns the values with R and L multiplied by k and C
+// unchanged. Used by the asymmetric-tree builder.
+func (v SectionValues) scaleImpedance(k float64) SectionValues {
+	return SectionValues{R: v.R * k, L: v.L * k, C: v.C}
+}
+
+// scaleLength returns the values scaled as a wire of k times the length:
+// R, L and C all scale with k.
+func (v SectionValues) scaleLength(k float64) SectionValues {
+	return SectionValues{R: v.R * k, L: v.L * k, C: v.C * k}
+}
+
+// Line builds an n-section uniform RLC line (a degenerate tree with a
+// single path), the distributed model of a single interconnect wire.
+// Sections are named "<prefix>1" … "<prefix>n" from input to sink.
+func Line(prefix string, n int, v SectionValues) (*Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("rlctree: Line requires n ≥ 1, got %d", n)
+	}
+	if err := v.validate(); err != nil {
+		return nil, err
+	}
+	t := New()
+	var parent *Section
+	for i := 1; i <= n; i++ {
+		s, err := t.AddSection(fmt.Sprintf("%s%d", prefix, i), parent, v.R, v.L, v.C)
+		if err != nil {
+			return nil, err
+		}
+		parent = s
+	}
+	return t, nil
+}
+
+// Balanced builds a balanced tree in the paper's configuration (Fig. 5,
+// Secs. V-B/V-C): level 1 is a single trunk section attached to the input,
+// and every node from level 2 on fans out with the given branching factor,
+// so level ℓ has branching^(ℓ-1) identical sections and the tree drives
+// branching^(levels-1) sinks. perLevel gives the element values of the
+// sections at each level (len(perLevel) == levels). Sections are named
+// "n<level>_<index>" with index counting across the level from 0.
+func Balanced(levels, branching int, perLevel []SectionValues) (*Tree, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("rlctree: Balanced requires levels ≥ 1, got %d", levels)
+	}
+	if branching < 1 {
+		return nil, fmt.Errorf("rlctree: Balanced requires branching ≥ 1, got %d", branching)
+	}
+	if len(perLevel) != levels {
+		return nil, fmt.Errorf("rlctree: Balanced requires one SectionValues per level: got %d for %d levels", len(perLevel), levels)
+	}
+	for lvl, v := range perLevel {
+		if err := v.validate(); err != nil {
+			return nil, fmt.Errorf("level %d: %w", lvl+1, err)
+		}
+	}
+	t := New()
+	trunkVals := perLevel[0]
+	trunk, err := t.AddSection("n1_0", nil, trunkVals.R, trunkVals.L, trunkVals.C)
+	if err != nil {
+		return nil, err
+	}
+	prev := []*Section{trunk}
+	for lvl := 2; lvl <= levels; lvl++ {
+		v := perLevel[lvl-1]
+		next := make([]*Section, 0, len(prev)*branching)
+		idx := 0
+		for _, parent := range prev {
+			for b := 0; b < branching; b++ {
+				s, err := t.AddSection(fmt.Sprintf("n%d_%d", lvl, idx), parent, v.R, v.L, v.C)
+				if err != nil {
+					return nil, err
+				}
+				next = append(next, s)
+				idx++
+			}
+		}
+		prev = next
+	}
+	return t, nil
+}
+
+// BalancedUniform is Balanced with the same section values at every level.
+func BalancedUniform(levels, branching int, v SectionValues) (*Tree, error) {
+	perLevel := make([]SectionValues, levels)
+	for i := range perLevel {
+		perLevel[i] = v
+	}
+	return Balanced(levels, branching, perLevel)
+}
+
+// Asymmetric builds the binary tree of paper Fig. 12: the same topology as
+// Balanced (single trunk, binary fan-out from level 2), but at every
+// branching point the series impedance (R and L) of the left branch is
+// asym times that of its sibling right branch, compounding toward the
+// sinks. asym = 1 reproduces the balanced tree; larger values make the
+// tree progressively more asymmetric, which degrades the accuracy of the
+// second-order approximation (exactly as it degrades the Elmore delay for
+// RC trees).
+func Asymmetric(levels int, asym float64, v SectionValues) (*Tree, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("rlctree: Asymmetric requires levels ≥ 1, got %d", levels)
+	}
+	if asym <= 0 || math.IsNaN(asym) || math.IsInf(asym, 0) {
+		return nil, fmt.Errorf("rlctree: Asymmetric requires asym > 0, got %g", asym)
+	}
+	if err := v.validate(); err != nil {
+		return nil, err
+	}
+	t := New()
+	type slot struct {
+		parent *Section
+		vals   SectionValues
+	}
+	trunk, err := t.AddSection("n1_0", nil, v.R, v.L, v.C)
+	if err != nil {
+		return nil, err
+	}
+	prev := []slot{{trunk, v}}
+	for lvl := 2; lvl <= levels; lvl++ {
+		next := make([]slot, 0, len(prev)*2)
+		idx := 0
+		for _, sl := range prev {
+			// Left child carries asym× the sibling's impedance.
+			for _, scale := range [...]float64{asym, 1} {
+				vv := sl.vals.scaleImpedance(scale)
+				s, err := t.AddSection(fmt.Sprintf("n%d_%d", lvl, idx), sl.parent, vv.R, vv.L, vv.C)
+				if err != nil {
+					return nil, err
+				}
+				next = append(next, slot{s, vv})
+				idx++
+			}
+		}
+		prev = next
+	}
+	return t, nil
+}
+
+// HTree builds a symmetric H-tree clock distribution network with the given
+// number of levels: a single trunk followed by binary fan-out, where each
+// level's segment length is lengthRatio times its parent's (0.5 for a
+// classical H-tree), scaling R, L and C together.
+func HTree(levels int, trunk SectionValues, lengthRatio float64) (*Tree, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("rlctree: HTree requires levels ≥ 1, got %d", levels)
+	}
+	if lengthRatio <= 0 || lengthRatio > 1 || math.IsNaN(lengthRatio) {
+		return nil, fmt.Errorf("rlctree: HTree requires 0 < lengthRatio ≤ 1, got %g", lengthRatio)
+	}
+	perLevel := make([]SectionValues, levels)
+	v := trunk
+	for i := range perLevel {
+		perLevel[i] = v
+		v = v.scaleLength(lengthRatio)
+	}
+	return Balanced(levels, 2, perLevel)
+}
+
+// Ladder collapses a balanced tree with the given levels and branching
+// factor into its equivalent single-path ladder circuit (paper Fig. 10):
+// by symmetry all nodes of a level are at the same potential and may be
+// shunted, so level ℓ's m = branching^(ℓ-1) parallel sections combine into
+// one section with R/m, L/m and m·C. The response at the ladder's node ℓ
+// equals the response at any level-ℓ node of the balanced tree — the
+// pole–zero cancellation argument of Sec. V-B, verified by simulation in
+// the integration tests.
+func Ladder(levels, branching int, perLevel []SectionValues) (*Tree, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("rlctree: Ladder requires levels ≥ 1, got %d", levels)
+	}
+	if branching < 1 {
+		return nil, fmt.Errorf("rlctree: Ladder requires branching ≥ 1, got %d", branching)
+	}
+	if len(perLevel) != levels {
+		return nil, fmt.Errorf("rlctree: Ladder requires one SectionValues per level: got %d for %d levels", len(perLevel), levels)
+	}
+	t := New()
+	var parent *Section
+	m := 1.0
+	for lvl := 1; lvl <= levels; lvl++ {
+		v := perLevel[lvl-1]
+		if err := v.validate(); err != nil {
+			return nil, fmt.Errorf("level %d: %w", lvl, err)
+		}
+		s, err := t.AddSection(fmt.Sprintf("lad%d", lvl), parent, v.R/m, v.L/m, v.C*m)
+		if err != nil {
+			return nil, err
+		}
+		parent = s
+		m *= float64(branching)
+	}
+	return t, nil
+}

@@ -1,0 +1,67 @@
+package rlctree
+
+import (
+	"fmt"
+
+	"eedtree/internal/circuit"
+	"eedtree/internal/sources"
+)
+
+// ToDeck converts the tree to a circuit netlist driven at the input node
+// "in" by the given source. Each section contributes a series resistor and
+// inductor from its parent's node to its own node (named after the
+// section) and a capacitor from that node to ground. Zero-valued elements
+// are elided; a section with R = L = 0 becomes an ideal short implemented
+// as a 0 V source, preserving the node for probing.
+//
+// The resulting deck is what the transient simulator (internal/transim)
+// consumes to produce the reference waveforms the closed-form model is
+// validated against, mirroring the paper's AS/X comparisons.
+func (t *Tree) ToDeck(src sources.Source) (*circuit.Deck, error) {
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("rlctree: cannot convert an empty tree")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("rlctree: ToDeck requires a source")
+	}
+	d := circuit.NewDeck("rlctree")
+	if _, err := d.AddVSource("Vin", "in", "0", src); err != nil {
+		return nil, err
+	}
+	for _, s := range t.sections {
+		from := "in"
+		if s.parent != nil {
+			from = s.parent.name
+		}
+		to := s.name
+		switch {
+		case s.r > 0 && s.l > 0:
+			mid := s.name + "__rl"
+			if _, err := d.AddResistor("R"+s.name, from, mid, s.r); err != nil {
+				return nil, err
+			}
+			if _, err := d.AddInductor("L"+s.name, mid, to, s.l); err != nil {
+				return nil, err
+			}
+		case s.r > 0:
+			if _, err := d.AddResistor("R"+s.name, from, to, s.r); err != nil {
+				return nil, err
+			}
+		case s.l > 0:
+			if _, err := d.AddInductor("L"+s.name, from, to, s.l); err != nil {
+				return nil, err
+			}
+		default:
+			// Ideal junction: a 0 V source keeps the node identity.
+			if _, err := d.AddVSource("V"+s.name, from, to, sources.DC{Value: 0}); err != nil {
+				return nil, err
+			}
+		}
+		if s.c > 0 {
+			if _, err := d.AddCapacitor("C"+s.name, to, "0", s.c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}

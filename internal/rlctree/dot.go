@@ -1,0 +1,56 @@
+package rlctree
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"eedtree/internal/unit"
+)
+
+// WriteDOT renders the tree in Graphviz DOT format for visualization:
+// one graph node per section node (plus the input), edges labeled with
+// the section's series R and L, nodes labeled with their grounded C.
+// Render with e.g. `dot -Tsvg tree.dot > tree.svg`.
+func (t *Tree) WriteDOT(w io.Writer, title string) error {
+	if t.Len() == 0 {
+		return fmt.Errorf("rlctree: cannot render an empty tree")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box, fontname=\"monospace\", fontsize=10];\n")
+	b.WriteString("  edge [fontname=\"monospace\", fontsize=9];\n")
+	b.WriteString("  \"in\" [shape=cds, label=\"input\"];\n")
+	for _, s := range t.sections {
+		label := s.name
+		if s.c > 0 {
+			label = fmt.Sprintf("%s\\nC=%sF", s.name, unit.Format(s.c))
+		}
+		shape := ""
+		if s.IsLeaf() {
+			shape = ", peripheries=2"
+		}
+		fmt.Fprintf(&b, "  %q [label=\"%s\"%s];\n", s.name, label, shape)
+	}
+	for _, s := range t.sections {
+		from := "in"
+		if s.parent != nil {
+			from = s.parent.name
+		}
+		var parts []string
+		if s.r > 0 {
+			parts = append(parts, fmt.Sprintf("R=%s", unit.Format(s.r)))
+		}
+		if s.l > 0 {
+			parts = append(parts, fmt.Sprintf("L=%sH", unit.Format(s.l)))
+		}
+		if len(parts) == 0 {
+			parts = append(parts, "short")
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%s\"];\n", from, s.name, strings.Join(parts, "\\n"))
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

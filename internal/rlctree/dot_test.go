@@ -1,0 +1,33 @@
+package rlctree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	tr := New()
+	p := tr.MustAddSection("trunk", nil, 25, 1e-9, 50e-15)
+	tr.MustAddSection("leafA", p, 10, 0, 20e-15)
+	tr.MustAddSection("short", p, 0, 0, 0)
+	var b strings.Builder
+	if err := tr.WriteDOT(&b, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`digraph "demo" {`,
+		`"in" -> "trunk" [label="R=25\nL=1nH"];`,
+		`"trunk" -> "leafA" [label="R=10"];`,
+		`"trunk" -> "short" [label="short"];`,
+		`C=50fF`,
+		"peripheries=2", // leaves are double-boxed
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if err := New().WriteDOT(&b, "x"); err == nil {
+		t.Fatal("empty tree must fail")
+	}
+}

@@ -1,0 +1,42 @@
+package rlctree_test
+
+import (
+	"fmt"
+
+	"eedtree/internal/rlctree"
+)
+
+// ExampleParse loads a tree from the compact text format and runs the
+// Appendix summation algorithm.
+func ExampleParse() {
+	tree, err := rlctree.ParseString(`
+# a two-section line
+w1 -  25 5n 50f
+w2 w1 25 5n 50f
+`)
+	if err != nil {
+		panic(err)
+	}
+	sums := tree.ElmoreSums()
+	sink := tree.Section("w2")
+	fmt.Printf("sections = %d\n", tree.Len())
+	fmt.Printf("S_R(w2)  = %.3g s\n", sums.SR[sink.Index()])
+	fmt.Printf("S_L(w2)  = %.3g s^2\n", sums.SL[sink.Index()])
+	// Output:
+	// sections = 2
+	// S_R(w2)  = 3.75e-12 s
+	// S_L(w2)  = 7.5e-22 s^2
+}
+
+// ExampleBalanced builds the paper's Fig.-5 topology: a trunk and binary
+// fan-out, 2^(levels-1) sinks.
+func ExampleBalanced() {
+	tree, err := rlctree.BalancedUniform(3, 2, rlctree.SectionValues{R: 25, L: 5e-9, C: 50e-15})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("sections = %d, sinks = %d, depth = %d\n",
+		tree.Len(), len(tree.Leaves()), tree.Depth())
+	// Output:
+	// sections = 7, sinks = 4, depth = 3
+}

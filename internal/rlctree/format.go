@@ -1,0 +1,96 @@
+package rlctree
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"eedtree/internal/unit"
+)
+
+// This file implements a compact line-oriented text format for RLC trees:
+//
+//	# comment
+//	<name> <parent|-> <R> <L> <C>
+//
+// Sections must appear parent-before-child; "-" attaches a section to the
+// input node. Values accept SPICE engineering suffixes ("25", "1n", "20f").
+// The format round-trips through Parse and WriteTo.
+
+// Parse reads a tree from the text format above.
+func Parse(r io.Reader) (*Tree, error) {
+	t := New()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("rlctree: line %d: want 5 fields (name parent R L C), got %d", lineNo, len(fields))
+		}
+		name, parentName := fields[0], fields[1]
+		var parent *Section
+		if parentName != "-" {
+			parent = t.Section(parentName)
+			if parent == nil {
+				return nil, fmt.Errorf("rlctree: line %d: unknown parent %q (parents must be declared first)", lineNo, parentName)
+			}
+		}
+		var vals [3]float64
+		for i, f := range fields[2:] {
+			v, err := unit.Parse(f)
+			if err != nil {
+				return nil, fmt.Errorf("rlctree: line %d: %w", lineNo, err)
+			}
+			vals[i] = v
+		}
+		if _, err := t.AddSection(name, parent, vals[0], vals[1], vals[2]); err != nil {
+			return nil, fmt.Errorf("rlctree: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rlctree: read: %w", err)
+	}
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("rlctree: input describes no sections")
+	}
+	return t, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Tree, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// WriteTo writes the tree in the text format accepted by Parse.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, s := range t.sections {
+		parent := "-"
+		if s.parent != nil {
+			parent = s.parent.name
+		}
+		c, err := fmt.Fprintf(w, "%s %s %s %s %s\n",
+			s.name, parent, unit.Format(s.r), unit.Format(s.l), unit.Format(s.c))
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Format returns the tree in the text format accepted by Parse.
+func (t *Tree) Format() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		// strings.Builder writes cannot fail.
+		panic(err)
+	}
+	return b.String()
+}

@@ -1,0 +1,26 @@
+package rlctree
+
+import "testing"
+
+// FuzzParse drives the tree text parser with arbitrary inputs: no panics,
+// and accepted trees must round-trip through Format.
+func FuzzParse(f *testing.F) {
+	f.Add("s1 - 25 5n 50f\ns2 s1 25 5n 50f\n")
+	f.Add("# comment\na - 1 0 0\n")
+	f.Add("a - 1 1 1\nb a 2 2 2\nc a 3 3 3\n")
+	f.Add("x y 1 1 1\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		back, err := ParseString(tr.Format())
+		if err != nil {
+			t.Fatalf("accepted tree failed to round-trip: %v\ninput: %q", err, input)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip changed section count %d → %d", tr.Len(), back.Len())
+		}
+	})
+}

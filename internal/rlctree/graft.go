@@ -1,0 +1,46 @@
+package rlctree
+
+import "fmt"
+
+// Graft copies every section of src into dst beneath parent (nil = the
+// input node of dst), preserving src's topology and element values.
+// Section names are prefixed with prefix to avoid collisions; the mapping
+// from src sections to their copies is returned indexed by src section
+// index. Grafting is how composite networks are assembled from reusable
+// subtrees — e.g. a driver section with an extracted net grafted on, or a
+// tree with receiver load capacitances appended at its sinks.
+func Graft(dst *Tree, parent *Section, src *Tree, prefix string) ([]*Section, error) {
+	if dst == nil || src == nil {
+		return nil, fmt.Errorf("rlctree: Graft requires non-nil trees")
+	}
+	if parent != nil && parent.Tree() != dst {
+		return nil, fmt.Errorf("rlctree: Graft parent belongs to a different tree")
+	}
+	if src == dst {
+		return nil, fmt.Errorf("rlctree: cannot graft a tree into itself")
+	}
+	copies := make([]*Section, src.Len())
+	for _, s := range src.Sections() {
+		p := parent
+		if sp := s.Parent(); sp != nil {
+			p = copies[sp.Index()]
+		}
+		c, err := dst.AddSection(prefix+s.Name(), p, s.R(), s.L(), s.C())
+		if err != nil {
+			return nil, err
+		}
+		copies[s.Index()] = c
+	}
+	return copies, nil
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	out := New()
+	if _, err := Graft(out, nil, t, ""); err != nil {
+		// Graft into a fresh empty tree with the original's (unique) names
+		// cannot fail.
+		panic(err)
+	}
+	return out
+}

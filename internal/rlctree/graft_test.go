@@ -1,0 +1,93 @@
+package rlctree
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGraftUnderParent(t *testing.T) {
+	dst := New()
+	drv := dst.MustAddSection("drv", nil, 100, 0, 0)
+	src, _ := BalancedUniform(2, 2, SectionValues{R: 10, L: 1e-9, C: 20e-15})
+	copies, err := Graft(dst, drv, src, "u1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 1+src.Len() {
+		t.Fatalf("dst has %d sections, want %d", dst.Len(), 1+src.Len())
+	}
+	root := dst.Section("u1/n1_0")
+	if root == nil || root.Parent() != drv {
+		t.Fatal("grafted root must hang off the driver")
+	}
+	leaf := dst.Section("u1/n2_1")
+	if leaf == nil || leaf.Parent() != root {
+		t.Fatal("grafted topology wrong")
+	}
+	if copies[src.Section("n2_1").Index()] != leaf {
+		t.Fatal("copy mapping wrong")
+	}
+	if leaf.R() != 10 || leaf.L() != 1e-9 || leaf.C() != 20e-15 {
+		t.Fatal("grafted values wrong")
+	}
+	// The source tree must be untouched.
+	if src.Len() != 3 || src.Section("n1_0").Parent() != nil {
+		t.Fatal("source tree modified")
+	}
+}
+
+func TestGraftAtInput(t *testing.T) {
+	dst := New()
+	src, _ := Line("w", 3, SectionValues{R: 1, L: 0, C: 1e-15})
+	if _, err := Graft(dst, nil, src, ""); err != nil {
+		t.Fatal(err)
+	}
+	if len(dst.Roots()) != 1 || dst.Section("w1").Parent() != nil {
+		t.Fatal("graft at input wrong")
+	}
+}
+
+func TestGraftErrors(t *testing.T) {
+	dst := New()
+	src, _ := Line("w", 2, SectionValues{R: 1, L: 0, C: 1e-15})
+	if _, err := Graft(nil, nil, src, ""); err == nil {
+		t.Fatal("nil dst must fail")
+	}
+	if _, err := Graft(dst, nil, nil, ""); err == nil {
+		t.Fatal("nil src must fail")
+	}
+	other := New()
+	p := other.MustAddSection("p", nil, 1, 0, 0)
+	if _, err := Graft(dst, p, src, ""); err == nil {
+		t.Fatal("foreign parent must fail")
+	}
+	if _, err := Graft(dst, nil, dst, ""); err == nil {
+		t.Fatal("self graft must fail")
+	}
+	// Name collision without prefix.
+	if _, err := Graft(dst, nil, src, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Graft(dst, nil, src, ""); err == nil {
+		t.Fatal("duplicate names must fail")
+	}
+	if _, err := Graft(dst, nil, src, "b/"); err != nil {
+		t.Fatal("prefixed second graft should succeed")
+	}
+}
+
+func TestClone(t *testing.T) {
+	src, _ := BalancedUniform(3, 2, SectionValues{R: 5, L: 2e-9, C: 30e-15})
+	c := src.Clone()
+	if c.Format() != src.Format() {
+		t.Fatal("clone differs from source")
+	}
+	if math.Abs(c.TotalCap()-src.TotalCap()) > 1e-25 {
+		t.Fatal("clone capacitance differs")
+	}
+	// Mutating the clone must not affect the source.
+	c.MustAddSection("extra", c.Section("n3_0"), 1, 0, 1e-15)
+	if src.Section("extra") != nil || src.Len() == c.Len() {
+		t.Fatal("clone aliases the source")
+	}
+}

@@ -1,0 +1,59 @@
+package rlctree
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomSpec bounds the random trees produced by Random. Zero values get
+// sensible defaults for on-chip interconnect scales.
+type RandomSpec struct {
+	Sections int     // number of sections; default 16
+	MaxR     float64 // uniform in [0, MaxR); default 100 Ω
+	MaxL     float64 // uniform in [0, MaxL); default 10 nH
+	MaxC     float64 // uniform in (0, MaxC]; default 200 fF
+	ChainP   float64 // probability a new section extends an existing one
+	// rather than attaching to the input; default 0.8
+}
+
+func (s RandomSpec) withDefaults() RandomSpec {
+	if s.Sections <= 0 {
+		s.Sections = 16
+	}
+	if s.MaxR <= 0 {
+		s.MaxR = 100
+	}
+	if s.MaxL <= 0 {
+		s.MaxL = 10e-9
+	}
+	if s.MaxC <= 0 {
+		s.MaxC = 200e-15
+	}
+	if s.ChainP <= 0 || s.ChainP > 1 {
+		s.ChainP = 0.8
+	}
+	return s
+}
+
+// Random generates a random RLC tree for property-based tests and fuzzing:
+// every section has non-negative R and L and strictly positive C, so the
+// resulting tree always admits a stable equivalent Elmore model.
+func Random(rng *rand.Rand, spec RandomSpec) *Tree {
+	spec = spec.withDefaults()
+	t := New()
+	var all []*Section
+	for i := 0; i < spec.Sections; i++ {
+		var parent *Section
+		if len(all) > 0 && rng.Float64() < spec.ChainP {
+			parent = all[rng.Intn(len(all))]
+		}
+		s := t.MustAddSection(
+			fmt.Sprintf("r%d", i), parent,
+			rng.Float64()*spec.MaxR,
+			rng.Float64()*spec.MaxL,
+			spec.MaxC*(1e-6+rng.Float64()*(1-1e-6)),
+		)
+		all = append(all, s)
+	}
+	return t
+}

@@ -1,0 +1,112 @@
+package rlctree
+
+// This file implements the recursive algorithms of the paper's Appendix
+// ("Complexity of the Second-Order Approximation", Figs. 17 and 18).
+//
+// The two per-node summations needed by the second-order model are
+// (eqs. 50–53):
+//
+//	S_R(i) = Σ_k C_k R_ik = Σ_{w ∈ path(i)} R_w · C_tot(w)
+//	S_L(i) = Σ_k C_k L_ik = Σ_{w ∈ path(i)} L_w · C_tot(w)
+//
+// where R_ik (L_ik) is the common path resistance (inductance) from the
+// input to nodes i and k, and C_tot(w) is the total capacitance downstream
+// of section w (inclusive). S_R(i) is exactly the Elmore time constant of
+// node i when the tree is treated as an RC tree.
+//
+// The paper's pseudocode computes the sums in two passes — a bottom-up pass
+// for C_tot (Fig. 17, "Cal_Cap_Loads") and a top-down pass accumulating the
+// per-path sums (Fig. 18, "Cal_Summations") — for a total of 2n
+// multiplications. Because sections are stored in top-down topological
+// order (parents precede children), both passes are simple index sweeps
+// here, with no recursion-depth limits for very deep trees.
+
+// DownstreamCaps returns, for every section index, the total capacitance
+// C_tot hanging at or below that section's node (the Appendix Fig. 17
+// quantity). Runs in O(n) with no multiplications.
+func (t *Tree) DownstreamCaps() []float64 {
+	ctot := make([]float64, len(t.sections))
+	for i := len(t.sections) - 1; i >= 0; i-- {
+		s := t.sections[i]
+		ctot[i] += s.c
+		if s.parent != nil {
+			ctot[s.parent.index] += ctot[i]
+		}
+	}
+	return ctot
+}
+
+// Sums holds the per-node path summations of the Appendix, indexed by
+// section index. All three slices have length Tree.Len().
+type Sums struct {
+	// SR[i] = Σ_k C_k·R_ik, the Elmore time constant at node i [s].
+	SR []float64
+	// SL[i] = Σ_k C_k·L_ik [s²]; the equivalent natural frequency at node i
+	// is ω_n = 1/sqrt(SL[i]).
+	SL []float64
+	// Ctot[i] is the downstream capacitance of section i [F].
+	Ctot []float64
+}
+
+// ElmoreSums computes S_R and S_L for every node of the tree with the
+// two-pass O(n) algorithm of the paper's Appendix (2n multiplications
+// total). The result feeds directly into the second-order model's
+// ζ_i and ω_ni (paper eqs. 29–30).
+func (t *Tree) ElmoreSums() Sums {
+	n := len(t.sections)
+	sums := Sums{
+		SR:   make([]float64, n),
+		SL:   make([]float64, n),
+		Ctot: t.DownstreamCaps(),
+	}
+	for i, s := range t.sections {
+		var baseR, baseL float64
+		if s.parent != nil {
+			baseR = sums.SR[s.parent.index]
+			baseL = sums.SL[s.parent.index]
+		}
+		sums.SR[i] = baseR + s.r*sums.Ctot[i]
+		sums.SL[i] = baseL + s.l*sums.Ctot[i]
+	}
+	return sums
+}
+
+// CommonPath returns the resistance and inductance common to the paths
+// from the input to sections a and b: R_ab = Σ_{w ∈ path(a)∩path(b)} R_w
+// and likewise L_ab. This is the O(depth) primitive underlying the direct
+// definition of the summations; it is retained for tests and for callers
+// that need a single pair rather than the whole tree.
+func CommonPath(a, b *Section) (r, l float64) {
+	onPathA := make(map[*Section]bool)
+	for p := a; p != nil; p = p.parent {
+		onPathA[p] = true
+	}
+	for p := b; p != nil; p = p.parent {
+		if onPathA[p] {
+			r += p.r
+			l += p.l
+		}
+	}
+	return r, l
+}
+
+// ElmoreSumsBrute computes the same summations as ElmoreSums directly from
+// the definition S_R(i) = Σ_k C_k R_ik in O(n²·depth) time. It exists to
+// cross-check the O(n) recursive algorithm in tests and to document the
+// definition; use ElmoreSums in production code.
+func (t *Tree) ElmoreSumsBrute() Sums {
+	n := len(t.sections)
+	sums := Sums{
+		SR:   make([]float64, n),
+		SL:   make([]float64, n),
+		Ctot: t.DownstreamCaps(),
+	}
+	for i, si := range t.sections {
+		for _, sk := range t.sections {
+			r, l := CommonPath(si, sk)
+			sums.SR[i] += sk.c * r
+			sums.SL[i] += sk.c * l
+		}
+	}
+	return sums
+}

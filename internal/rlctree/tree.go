@@ -1,0 +1,217 @@
+// Package rlctree models distributed RLC interconnect trees — the circuit
+// family the paper analyzes (Fig. 3, Fig. 5) — and implements the
+// recursive O(n) algorithms of the paper's Appendix that make the
+// equivalent Elmore delay computable at every node of the tree in time
+// linear in the number of branches.
+//
+// A tree is driven at a single input node by an ideal source. Each Section
+// is one RLC segment: a series resistance R and inductance L from its
+// parent's node (or the input) to the section's own node, plus a
+// capacitance C from that node to ground. Branching is arbitrary; any
+// general tree can also be expressed with a binary branching factor by
+// inserting zero-impedance sections (paper Appendix, [27], [28]).
+package rlctree
+
+import (
+	"fmt"
+	"math"
+)
+
+// Section is one RLC segment of a tree. Sections are created with
+// Tree.AddSection and are immutable afterwards except through Scale
+// helpers; the identity of a Section is its tree plus name.
+type Section struct {
+	name     string
+	r, l, c  float64
+	index    int
+	parent   *Section // nil when driven directly by the input node
+	children []*Section
+	tree     *Tree
+}
+
+// Name returns the section's unique name within its tree.
+func (s *Section) Name() string { return s.name }
+
+// R returns the series resistance of the section in ohms.
+func (s *Section) R() float64 { return s.r }
+
+// L returns the series inductance of the section in henries.
+func (s *Section) L() float64 { return s.l }
+
+// C returns the capacitance from the section's node to ground in farads.
+func (s *Section) C() float64 { return s.c }
+
+// Index returns the section's stable index within the tree, in insertion
+// order. Because a parent must exist before its children can be added,
+// ascending index order is always a valid top-down (topological) order.
+func (s *Section) Index() int { return s.index }
+
+// Tree returns the tree that owns this section.
+func (s *Section) Tree() *Tree { return s.tree }
+
+// Parent returns the upstream section, or nil when the section is attached
+// directly to the input node.
+func (s *Section) Parent() *Section { return s.parent }
+
+// Children returns the sections driven by this section's node.
+// The returned slice must not be modified.
+func (s *Section) Children() []*Section { return s.children }
+
+// IsLeaf reports whether the section drives no further sections, i.e. its
+// node is a sink of the tree.
+func (s *Section) IsLeaf() bool { return len(s.children) == 0 }
+
+// Level returns the section's depth in the tree: 1 for sections attached to
+// the input node, increasing toward the sinks.
+func (s *Section) Level() int {
+	n := 0
+	for p := s; p != nil; p = p.parent {
+		n++
+	}
+	return n
+}
+
+// Path returns the sections on the path from the input to this section,
+// inclusive, in input→section order.
+func (s *Section) Path() []*Section {
+	var rev []*Section
+	for p := s; p != nil; p = p.parent {
+		rev = append(rev, p)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+func (s *Section) String() string {
+	parent := "<input>"
+	if s.parent != nil {
+		parent = s.parent.name
+	}
+	return fmt.Sprintf("%s(parent=%s R=%g L=%g C=%g)", s.name, parent, s.r, s.l, s.c)
+}
+
+// Tree is an RLC tree driven at a single input node. The zero value is not
+// usable; create trees with New.
+type Tree struct {
+	sections []*Section
+	byName   map[string]*Section
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{byName: make(map[string]*Section)}
+}
+
+// AddSection appends a section named name with series resistance r, series
+// inductance l and node capacitance c. parent is the upstream section, or
+// nil to attach the section directly to the input node. Element values must
+// be non-negative and finite; a zero R and L models an ideal junction
+// (used, e.g., to express general branching with a binary factor).
+func (t *Tree) AddSection(name string, parent *Section, r, l, c float64) (*Section, error) {
+	if name == "" {
+		return nil, fmt.Errorf("rlctree: section name must be non-empty")
+	}
+	if _, dup := t.byName[name]; dup {
+		return nil, fmt.Errorf("rlctree: duplicate section name %q", name)
+	}
+	if parent != nil && parent.tree != t {
+		return nil, fmt.Errorf("rlctree: parent section %q belongs to a different tree", parent.name)
+	}
+	for _, v := range [...]struct {
+		label string
+		val   float64
+	}{{"R", r}, {"L", l}, {"C", c}} {
+		if math.IsNaN(v.val) || math.IsInf(v.val, 0) || v.val < 0 {
+			return nil, fmt.Errorf("rlctree: section %q has invalid %s = %g", name, v.label, v.val)
+		}
+	}
+	s := &Section{name: name, r: r, l: l, c: c, index: len(t.sections), parent: parent, tree: t}
+	t.sections = append(t.sections, s)
+	t.byName[name] = s
+	if parent != nil {
+		parent.children = append(parent.children, s)
+	}
+	return s, nil
+}
+
+// MustAddSection is AddSection that panics on error, for use in builders
+// and tests with known-good arguments.
+func (t *Tree) MustAddSection(name string, parent *Section, r, l, c float64) *Section {
+	s, err := t.AddSection(name, parent, r, l, c)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of sections (branches) in the tree.
+func (t *Tree) Len() int { return len(t.sections) }
+
+// Sections returns all sections in insertion (top-down topological) order.
+// The returned slice must not be modified.
+func (t *Tree) Sections() []*Section { return t.sections }
+
+// Section returns the section with the given name, or nil if absent.
+func (t *Tree) Section(name string) *Section { return t.byName[name] }
+
+// Roots returns the sections attached directly to the input node.
+func (t *Tree) Roots() []*Section {
+	var out []*Section
+	for _, s := range t.sections {
+		if s.parent == nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Leaves returns the sink sections in insertion order.
+func (t *Tree) Leaves() []*Section {
+	var out []*Section
+	for _, s := range t.sections {
+		if s.IsLeaf() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Depth returns the number of levels in the tree (0 for an empty tree).
+func (t *Tree) Depth() int {
+	depth := 0
+	level := make([]int, len(t.sections))
+	for _, s := range t.sections {
+		d := 1
+		if s.parent != nil {
+			d = level[s.parent.index] + 1
+		}
+		level[s.index] = d
+		if d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
+// TotalCap returns the total capacitance of the tree.
+func (t *Tree) TotalCap() float64 {
+	var sum float64
+	for _, s := range t.sections {
+		sum += s.c
+	}
+	return sum
+}
+
+// HasInductance reports whether any section has a non-zero inductance.
+// Pure RC trees (L = 0 everywhere) degenerate the second-order model to
+// the classical Elmore/Wyatt first-order form.
+func (t *Tree) HasInductance() bool {
+	for _, s := range t.sections {
+		if s.l != 0 {
+			return true
+		}
+	}
+	return false
+}

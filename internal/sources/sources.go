@@ -1,0 +1,181 @@
+// Package sources models the input stimuli applied at the root of an
+// interconnect tree. The same Source values drive both the closed-form
+// response expressions of the delay model (internal/core) and the transient
+// circuit simulator (internal/transim), so analytic and simulated waveforms
+// always see identical inputs.
+package sources
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Source is a time-dependent voltage stimulus. V reports the value at time
+// t ≥ 0 (time before t=0 is taken as V(0)), and FinalValue the steady-state
+// value as t → ∞, used to normalize delay and overshoot measurements.
+type Source interface {
+	V(t float64) float64
+	FinalValue() float64
+}
+
+// DC is a constant source.
+type DC struct {
+	Value float64
+}
+
+// V implements Source.
+func (s DC) V(float64) float64 { return s.Value }
+
+// FinalValue implements Source.
+func (s DC) FinalValue() float64 { return s.Value }
+
+func (s DC) String() string { return fmt.Sprintf("DC %g", s.Value) }
+
+// Step switches from V0 to V1 at time Delay (an ideal step: zero rise time).
+// A step input is the worst case for the second-order model's accuracy
+// (paper Sec. V-A), which is why the evaluation figures use it.
+type Step struct {
+	V0, V1 float64
+	Delay  float64
+}
+
+// V implements Source.
+func (s Step) V(t float64) float64 {
+	if t < s.Delay {
+		return s.V0
+	}
+	return s.V1
+}
+
+// FinalValue implements Source.
+func (s Step) FinalValue() float64 { return s.V1 }
+
+func (s Step) String() string { return fmt.Sprintf("STEP(%g %g %g)", s.V0, s.V1, s.Delay) }
+
+// Exponential is the saturating exponential of paper eq. (43),
+// V(t) = Vdd·(1 − e^{−(t−Delay)/Tau}) for t ≥ Delay. Its 90% rise time is
+// 2.3·Tau. The paper uses it as a realistic stand-in for on-chip signals.
+type Exponential struct {
+	Vdd   float64
+	Tau   float64 // time constant, > 0
+	Delay float64
+}
+
+// V implements Source.
+func (s Exponential) V(t float64) float64 {
+	if t < s.Delay {
+		return 0
+	}
+	return s.Vdd * (1 - math.Exp(-(t-s.Delay)/s.Tau))
+}
+
+// FinalValue implements Source.
+func (s Exponential) FinalValue() float64 { return s.Vdd }
+
+func (s Exponential) String() string { return fmt.Sprintf("EXP(%g %g %g)", s.Vdd, s.Tau, s.Delay) }
+
+// RiseTime90 returns the 0→90% rise time of the exponential, 2.3·Tau
+// (strictly ln(10)·Tau ≈ 2.303·Tau), the quantity the paper's Fig. 9
+// sweeps.
+func (s Exponential) RiseTime90() float64 { return math.Log(10) * s.Tau }
+
+// Ramp rises linearly from 0 to Vdd over TRise starting at Delay, then
+// holds Vdd.
+type Ramp struct {
+	Vdd   float64
+	TRise float64 // > 0
+	Delay float64
+}
+
+// V implements Source.
+func (s Ramp) V(t float64) float64 {
+	switch {
+	case t <= s.Delay:
+		return 0
+	case t >= s.Delay+s.TRise:
+		return s.Vdd
+	default:
+		return s.Vdd * (t - s.Delay) / s.TRise
+	}
+}
+
+// FinalValue implements Source.
+func (s Ramp) FinalValue() float64 { return s.Vdd }
+
+func (s Ramp) String() string { return fmt.Sprintf("RAMP(%g %g %g)", s.Vdd, s.TRise, s.Delay) }
+
+// PWLPoint is one (time, value) breakpoint of a piecewise-linear source.
+type PWLPoint struct {
+	T, V float64
+}
+
+// PWL interpolates linearly between breakpoints and holds the last value
+// afterwards. Construct with NewPWL, which validates and sorts breakpoints.
+type PWL struct {
+	points []PWLPoint
+}
+
+// NewPWL builds a piecewise-linear source from breakpoints. At least one
+// breakpoint is required; times must be distinct.
+func NewPWL(points []PWLPoint) (PWL, error) {
+	if len(points) == 0 {
+		return PWL{}, fmt.Errorf("sources: PWL requires at least one breakpoint")
+	}
+	ps := make([]PWLPoint, len(points))
+	copy(ps, points)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].T < ps[j].T })
+	for i := 1; i < len(ps); i++ {
+		if ps[i].T == ps[i-1].T {
+			return PWL{}, fmt.Errorf("sources: PWL has duplicate breakpoint time %g", ps[i].T)
+		}
+	}
+	return PWL{points: ps}, nil
+}
+
+// Points returns a copy of the sorted breakpoints.
+func (s PWL) Points() []PWLPoint {
+	out := make([]PWLPoint, len(s.points))
+	copy(out, s.points)
+	return out
+}
+
+// V implements Source.
+func (s PWL) V(t float64) float64 {
+	ps := s.points
+	if len(ps) == 0 {
+		return 0
+	}
+	if t <= ps[0].T {
+		return ps[0].V
+	}
+	if t >= ps[len(ps)-1].T {
+		return ps[len(ps)-1].V
+	}
+	i := sort.Search(len(ps), func(i int) bool { return ps[i].T > t }) - 1
+	p0, p1 := ps[i], ps[i+1]
+	frac := (t - p0.T) / (p1.T - p0.T)
+	return p0.V + frac*(p1.V-p0.V)
+}
+
+// FinalValue implements Source.
+func (s PWL) FinalValue() float64 {
+	if len(s.points) == 0 {
+		return 0
+	}
+	return s.points[len(s.points)-1].V
+}
+
+func (s PWL) String() string {
+	var b strings.Builder
+	b.WriteString("PWL(")
+	for i, p := range s.points {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%g %g", p.T, p.V)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

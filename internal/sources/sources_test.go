@@ -1,0 +1,133 @@
+package sources
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDC(t *testing.T) {
+	s := DC{Value: 1.8}
+	if s.V(0) != 1.8 || s.V(100) != 1.8 || s.FinalValue() != 1.8 {
+		t.Fatal("DC source must be constant")
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := Step{V0: 0.2, V1: 1.2, Delay: 1e-9}
+	if got := s.V(0); got != 0.2 {
+		t.Fatalf("V(0) = %g, want 0.2", got)
+	}
+	if got := s.V(1e-9); got != 1.2 {
+		t.Fatalf("V(delay) = %g, want 1.2 (step inclusive at delay)", got)
+	}
+	if got := s.V(5e-9); got != 1.2 {
+		t.Fatalf("V(5ns) = %g, want 1.2", got)
+	}
+	if s.FinalValue() != 1.2 {
+		t.Fatal("FinalValue wrong")
+	}
+}
+
+func TestExponential(t *testing.T) {
+	s := Exponential{Vdd: 2.5, Tau: 1e-9}
+	if s.V(0) != 0 {
+		t.Fatal("V(0) must be 0")
+	}
+	if got, want := s.V(1e-9), 2.5*(1-math.Exp(-1)); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("V(tau) = %g, want %g", got, want)
+	}
+	if got := s.V(100e-9); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("V(100tau) = %g, want ≈ 2.5", got)
+	}
+	if s.FinalValue() != 2.5 {
+		t.Fatal("FinalValue wrong")
+	}
+	// 90% rise time = ln(10)·tau; check V at that time is 90% of Vdd.
+	tr := s.RiseTime90()
+	if got, want := s.V(tr), 0.9*2.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("V(riseTime90) = %g, want %g", got, want)
+	}
+}
+
+func TestExponentialDelay(t *testing.T) {
+	s := Exponential{Vdd: 1, Tau: 1e-9, Delay: 2e-9}
+	if s.V(1.9e-9) != 0 {
+		t.Fatal("value before delay must be 0")
+	}
+	if got, want := s.V(3e-9), 1-math.Exp(-1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("delayed exponential = %g, want %g", got, want)
+	}
+}
+
+func TestRamp(t *testing.T) {
+	s := Ramp{Vdd: 1.0, TRise: 4e-9, Delay: 1e-9}
+	cases := []struct{ t, want float64 }{
+		{0, 0}, {1e-9, 0}, {3e-9, 0.5}, {5e-9, 1}, {10e-9, 1},
+	}
+	for _, c := range cases {
+		if got := s.V(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("V(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	if s.FinalValue() != 1 {
+		t.Fatal("FinalValue wrong")
+	}
+}
+
+func TestPWLValidation(t *testing.T) {
+	if _, err := NewPWL(nil); err == nil {
+		t.Fatal("expected error for empty PWL")
+	}
+	if _, err := NewPWL([]PWLPoint{{1, 0}, {1, 1}}); err == nil {
+		t.Fatal("expected error for duplicate times")
+	}
+}
+
+func TestPWLInterpolation(t *testing.T) {
+	s, err := NewPWL([]PWLPoint{{2, 1}, {0, 0}, {4, 0.5}}) // unsorted on purpose
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ t, want float64 }{
+		{-1, 0},   // clamp before first
+		{0, 0},    // breakpoint
+		{1, 0.5},  // interp 0→1 over [0,2]
+		{2, 1},    // breakpoint
+		{3, 0.75}, // interp 1→0.5 over [2,4]
+		{4, 0.5},  // breakpoint
+		{9, 0.5},  // hold after last
+	}
+	for _, c := range cases {
+		if got := s.V(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("V(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	if s.FinalValue() != 0.5 {
+		t.Fatalf("FinalValue = %g, want 0.5", s.FinalValue())
+	}
+	pts := s.Points()
+	if len(pts) != 3 || pts[0].T != 0 || pts[2].T != 4 {
+		t.Fatalf("Points not sorted: %v", pts)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := []struct {
+		src  interface{ String() string }
+		want string
+	}{
+		{DC{1}, "DC 1"},
+		{Step{0, 1, 0}, "STEP(0 1 0)"},
+		{Exponential{1, 2e-9, 0}, "EXP(1 2e-09 0)"},
+		{Ramp{1, 1e-9, 0}, "RAMP(1 1e-09 0)"},
+	}
+	for _, c := range cases {
+		if got := c.src.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	pwl, _ := NewPWL([]PWLPoint{{0, 0}, {1e-9, 1}})
+	if got := pwl.String(); got != "PWL(0 0 1e-09 1)" {
+		t.Errorf("PWL String() = %q", got)
+	}
+}

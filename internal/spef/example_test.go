@@ -1,0 +1,48 @@
+package spef_test
+
+import (
+	"fmt"
+
+	"eedtree/internal/core"
+	"eedtree/internal/spef"
+)
+
+// Example parses an extracted net from SPEF and characterizes it with the
+// equivalent Elmore model.
+func Example() {
+	file, err := spef.ParseString(`*SPEF "IEEE 1481-1998"
+*T_UNIT 1 PS
+*C_UNIT 1 FF
+*R_UNIT 1 OHM
+*L_UNIT 1 PH
+*D_NET clk_leaf 140
+*CONN
+*I buf7:Z O
+*I ff12:CK I
+*CAP
+1 n1 70
+2 ff12:CK 70
+*RES
+1 buf7:Z n1 18
+2 n1 ff12:CK 18
+*INDUC
+1 buf7:Z n1 900
+2 n1 ff12:CK 900
+*END
+`)
+	if err != nil {
+		panic(err)
+	}
+	tree, err := file.Net("clk_leaf").Tree(file.Units)
+	if err != nil {
+		panic(err)
+	}
+	m, err := core.AtNode(tree.Section("ff12:CK"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("sink ff12:CK: zeta=%.3f delay=%.2fps rise=%.2fps\n",
+		m.Zeta(), 1e12*m.Delay50(), 1e12*m.RiseTime())
+	// Output:
+	// sink ff12:CK: zeta=0.137 delay=14.87ps rise=15.39ps
+}

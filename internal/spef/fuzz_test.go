@@ -1,0 +1,33 @@
+package spef
+
+import "testing"
+
+// FuzzParse drives the SPEF parser with arbitrary inputs: no panics, and
+// accepted files must round-trip through the writer with the same net and
+// branch counts.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("*SPEF \"x\"\n*T_UNIT 1 NS\n")
+	f.Add("*D_NET n 1\n*CAP\n1 a 0.5\n*END\n")
+	f.Add("*NAME_MAP\n*1 foo\n*D_NET *1 1\n*RES\n1 *1:1 *1:2 5\n*END\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		file, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		back, err := ParseString(file.Format())
+		if err != nil {
+			t.Fatalf("accepted SPEF failed to round-trip: %v\ninput: %q\nformatted: %q", err, input, file.Format())
+		}
+		if len(back.Nets) != len(file.Nets) {
+			t.Fatalf("round trip changed net count %d → %d", len(file.Nets), len(back.Nets))
+		}
+		for i, n := range file.Nets {
+			b := back.Nets[i]
+			if len(b.Ress) != len(n.Ress) || len(b.Caps) != len(n.Caps) || len(b.Inducs) != len(n.Inducs) {
+				t.Fatalf("round trip changed branch counts for net %q", n.Name)
+			}
+		}
+	})
+}

@@ -1,0 +1,296 @@
+// Package spef reads and writes a practical subset of the Standard
+// Parasitic Exchange Format (SPEF, IEEE 1481) — the format timing flows
+// use to hand extracted interconnect parasitics to delay calculators.
+// Parsed nets convert to rlctree.Tree values, connecting the paper's delay
+// model to industry netlists.
+//
+// Supported subset: the standard header directives, *NAME_MAP, and *D_NET
+// sections with *CONN, *CAP (grounded capacitances), *RES, and — because
+// this library models inductance — the *INDUC section emitted by RLC-aware
+// extractors, holding branch self-inductances between the same node pairs
+// as *RES. Coupling capacitances (two-node *CAP entries) identify coupled
+// nets and are rejected with a clear error; reduce them to ground first.
+package spef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Units holds the multipliers that convert the file's numeric values to SI
+// (seconds, farads, ohms, henries).
+type Units struct {
+	T, C, R, L float64
+}
+
+// DefaultUnits are used when a file omits unit directives: ns, pF, Ω, H.
+var DefaultUnits = Units{T: 1e-9, C: 1e-12, R: 1, L: 1}
+
+// ConnType distinguishes external port pins (*P) from internal cell pins
+// (*I) in a *CONN section.
+type ConnType byte
+
+const (
+	// ConnPort is a *P entry (chip-level port).
+	ConnPort ConnType = 'P'
+	// ConnPin is an *I entry (cell instance pin).
+	ConnPin ConnType = 'I'
+)
+
+// Direction is a pin direction in a *CONN entry.
+type Direction byte
+
+const (
+	// DirInput marks a load pin (I).
+	DirInput Direction = 'I'
+	// DirOutput marks the driving pin (O).
+	DirOutput Direction = 'O'
+	// DirBidir marks a bidirectional pin (B).
+	DirBidir Direction = 'B'
+)
+
+// Conn is one *CONN entry.
+type Conn struct {
+	Type ConnType
+	Pin  string
+	Dir  Direction
+}
+
+// Cap is one grounded *CAP entry: capacitance at a net node.
+type Cap struct {
+	Node  string
+	Value float64 // in file units
+}
+
+// Branch is one *RES or *INDUC entry between two net nodes.
+type Branch struct {
+	A, B  string
+	Value float64 // in file units
+}
+
+// Net is one *D_NET section.
+type Net struct {
+	Name     string
+	TotalCap float64 // in file units, as stated on the *D_NET line
+	Conns    []Conn
+	Caps     []Cap
+	Ress     []Branch
+	Inducs   []Branch
+}
+
+// File is a parsed SPEF file.
+type File struct {
+	Header map[string]string // directive (without '*') → raw value
+	Units  Units
+	Nets   []*Net
+
+	nameMap map[string]string // "*1" → mapped name
+}
+
+// Net returns the net with the given name, or nil.
+func (f *File) Net(name string) *Net {
+	for _, n := range f.Nets {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+type parser struct {
+	sc   *bufio.Scanner
+	line int
+	file *File
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("spef: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+// Parse reads a SPEF file.
+func Parse(r io.Reader) (*File, error) {
+	f := &File{
+		Header:  map[string]string{},
+		Units:   DefaultUnits,
+		nameMap: map[string]string{},
+	}
+	p := &parser{sc: bufio.NewScanner(r), file: f}
+	p.sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+
+	var section string // "", "NAME_MAP", or a *D_NET subsection label
+	var cur *Net
+	for p.sc.Scan() {
+		p.line++
+		line := strings.TrimSpace(p.sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		fields := strings.Fields(line)
+		key := strings.ToUpper(fields[0])
+		switch {
+		case key == "*NAME_MAP":
+			section, cur = "NAME_MAP", nil
+		case key == "*D_NET":
+			if len(fields) < 3 {
+				return nil, p.errf("*D_NET needs a name and total capacitance")
+			}
+			tc, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, p.errf("*D_NET total cap: %v", err)
+			}
+			cur = &Net{Name: p.mapName(fields[1]), TotalCap: tc}
+			f.Nets = append(f.Nets, cur)
+			section = "D_NET"
+		case key == "*CONN" || key == "*CAP" || key == "*RES" || key == "*INDUC":
+			if cur == nil {
+				return nil, p.errf("%s outside a *D_NET", key)
+			}
+			section = key[1:]
+		case key == "*END":
+			cur, section = nil, ""
+		case strings.HasPrefix(key, "*") && section == "NAME_MAP":
+			if len(fields) != 2 {
+				return nil, p.errf("name map entry needs an index and a name")
+			}
+			f.nameMap[fields[0]] = fields[1]
+		case strings.HasPrefix(key, "*") && cur == nil:
+			// Header directive: *T_UNIT, *DESIGN, …
+			if err := p.header(key[1:], fields[1:]); err != nil {
+				return nil, err
+			}
+		case cur != nil:
+			if err := p.netLine(cur, section, fields); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unexpected line %q", line)
+		}
+	}
+	if err := p.sc.Err(); err != nil {
+		return nil, fmt.Errorf("spef: read: %w", err)
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("spef: unterminated *D_NET %q (missing *END)", cur.Name)
+	}
+	return f, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*File, error) { return Parse(strings.NewReader(s)) }
+
+func (p *parser) mapName(s string) string {
+	if mapped, ok := p.file.nameMap[s]; ok {
+		return mapped
+	}
+	return s
+}
+
+// mapNode resolves the name-map prefix of a node reference like "*1:3".
+func (p *parser) mapNode(s string) string {
+	if i := strings.IndexByte(s, ':'); i > 0 && strings.HasPrefix(s, "*") {
+		return p.mapName(s[:i]) + s[i:]
+	}
+	return p.mapName(s)
+}
+
+func (p *parser) header(key string, rest []string) error {
+	value := strings.Join(rest, " ")
+	p.file.Header[key] = strings.Trim(value, `"`)
+	switch key {
+	case "T_UNIT", "C_UNIT", "R_UNIT", "L_UNIT":
+		if len(rest) != 2 {
+			return p.errf("*%s needs a scale and a unit", key)
+		}
+		scale, err := strconv.ParseFloat(rest[0], 64)
+		if err != nil {
+			return p.errf("*%s scale: %v", key, err)
+		}
+		mult, err := unitMultiplier(key, strings.ToUpper(rest[1]))
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		v := scale * mult
+		switch key {
+		case "T_UNIT":
+			p.file.Units.T = v
+		case "C_UNIT":
+			p.file.Units.C = v
+		case "R_UNIT":
+			p.file.Units.R = v
+		case "L_UNIT":
+			p.file.Units.L = v
+		}
+	}
+	return nil
+}
+
+func unitMultiplier(key, unit string) (float64, error) {
+	table := map[string]float64{
+		"S": 1, "NS": 1e-9, "PS": 1e-12, "US": 1e-6, "MS": 1e-3,
+		"F": 1, "PF": 1e-12, "FF": 1e-15, "NF": 1e-9, "UF": 1e-6,
+		"OHM": 1, "KOHM": 1e3, "MOHM": 1e6,
+		"HENRY": 1, "MH": 1e-3, "UH": 1e-6, "NH": 1e-9, "PH": 1e-12,
+	}
+	if m, ok := table[unit]; ok {
+		return m, nil
+	}
+	return 0, fmt.Errorf("spef: unsupported unit %q for *%s", unit, key)
+}
+
+func (p *parser) netLine(net *Net, section string, fields []string) error {
+	switch section {
+	case "CONN":
+		if len(fields) < 3 {
+			return p.errf("*CONN entry needs type, pin and direction")
+		}
+		var ct ConnType
+		switch strings.ToUpper(fields[0]) {
+		case "*P":
+			ct = ConnPort
+		case "*I":
+			ct = ConnPin
+		default:
+			return p.errf("unknown *CONN entry type %q", fields[0])
+		}
+		dir := Direction(strings.ToUpper(fields[2])[0])
+		switch dir {
+		case DirInput, DirOutput, DirBidir:
+		default:
+			return p.errf("unknown pin direction %q", fields[2])
+		}
+		net.Conns = append(net.Conns, Conn{Type: ct, Pin: p.mapNode(fields[1]), Dir: dir})
+	case "CAP":
+		switch len(fields) {
+		case 3:
+			v, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return p.errf("*CAP value: %v", err)
+			}
+			net.Caps = append(net.Caps, Cap{Node: p.mapNode(fields[1]), Value: v})
+		case 4:
+			return p.errf("coupling capacitance (%s %s) not supported: reduce to ground first", fields[1], fields[2])
+		default:
+			return p.errf("*CAP entry needs index, node, value")
+		}
+	case "RES", "INDUC":
+		if len(fields) != 4 {
+			return p.errf("*%s entry needs index, two nodes and a value", section)
+		}
+		v, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return p.errf("*%s value: %v", section, err)
+		}
+		br := Branch{A: p.mapNode(fields[1]), B: p.mapNode(fields[2]), Value: v}
+		if section == "RES" {
+			net.Ress = append(net.Ress, br)
+		} else {
+			net.Inducs = append(net.Inducs, br)
+		}
+	default:
+		return p.errf("data line outside a recognized section")
+	}
+	return nil
+}

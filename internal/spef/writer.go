@@ -1,0 +1,116 @@
+package spef
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteTo serializes the file in the subset accepted by Parse. Header
+// directives are emitted in a canonical order; names are written directly
+// (no *NAME_MAP indirection).
+func (f *File) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	// Canonical header order, then any remaining directives alphabetically.
+	canonical := []string{"SPEF", "DESIGN", "DATE", "VENDOR", "PROGRAM", "VERSION",
+		"DESIGN_FLOW", "DIVIDER", "DELIMITER", "BUS_DELIMITER",
+		"T_UNIT", "C_UNIT", "R_UNIT", "L_UNIT"}
+	seen := map[string]bool{}
+	emit := func(key string) error {
+		v, ok := f.Header[key]
+		if !ok {
+			return nil
+		}
+		seen[key] = true
+		if strings.HasSuffix(key, "_UNIT") || key == "DIVIDER" || key == "DELIMITER" || key == "BUS_DELIMITER" {
+			return count(fmt.Fprintf(w, "*%s %s\n", key, v))
+		}
+		return count(fmt.Fprintf(w, "*%s \"%s\"\n", key, v))
+	}
+	for _, key := range canonical {
+		if err := emit(key); err != nil {
+			return n, err
+		}
+	}
+	var rest []string
+	for key := range f.Header {
+		if !seen[key] {
+			rest = append(rest, key)
+		}
+	}
+	sort.Strings(rest)
+	for _, key := range rest {
+		if err := emit(key); err != nil {
+			return n, err
+		}
+	}
+	for _, net := range f.Nets {
+		if err := count(fmt.Fprintf(w, "\n*D_NET %s %g\n", net.Name, net.TotalCap)); err != nil {
+			return n, err
+		}
+		if len(net.Conns) > 0 {
+			if err := count(fmt.Fprintln(w, "*CONN")); err != nil {
+				return n, err
+			}
+			for _, c := range net.Conns {
+				if err := count(fmt.Fprintf(w, "*%c %s %c\n", c.Type, c.Pin, c.Dir)); err != nil {
+					return n, err
+				}
+			}
+		}
+		if err := writeBranchSection(w, &n, "*CAP", len(net.Caps), func(i int) string {
+			return fmt.Sprintf("%d %s %g", i+1, net.Caps[i].Node, net.Caps[i].Value)
+		}); err != nil {
+			return n, err
+		}
+		if err := writeBranchSection(w, &n, "*RES", len(net.Ress), func(i int) string {
+			b := net.Ress[i]
+			return fmt.Sprintf("%d %s %s %g", i+1, b.A, b.B, b.Value)
+		}); err != nil {
+			return n, err
+		}
+		if err := writeBranchSection(w, &n, "*INDUC", len(net.Inducs), func(i int) string {
+			b := net.Inducs[i]
+			return fmt.Sprintf("%d %s %s %g", i+1, b.A, b.B, b.Value)
+		}); err != nil {
+			return n, err
+		}
+		if err := count(fmt.Fprintln(w, "*END")); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func writeBranchSection(w io.Writer, n *int64, label string, count int, line func(i int) string) error {
+	if count == 0 {
+		return nil
+	}
+	c, err := fmt.Fprintln(w, label)
+	*n += int64(c)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < count; i++ {
+		c, err := fmt.Fprintln(w, line(i))
+		*n += int64(c)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Format returns the file as text.
+func (f *File) Format() string {
+	var b strings.Builder
+	if _, err := f.WriteTo(&b); err != nil {
+		panic(err) // strings.Builder writes cannot fail
+	}
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package timing_test
+
+import (
+	"fmt"
+
+	"eedtree/internal/rlctree"
+	"eedtree/internal/timing"
+)
+
+// Example times a two-stage path: a driver into a long line, repeated
+// into a second identical segment. The first stage sees an ideal step;
+// the second sees the first stage's (degraded) output edge.
+func Example() {
+	seg, err := rlctree.Line("w", 6, rlctree.SectionValues{R: 20, L: 1e-9, C: 40e-15})
+	if err != nil {
+		panic(err)
+	}
+	stage := timing.Stage{
+		Name:    "seg",
+		RDriver: 100,
+		TGate:   10e-12,
+		Tree:    seg,
+		Sink:    "w6",
+		Loads:   map[string]float64{"w6": 25e-15},
+	}
+	res, err := timing.AnalyzePath([]timing.Stage{stage, stage}, 0)
+	if err != nil {
+		panic(err)
+	}
+	for i, sr := range res.Stages {
+		fmt.Printf("stage %d: delay=%.1fps rise=%.1fps arrival=%.1fps\n",
+			i+1, 1e12*sr.Delay, 1e12*sr.OutputRise, 1e12*sr.Arrival)
+	}
+	// Output:
+	// stage 1: delay=56.0ps rise=70.9ps arrival=56.0ps
+	// stage 2: delay=62.9ps rise=98.0ps arrival=119.0ps
+}

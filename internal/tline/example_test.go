@@ -1,0 +1,29 @@
+package tline_test
+
+import (
+	"fmt"
+
+	"eedtree/internal/tline"
+)
+
+// Example characterizes a 5 mm global wire as an exact distributed line
+// and reads its 50% delay from the Talbot-inverted step response.
+func Example() {
+	line := tline.Line{
+		R: 26, L: 0.5e-9, C: 0.2e-12, // per mm
+		Len:   5,
+		RSrc:  50,
+		CLoad: 20e-15,
+	}
+	fmt.Printf("time of flight = %.2f ps\n", 1e12*line.TimeOfFlight())
+	fmt.Printf("line zeta      = %.3f\n", line.DampingFactor())
+	d, err := line.Delay50()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("exact delay50  = %.2f ps\n", 1e12*d)
+	// Output:
+	// time of flight = 50.00 ps
+	// line zeta      = 1.300
+	// exact delay50  = 87.56 ps
+}

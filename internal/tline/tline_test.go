@@ -1,0 +1,233 @@
+package tline
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"eedtree/internal/core"
+	"eedtree/internal/rlctree"
+	"eedtree/internal/sources"
+	"eedtree/internal/transim"
+	"eedtree/internal/waveform"
+)
+
+// A 5 mm wire at 26 Ω/mm, 0.5 nH/mm, 0.2 pF/mm with a 50 Ω driver:
+// line ζ ≈ 1.3 — comfortably damped for Talbot inversion.
+var damped = Line{R: 26, L: 0.5e-9, C: 0.2e-12, Len: 5, RSrc: 50, CLoad: 20e-15}
+
+func TestValidate(t *testing.T) {
+	if err := damped.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Line{
+		{R: 1, L: 0, C: 1e-12, Len: 1},
+		{R: 1, L: 1e-9, C: 0, Len: 1},
+		{R: -1, L: 1e-9, C: 1e-12, Len: 1},
+		{R: 1, L: 1e-9, C: 1e-12, Len: 0},
+		{R: 1, L: 1e-9, C: 1e-12, Len: 1, RSrc: -1},
+		{R: 1, L: 1e-9, C: 1e-12, Len: 1, CLoad: -1},
+		{R: math.NaN(), L: 1e-9, C: 1e-12, Len: 1},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestBasicQuantities(t *testing.T) {
+	if got, want := damped.TimeOfFlight(), 5*math.Sqrt(0.5e-9*0.2e-12); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("tof = %g, want %g", got, want)
+	}
+	if got, want := damped.DampingFactor(), 26*5/2*math.Sqrt(0.2e-12/0.5e-9); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ζ = %g, want %g", got, want)
+	}
+}
+
+func TestTransferFunctionLimits(t *testing.T) {
+	if h := damped.TransferFunction(0); h != 1 {
+		t.Fatalf("H(0) = %v, want 1", h)
+	}
+	// High frequency: a lossy matched-ish line attenuates toward the fixed
+	// factor e^{−Rℓ/(2Z0)} (≈ e^{−ζ}) times the source divider — well below
+	// the DC gain but not zero; the capacitive load pulls it further down.
+	hHF := cmplx.Abs(damped.TransferFunction(complex(0, 1e13)))
+	if hHF >= 0.5 {
+		t.Fatalf("|H| at 1e13 rad/s = %g, want < 0.5", hHF)
+	}
+	hLF := cmplx.Abs(damped.TransferFunction(complex(0, 1e9)))
+	if hHF >= hLF {
+		t.Fatalf("no high-frequency attenuation: |H|(1e13)=%g ≥ |H|(1e9)=%g", hHF, hLF)
+	}
+	// Huge real s: the overflow guard returns 0.
+	if h := damped.TransferFunction(complex(1e15, 0)); h != 0 {
+		t.Fatalf("overflow guard failed: %v", h)
+	}
+}
+
+// TestTalbotKnownTransforms validates the inverse-Laplace kernel on
+// transforms with known time functions.
+func TestTalbotKnownTransforms(t *testing.T) {
+	cases := []struct {
+		name string
+		F    func(complex128) complex128
+		f    func(float64) float64
+	}{
+		{"exp-decay", func(s complex128) complex128 { return 1 / (s + 2) },
+			func(t float64) float64 { return math.Exp(-2 * t) }},
+		{"step-minus-exp", func(s complex128) complex128 { return 1 / (s * (s + 1)) },
+			func(t float64) float64 { return 1 - math.Exp(-t) }},
+		{"damped-cosine", func(s complex128) complex128 { return (s + 1) / ((s+1)*(s+1) + 4) },
+			func(t float64) float64 { return math.Exp(-t) * math.Cos(2*t) }},
+		{"t-times-exp", func(s complex128) complex128 { return 1 / ((s + 1) * (s + 1)) },
+			func(t float64) float64 { return t * math.Exp(-t) }},
+	}
+	for _, c := range cases {
+		for _, tt := range []float64{0.1, 0.5, 1, 2, 5} {
+			got := invertLaplace(c.F, tt)
+			want := c.f(tt)
+			if math.Abs(got-want) > 1e-8*(1+math.Abs(want)) {
+				t.Fatalf("%s at t=%g: got %g, want %g", c.name, tt, got, want)
+			}
+		}
+	}
+}
+
+// TestStepResponseAgainstLumpedSimulation: the exact distributed solution
+// must agree with a finely discretized lumped simulation of the same
+// line.
+func TestStepResponseAgainstLumpedSimulation(t *testing.T) {
+	f, err := damped.StepResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64-section lumped model with the same driver and load.
+	const n = 64
+	tree := rlctree.New()
+	drv := tree.MustAddSection("drv", nil, damped.RSrc, 0, 0)
+	parent := drv
+	seg := damped.Len / n
+	for i := 1; i <= n; i++ {
+		parent = tree.MustAddSection(
+			nodeName(i), parent, damped.R*seg, damped.L*seg, damped.C*seg)
+	}
+	tree.MustAddSection("load", parent, 0, 0, damped.CLoad)
+	deck, err := tree.ToDeck(sources.Step{V0: 0, V1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stop = 3e-9
+	res, err := transim.Simulate(deck, transim.Options{Step: stop / 60000, Stop: stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := res.Node(nodeName(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lumped chain deviates most right at the wave front (it smears
+	// the distributed line's time-of-flight edge), so compare RMS over the
+	// record plus a looser cap on the worst pointwise deviation.
+	exact := waveform.Sample(f, 1e-12, stop, 1500)
+	if diff := waveform.RMSDiff(exact, sim, 1500); diff > 0.01 {
+		t.Fatalf("distributed vs 64-section lumped RMS differ by %g", diff)
+	}
+	if diff := waveform.MaxAbsDiff(exact, sim); diff > 0.08 {
+		t.Fatalf("distributed vs 64-section lumped max differ by %g", diff)
+	}
+	// Final value.
+	if v := f(20e-9); math.Abs(v-1) > 1e-6 {
+		t.Fatalf("final value %g", v)
+	}
+}
+
+func nodeName(i int) string {
+	return "w" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+// TestLumpedConvergesToDistributed (the Fig. 14 mechanism): as the lumped
+// ladder refines, its sink delay approaches the distributed line's exact
+// delay monotonically in error.
+func TestLumpedConvergesToDistributed(t *testing.T) {
+	exactDelay, err := damped.Delay50()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactDelay <= damped.TimeOfFlight()/2 {
+		t.Fatalf("delay %g below time of flight scale", exactDelay)
+	}
+	prevErr := math.Inf(1)
+	for _, n := range []int{2, 8, 32} {
+		tree := rlctree.New()
+		drv := tree.MustAddSection("drv", nil, damped.RSrc, 0, 0)
+		parent := drv
+		seg := damped.Len / float64(n)
+		for i := 1; i <= n; i++ {
+			parent = tree.MustAddSection(nodeName(i), parent, damped.R*seg, damped.L*seg, damped.C*seg)
+		}
+		tree.MustAddSection("load", parent, 0, 0, damped.CLoad)
+		deck, err := tree.ToDeck(sources.Step{V0: 0, V1: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const stop = 3e-9
+		res, err := transim.Simulate(deck, transim.Options{Step: stop / 40000, Stop: stop})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := res.Node(nodeName(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := w.Delay50(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := math.Abs(d - exactDelay)
+		if e >= prevErr {
+			t.Fatalf("n=%d: lumped delay error grew: %g then %g", n, prevErr, e)
+		}
+		prevErr = e
+	}
+	if prevErr > 0.03*exactDelay {
+		t.Fatalf("32-section ladder still %g from the distributed delay %g", prevErr, exactDelay)
+	}
+}
+
+// TestEEDDelayAgainstDistributed: the equivalent Elmore delay of a
+// finely lumped model of this damped line lands within the Fig.-14 error
+// band of the exact distributed delay.
+func TestEEDDelayAgainstDistributed(t *testing.T) {
+	exactDelay, err := damped.Delay50()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	tree := rlctree.New()
+	drv := tree.MustAddSection("drv", nil, damped.RSrc, 0, 0)
+	parent := drv
+	seg := damped.Len / n
+	for i := 1; i <= n; i++ {
+		parent = tree.MustAddSection(nodeName(i), parent, damped.R*seg, damped.L*seg, damped.C*seg)
+	}
+	sink := tree.MustAddSection("load", parent, 0, 0, damped.CLoad)
+	m, err := core.AtNode(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(m.Delay50()-exactDelay) / exactDelay; rel > 0.20 {
+		t.Fatalf("EED delay %g vs distributed %g (%.1f%% error, expected Elmore-class)",
+			m.Delay50(), exactDelay, 100*rel)
+	}
+}
+
+func TestDelay50Validation(t *testing.T) {
+	bad := Line{R: 1, L: 0, C: 1e-12, Len: 1}
+	if _, err := bad.Delay50(); err == nil {
+		t.Fatal("invalid line must fail")
+	}
+	if _, err := bad.StepResponse(); err == nil {
+		t.Fatal("invalid line must fail")
+	}
+}

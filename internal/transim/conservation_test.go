@@ -1,0 +1,102 @@
+package transim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eedtree/internal/core"
+	"eedtree/internal/rlctree"
+	"eedtree/internal/sources"
+)
+
+// TestChargeConservation: integrating the source current over a step
+// transient must equal the total charge delivered to the tree's
+// capacitors, Q = ΣC·Vdd — a physics invariant the companion-model
+// bookkeeping has to respect.
+func TestChargeConservation(t *testing.T) {
+	tree, err := rlctree.BalancedUniform(3, 2, rlctree.SectionValues{R: 30, L: 2e-9, C: 60e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const vdd = 1.5
+	deck, err := tree.ToDeck(sources.Step{V0: 0, V1: vdd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(deck, Options{Step: 1e-13, Stop: 30e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iw, err := res.BranchCurrent("Vin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trapezoidal integral of the source current (flows pos→neg inside
+	// the source, i.e. −(charging current)).
+	var q float64
+	for i := 1; i < iw.Len(); i++ {
+		q += 0.5 * (iw.Value[i] + iw.Value[i-1]) * (iw.Time[i] - iw.Time[i-1])
+	}
+	want := tree.TotalCap() * vdd
+	if rel := math.Abs(-q-want) / want; rel > 1e-3 {
+		t.Fatalf("delivered charge %g, want %g (%.3f%% off)", -q, want, 100*rel)
+	}
+}
+
+// TestChargeConservationProperty: the same invariant on random trees.
+// Trees whose nodes ring essentially undamped (ζ < 0.1 anywhere) are
+// skipped: their settling horizon is unbounded, which tests simulation
+// patience rather than correctness.
+func TestChargeConservationProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := rlctree.Random(rng, rlctree.RandomSpec{
+			Sections: 2 + rng.Intn(8),
+			MaxR:     80,
+			MaxL:     2e-9,
+			MaxC:     100e-15,
+		})
+		analyses, err := core.AnalyzeTree(tree)
+		if err != nil {
+			return false
+		}
+		horizon := 0.0
+		for _, a := range analyses {
+			if !a.Model.RCOnly() && a.Model.Zeta() < 0.1 {
+				return true // skip near-lossless resonators
+			}
+			if !math.IsNaN(a.SettlingTime) && 5*a.SettlingTime > horizon {
+				horizon = 5 * a.SettlingTime
+			}
+			if 20*a.Delay50 > horizon {
+				horizon = 20 * a.Delay50
+			}
+		}
+		deck, err := tree.ToDeck(sources.Step{V0: 0, V1: 1})
+		if err != nil {
+			return false
+		}
+		res, err := Simulate(deck, Options{Step: horizon / 40000, Stop: horizon})
+		if err != nil {
+			return false
+		}
+		iw, err := res.BranchCurrent("Vin")
+		if err != nil {
+			return false
+		}
+		var q float64
+		for i := 1; i < iw.Len(); i++ {
+			q += 0.5 * (iw.Value[i] + iw.Value[i-1]) * (iw.Time[i] - iw.Time[i-1])
+		}
+		want := tree.TotalCap()
+		return math.Abs(-q-want) <= 1e-2*want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package transim
+
+import (
+	"math"
+	"testing"
+
+	"eedtree/internal/circuit"
+	"eedtree/internal/sources"
+	"eedtree/internal/waveform"
+)
+
+// TestInducedVoltageOpenSecondary: with the secondary essentially open
+// (10 MΩ load), no secondary current flows and the induced voltage is
+// exactly v2(t) = M·di1/dt. The primary is a series R-L driven by an
+// exponential source, so i1 and di1/dt have closed forms.
+func TestInducedVoltageOpenSecondary(t *testing.T) {
+	const (
+		r1  = 100.0
+		l1  = 10e-9
+		l2  = 10e-9
+		k   = 0.5
+		tau = 2e-9 // source time constant, slow vs L/R = 0.1 ns
+	)
+	m := k * math.Sqrt(l1*l2)
+	d := circuit.NewDeck("induction")
+	mustOK := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := d.AddVSource("V1", "in", "0", sources.Exponential{Vdd: 1, Tau: tau})
+	mustOK(err)
+	_, err = d.AddResistor("R1", "in", "p", r1)
+	mustOK(err)
+	_, err = d.AddInductor("L1", "p", "0", l1)
+	mustOK(err)
+	_, err = d.AddInductor("L2", "s", "0", l2)
+	mustOK(err)
+	_, err = d.AddResistor("R2", "s", "0", 1e7)
+	mustOK(err)
+	_, err = d.AddCoupling("K1", "L1", "L2", k)
+	mustOK(err)
+
+	res, err := Simulate(d, Options{Step: 0.2e-12, Stop: 10e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := res.Node("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic: R-L series with exponential input. The inductor current
+	// satisfies L di/dt + R i = v_in(t) = 1 − e^{−t/τ}, i(0) = 0:
+	//   i(t) = 1/R·(1 − e^{−t/τ'}) − [τ/(Rτ − Lτ/τ… ] — solve directly:
+	// particular + homogeneous with rates a = R/L and b = 1/τ:
+	//   i(t) = (1/R)(1 − e^{−at}) − (b/(R(a−b)))·(e^{−bt} − e^{−at})·… —
+	// rather than juggling algebra, integrate the ODE numerically at high
+	// resolution and differentiate; the test asserts v2 = M·di1/dt.
+	a := r1 / l1
+	b := 1 / tau
+	const n = 400000
+	h := 10e-9 / n
+	i1 := 0.0
+	analytic := make([]float64, 0, 2000)
+	times := make([]float64, 0, 2000)
+	for step := 0; step <= n; step++ {
+		tt := float64(step) * h
+		vin := 1 - math.Exp(-b*tt)
+		didt := (vin - r1*i1) / l1
+		if step%200 == 0 {
+			analytic = append(analytic, m*didt)
+			times = append(times, tt)
+		}
+		// RK2 step for the primary current.
+		k1 := (vin - r1*i1) / l1
+		vin2 := 1 - math.Exp(-b*(tt+h))
+		k2 := (vin2 - r1*(i1+h*k1)) / l1
+		i1 += h * 0.5 * (k1 + k2)
+	}
+	_ = a
+	aw, err := waveform.New(times, analytic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := waveform.MaxAbsDiff(sim, aw); diff > 2e-3 {
+		t.Fatalf("induced voltage vs M·di1/dt differ by %g", diff)
+	}
+}
+
+// TestCouplingSymmetricLinesIdenticalDrive: two identical coupled lines
+// driven identically must behave as a single uncoupled line with the even
+// mode's inductance (no odd-mode excitation).
+func TestCouplingSymmetricLinesIdenticalDrive(t *testing.T) {
+	build := func(coupled bool) (*circuit.Deck, error) {
+		d := circuit.NewDeck("pair")
+		if _, err := d.AddVSource("V1", "in", "0", sources.Step{V0: 0, V1: 1}); err != nil {
+			return nil, err
+		}
+		const (
+			r  = 30.0
+			l  = 2e-9
+			c  = 50e-15
+			lm = 0.8e-9
+		)
+		for _, pfx := range []string{"x", "y"} {
+			if _, err := d.AddResistor("R"+pfx, "in", pfx+"m", r); err != nil {
+				return nil, err
+			}
+			val := l
+			if !coupled {
+				val = l + lm // even-mode inductance
+			}
+			if _, err := d.AddInductor("L"+pfx, pfx+"m", pfx+"o", val); err != nil {
+				return nil, err
+			}
+			if _, err := d.AddCapacitor("C"+pfx, pfx+"o", "0", c); err != nil {
+				return nil, err
+			}
+		}
+		if coupled {
+			if _, err := d.AddCoupling("K1", "Lx", "Ly", lm/l); err != nil {
+				return nil, err
+			}
+		}
+		return d, nil
+	}
+	dc, err := build(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	du, err := build(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Step: 0.5e-12, Stop: 8e-9}
+	rc, err := Simulate(dc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru, err := Simulate(du, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, _ := rc.Node("xo")
+	wu, _ := ru.Node("xo")
+	if diff := waveform.MaxAbsDiff(wc, wu); diff > 1e-6 {
+		t.Fatalf("coupled symmetric drive differs from even-mode line by %g", diff)
+	}
+	// And both coupled outputs are identical by symmetry.
+	wy, _ := rc.Node("yo")
+	if diff := waveform.MaxAbsDiff(wc, wy); diff > 1e-9 {
+		t.Fatalf("coupled outputs differ by %g", diff)
+	}
+}

@@ -1,0 +1,358 @@
+package transim
+
+import (
+	"math"
+	"testing"
+
+	"eedtree/internal/circuit"
+	"eedtree/internal/core"
+	"eedtree/internal/rlctree"
+	"eedtree/internal/sources"
+	"eedtree/internal/waveform"
+)
+
+// rcDeck builds V → R → C with a step source.
+func rcDeck(t *testing.T, r, c float64) *circuit.Deck {
+	t.Helper()
+	d := circuit.NewDeck("rc")
+	if _, err := d.AddVSource("V1", "in", "0", sources.Step{V0: 0, V1: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddResistor("R1", "in", "out", r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddCapacitor("C1", "out", "0", c); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSimulateValidation(t *testing.T) {
+	d := rcDeck(t, 100, 1e-12)
+	if _, err := Simulate(d, Options{Step: 0, Stop: 1e-9}); err == nil {
+		t.Fatal("zero step must fail")
+	}
+	if _, err := Simulate(d, Options{Step: 1e-9, Stop: 1e-12}); err == nil {
+		t.Fatal("stop < step must fail")
+	}
+	if _, err := Simulate(d, Options{Step: 1e-15, Stop: 1}); err == nil {
+		t.Fatal("step-count limit must fail")
+	}
+	if _, err := Simulate(d, Options{Method: Method(99), Step: 1e-12, Stop: 1e-9}); err == nil {
+		t.Fatal("unknown method must fail")
+	}
+	if Trapezoidal.String() != "trapezoidal" || BackwardEuler.String() != "backward-euler" {
+		t.Fatal("method names wrong")
+	}
+}
+
+func TestSimulateUsesDeckTran(t *testing.T) {
+	d := rcDeck(t, 100, 1e-12)
+	if err := d.SetTran(1e-12, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Time[len(res.Time)-1]; math.Abs(got-1e-9) > 2e-12 {
+		t.Fatalf("end time %g, want 1ns", got)
+	}
+}
+
+// TestRCStepExact: the simulated RC step response must match
+// 1 − e^{−t/RC} to integration accuracy.
+func TestRCStepExact(t *testing.T) {
+	r, c := 100.0, 1e-12 // τ = 100 ps
+	d := rcDeck(t, r, c)
+	res, err := Simulate(d, Options{Step: 0.05e-12, Stop: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := res.Node("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau := r * c
+	exact := waveform.Sample(func(tt float64) float64 {
+		if tt <= 0 {
+			return 0
+		}
+		return 1 - math.Exp(-tt/tau)
+	}, 0, 1e-9, 2000)
+	if diff := waveform.MaxAbsDiff(w, exact); diff > 2e-3 {
+		t.Fatalf("RC response error %g", diff)
+	}
+}
+
+// TestSingleRLCSectionExact: the flagship integration test — a single RLC
+// section has the exact second-order transfer function of paper eq. (12),
+// so the simulator must match the analytic eq.-(31) response closely in
+// every damping regime.
+func TestSingleRLCSectionExact(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		r       float64
+		l, c    float64
+		maxDiff float64
+	}{
+		{"underdamped", 20, 10e-9, 100e-15, 3e-3},  // ζ = 0.032·20/2 ≈ 0.32
+		{"critical", 632.46, 10e-9, 100e-15, 3e-3}, // ζ ≈ 1
+		{"overdamped", 2000, 10e-9, 100e-15, 3e-3}, // ζ ≈ 3.2
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := rlctree.New()
+			s := tr.MustAddSection("s1", nil, tc.r, tc.l, tc.c)
+			d, err := tr.ToDeck(sources.Step{V0: 0, V1: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := core.AtNode(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stop := 15 * (1 + m.Zeta()) / m.OmegaN()
+			res, err := Simulate(d, Options{Step: stop / 40000, Stop: stop})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := res.Node("s1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			analytic := waveform.Sample(m.StepResponse(1), 0, stop, 4000)
+			if diff := waveform.MaxAbsDiff(sim, analytic); diff > tc.maxDiff {
+				t.Fatalf("ζ=%.3g: simulator vs exact second-order differs by %g", m.Zeta(), diff)
+			}
+		})
+	}
+}
+
+// TestFinalValueEqualsSource: for any tree, every node must settle to the
+// source's final value (DC gain 1).
+func TestFinalValueEqualsSource(t *testing.T) {
+	tr, err := rlctree.BalancedUniform(3, 2, rlctree.SectionValues{R: 30, L: 2e-9, C: 40e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := tr.ToDeck(sources.Step{V0: 0, V1: 1.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(d, Options{Step: 1e-13, Stop: 20e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tr.Sections() {
+		w, err := res.Node(s.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := w.Final(); math.Abs(got-1.8) > 1e-3 {
+			t.Fatalf("node %s final = %g, want 1.8", s.Name(), got)
+		}
+	}
+}
+
+// TestBackwardEulerDampsRinging: BE must produce a response whose
+// overshoot is below the trapezoidal one (artificial damping), both with
+// the same final value.
+func TestBackwardEulerDampsRinging(t *testing.T) {
+	tr := rlctree.New()
+	tr.MustAddSection("s1", nil, 10, 10e-9, 100e-15) // strongly underdamped
+	d, err := tr.ToDeck(sources.Step{V0: 0, V1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simTrap, err := Simulate(d, Options{Method: Trapezoidal, Step: 2e-12, Stop: 40e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simBE, err := Simulate(d, Options{Method: BackwardEuler, Step: 2e-12, Stop: 40e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wT, _ := simTrap.Node("s1")
+	wB, _ := simBE.Node("s1")
+	ovT, _ := wT.Overshoot(1)
+	ovB, _ := wB.Overshoot(1)
+	if ovB >= ovT {
+		t.Fatalf("BE overshoot %g not below trapezoidal %g", ovB, ovT)
+	}
+	if math.Abs(wB.Final()-1) > 5e-3 {
+		t.Fatalf("BE final = %g", wB.Final())
+	}
+}
+
+// TestLadderEquivalence (paper Sec. V-B): a balanced tree's sink response
+// equals the response of its collapsed ladder at the corresponding node —
+// the pole–zero cancellation argument, verified in the time domain.
+func TestLadderEquivalence(t *testing.T) {
+	per := []rlctree.SectionValues{
+		{R: 40, L: 6e-9, C: 60e-15},
+		{R: 25, L: 4e-9, C: 45e-15},
+		{R: 15, L: 2e-9, C: 30e-15},
+	}
+	tree, err := rlctree.Balanced(3, 2, per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lad, err := rlctree.Ladder(3, 2, per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sources.Step{V0: 0, V1: 1}
+	dt, err := tree.ToDeck(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := lad.ToDeck(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const step, stop = 1e-13, 15e-9
+	rt, err := Simulate(dt, Options{Step: step, Stop: stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Simulate(dl, Options{Step: step, Stop: stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lvl := 1; lvl <= 3; lvl++ {
+		wTree, err := rt.Node(levelNode(tree, lvl))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wLad, err := rl.Node(levelNode(lad, lvl))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := waveform.MaxAbsDiff(wTree, wLad); diff > 1e-6 {
+			t.Fatalf("level %d: tree vs ladder differ by %g", lvl, diff)
+		}
+	}
+}
+
+func levelNode(t *rlctree.Tree, lvl int) string {
+	for _, s := range t.Sections() {
+		if s.Level() == lvl {
+			return s.Name()
+		}
+	}
+	return ""
+}
+
+// TestSymmetricSinksIdentical: all sinks of a balanced tree see the same
+// waveform.
+func TestSymmetricSinksIdentical(t *testing.T) {
+	tr, err := rlctree.BalancedUniform(3, 2, rlctree.SectionValues{R: 20, L: 3e-9, C: 50e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := tr.ToDeck(sources.Step{V0: 0, V1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(d, Options{Step: 1e-13, Stop: 10e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := tr.Leaves()
+	w0, _ := res.Node(leaves[0].Name())
+	for _, lf := range leaves[1:] {
+		w, _ := res.Node(lf.Name())
+		if diff := waveform.MaxAbsDiff(w0, w); diff > 1e-9 {
+			t.Fatalf("sink %s differs from %s by %g", lf.Name(), leaves[0].Name(), diff)
+		}
+	}
+}
+
+// TestZeroImpedanceJunction: a section with R = L = 0 (ideal junction via
+// a 0 V source) must track its parent node exactly.
+func TestZeroImpedanceJunction(t *testing.T) {
+	tr := rlctree.New()
+	p := tr.MustAddSection("p", nil, 50, 1e-9, 20e-15)
+	tr.MustAddSection("j", p, 0, 0, 10e-15)
+	d, err := tr.ToDeck(sources.Step{V0: 0, V1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(d, Options{Step: 1e-13, Stop: 5e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp, _ := res.Node("p")
+	wj, _ := res.Node("j")
+	if diff := waveform.MaxAbsDiff(wp, wj); diff > 1e-9 {
+		t.Fatalf("ideal junction deviates from parent by %g", diff)
+	}
+}
+
+// TestExpInputMatchesAnalyticRC: simulate the RC deck with an exponential
+// input and compare against the closed-form first-order response.
+func TestExpInputMatchesAnalyticRC(t *testing.T) {
+	r, c := 100.0, 1e-12
+	d := circuit.NewDeck("rc-exp")
+	_, _ = d.AddVSource("V1", "in", "0", sources.Exponential{Vdd: 1, Tau: 200e-12})
+	_, _ = d.AddResistor("R1", "in", "out", r)
+	_, _ = d.AddCapacitor("C1", "out", "0", c)
+	res, err := Simulate(d, Options{Step: 0.1e-12, Stop: 3e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := res.Node("out")
+	m, err := core.FromSums(r*c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.ExpResponse(1, 200e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := waveform.Sample(f, 0, 3e-9, 3000)
+	if diff := waveform.MaxAbsDiff(w, analytic); diff > 2e-3 {
+		t.Fatalf("exp-input RC response error %g", diff)
+	}
+}
+
+// TestBranchCurrentRC: the source current of the RC deck at t=0+ must be
+// V/R and decay to 0.
+func TestBranchCurrentRC(t *testing.T) {
+	d := rcDeck(t, 100, 1e-12)
+	res, err := Simulate(d, Options{Step: 0.05e-12, Stop: 2e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iw, err := res.BranchCurrent("V1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Internal source current flows pos→neg, so charging current is −V/R.
+	if got := iw.At(1e-12); math.Abs(got+0.01) > 5e-4 {
+		t.Fatalf("initial source current = %g, want ≈ −0.01", got)
+	}
+	if got := iw.Final(); math.Abs(got) > 1e-5 {
+		t.Fatalf("final source current = %g, want ≈ 0", got)
+	}
+	if _, err := res.BranchCurrent("R1"); err == nil {
+		t.Fatal("resistor has no branch current")
+	}
+	if _, err := res.BranchCurrent("nope"); err == nil {
+		t.Fatal("unknown element must fail")
+	}
+}
+
+func TestResultNodeErrors(t *testing.T) {
+	d := rcDeck(t, 100, 1e-12)
+	res, err := Simulate(d, Options{Step: 1e-12, Stop: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Node("bogus"); err == nil {
+		t.Fatal("unknown node must fail")
+	}
+	if _, err := res.Node("0"); err == nil {
+		t.Fatal("ground waveform must fail")
+	}
+}

@@ -1,0 +1,49 @@
+package unit
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParse: the engineering-notation parser must never panic and must
+// only return finite values (or an error) for arbitrary input.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{"10", "4.7k", "0.5MEG", "25n", "10pF", "1e-9", "-3m", "", "k", "1.2.3", "+", "1e"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		v, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(v) {
+			t.Fatalf("Parse(%q) returned NaN without error", input)
+		}
+	})
+}
+
+// FuzzFormatRoundTrip: Format output must always be parseable back to
+// (approximately) the same finite value.
+func FuzzFormatRoundTrip(f *testing.F) {
+	for _, v := range []float64{0, 1, 25e-9, -4.7e3, 1e-15, 9.999e11} {
+		f.Add(v)
+	}
+	f.Fuzz(func(t *testing.T, v float64) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return
+		}
+		got, err := Parse(Format(v))
+		if err != nil {
+			t.Fatalf("Format(%g) = %q not parseable: %v", v, Format(v), err)
+		}
+		if v == 0 {
+			if got != 0 {
+				t.Fatalf("zero round trip = %g", got)
+			}
+			return
+		}
+		if rel := math.Abs(got-v) / math.Abs(v); rel > 1e-6 {
+			t.Fatalf("round trip %g → %q → %g (rel %g)", v, Format(v), got, rel)
+		}
+	})
+}

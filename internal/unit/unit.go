@@ -1,0 +1,119 @@
+// Package unit parses and formats engineering notation for circuit element
+// values, following SPICE conventions: an optional metric suffix scales the
+// number (f, p, n, u, m, k, meg, g, t), case-insensitively, and any
+// trailing unit letters after the suffix are ignored ("10pF" == "10p").
+package unit
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// suffixes in matching order; "meg" must be tested before "m".
+var suffixes = []struct {
+	name  string
+	scale float64
+}{
+	{"meg", 1e6},
+	{"t", 1e12},
+	{"g", 1e9},
+	{"k", 1e3},
+	{"m", 1e-3},
+	{"u", 1e-6},
+	{"n", 1e-9},
+	{"p", 1e-12},
+	{"f", 1e-15},
+	{"a", 1e-18},
+}
+
+// Parse converts a SPICE-style value string to a float64.
+// Examples: "10", "4.7k", "0.5MEG", "25n", "10pF", "1e-9".
+func Parse(s string) (float64, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" {
+		return 0, fmt.Errorf("unit: empty value")
+	}
+	// Longest numeric prefix.
+	end := 0
+	for end < len(s) {
+		c := s[end]
+		if c >= '0' && c <= '9' || c == '.' || c == '+' || c == '-' {
+			end++
+			continue
+		}
+		// Exponent part: 'e' followed by sign or digit.
+		if c == 'e' && end+1 < len(s) {
+			next := s[end+1]
+			if next >= '0' && next <= '9' || next == '+' || next == '-' {
+				end += 2
+				continue
+			}
+		}
+		break
+	}
+	if end == 0 {
+		return 0, fmt.Errorf("unit: %q has no numeric prefix", s)
+	}
+	v, err := strconv.ParseFloat(s[:end], 64)
+	if err != nil {
+		return 0, fmt.Errorf("unit: %q: %w", s, err)
+	}
+	rest := s[end:]
+	if rest == "" {
+		return v, nil
+	}
+	for _, suf := range suffixes {
+		if strings.HasPrefix(rest, suf.name) {
+			return v * suf.scale, nil
+		}
+	}
+	// No metric suffix: tolerate pure unit letters (ohm, F, H, V, s).
+	for _, c := range rest {
+		if !strings.ContainsRune("ohmfhvs", c) {
+			return 0, fmt.Errorf("unit: %q has unrecognized suffix %q", s, rest)
+		}
+	}
+	return v, nil
+}
+
+// Format renders v compactly with the largest metric suffix that leaves a
+// mantissa in [1, 1000), e.g. 2.5e-12 → "2.5p". Zero formats as "0".
+func Format(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	abs := math.Abs(v)
+	type unit struct {
+		scale float64
+		name  string
+	}
+	table := []unit{
+		{1e12, "t"}, {1e9, "g"}, {1e6, "meg"}, {1e3, "k"},
+		{1, ""}, {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"},
+		{1e-12, "p"}, {1e-15, "f"}, {1e-18, "a"},
+	}
+	for _, u := range table {
+		if abs >= u.scale {
+			mant := v / u.scale
+			// Avoid "1000p" style output due to rounding.
+			if math.Abs(mant) < 1000 {
+				return trimFloat(mant) + u.name
+			}
+		}
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func trimFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', 10, 64)
+	if strings.Contains(s, ".") && !strings.ContainsAny(s, "eE") {
+		s = strings.TrimRight(s, "0")
+		s = strings.TrimRight(s, ".")
+	}
+	return s
+}

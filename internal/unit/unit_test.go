@@ -1,0 +1,93 @@
+package unit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseTable(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"10", 10},
+		{"4.7k", 4700},
+		{"0.5MEG", 5e5},
+		{"25n", 25e-9},
+		{"10pF", 10e-12},
+		{"1e-9", 1e-9},
+		{"2.5e3", 2500},
+		{"-3m", -3e-3},
+		{"100f", 100e-15},
+		{"1.5u", 1.5e-6},
+		{"2g", 2e9},
+		{"3t", 3e12},
+		{"7a", 7e-18},
+		{"5ohm", 5},
+		{"12v", 12},
+		{" 42 ", 42},
+		{"1.2E+2", 120},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-12*math.Abs(c.want) {
+			t.Errorf("Parse(%q) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "1.2.3k", "10xyz", "k10"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error", in)
+		}
+	}
+}
+
+func TestFormatKnown(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{25e-9, "25n"},
+		{4700, "4.7k"},
+		{1e-12, "1p"},
+		{5e5, "500k"},
+		{1, "1"},
+		{-2.5e-3, "-2.5m"},
+	}
+	for _, c := range cases {
+		if got := Format(c.in); got != c.want {
+			t.Errorf("Format(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: Format ∘ Parse round-trips to within float formatting accuracy
+// for magnitudes in the engineering range.
+func TestFormatParseRoundTrip(t *testing.T) {
+	f := func(mant float64, exp int8) bool {
+		e := int(exp)%30 - 15 // 1e-15 .. 1e14
+		v := mant * math.Pow(10, float64(e))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		got, err := Parse(Format(v))
+		if err != nil {
+			return false
+		}
+		if v == 0 {
+			return got == 0
+		}
+		return math.Abs(got-v) <= 1e-9*math.Abs(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,274 @@
+// Package waveform represents sampled time-domain signals and extracts the
+// timing quantities the paper characterizes: threshold crossings, 50%
+// propagation delay, 10–90% rise time, overshoots/undershoots, and settling
+// time. It is used to measure simulator output so it can be compared
+// against the closed-form expressions of internal/core.
+package waveform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Waveform is a signal sampled at strictly increasing times. Values between
+// samples are linearly interpolated.
+type Waveform struct {
+	Time  []float64
+	Value []float64
+}
+
+// New validates and wraps parallel time/value slices (not copied).
+func New(time, value []float64) (*Waveform, error) {
+	if len(time) != len(value) {
+		return nil, fmt.Errorf("waveform: length mismatch: %d times vs %d values", len(time), len(value))
+	}
+	if len(time) < 2 {
+		return nil, fmt.Errorf("waveform: need at least 2 samples, got %d", len(time))
+	}
+	for i := 1; i < len(time); i++ {
+		if time[i] <= time[i-1] {
+			return nil, fmt.Errorf("waveform: times not strictly increasing at sample %d (%g then %g)", i, time[i-1], time[i])
+		}
+	}
+	return &Waveform{Time: time, Value: value}, nil
+}
+
+// Sample evaluates f at n+1 uniform points over [t0, t1] (inclusive).
+func Sample(f func(float64) float64, t0, t1 float64, n int) *Waveform {
+	if n < 1 {
+		panic("waveform: Sample requires n >= 1")
+	}
+	if t1 <= t0 {
+		panic("waveform: Sample requires t1 > t0")
+	}
+	time := make([]float64, n+1)
+	value := make([]float64, n+1)
+	dt := (t1 - t0) / float64(n)
+	for i := 0; i <= n; i++ {
+		t := t0 + float64(i)*dt
+		time[i] = t
+		value[i] = f(t)
+	}
+	return &Waveform{Time: time, Value: value}
+}
+
+// Len returns the number of samples.
+func (w *Waveform) Len() int { return len(w.Time) }
+
+// Start and End return the first and last sample times.
+func (w *Waveform) Start() float64 { return w.Time[0] }
+
+// End returns the last sample time.
+func (w *Waveform) End() float64 { return w.Time[len(w.Time)-1] }
+
+// At linearly interpolates the waveform at time t, clamping outside the
+// sampled range to the end values.
+func (w *Waveform) At(t float64) float64 {
+	if t <= w.Time[0] {
+		return w.Value[0]
+	}
+	n := len(w.Time)
+	if t >= w.Time[n-1] {
+		return w.Value[n-1]
+	}
+	i := sort.SearchFloat64s(w.Time, t)
+	if w.Time[i] == t {
+		return w.Value[i]
+	}
+	t0, t1 := w.Time[i-1], w.Time[i]
+	v0, v1 := w.Value[i-1], w.Value[i]
+	return v0 + (v1-v0)*(t-t0)/(t1-t0)
+}
+
+// Final returns the last sampled value, used as the steady-state estimate.
+func (w *Waveform) Final() float64 { return w.Value[len(w.Value)-1] }
+
+// ErrNoCrossing reports that the waveform never crosses the requested level.
+type ErrNoCrossing struct {
+	Level float64
+}
+
+func (e ErrNoCrossing) Error() string {
+	return fmt.Sprintf("waveform: signal never crosses level %g", e.Level)
+}
+
+// FirstCrossing returns the earliest time at which the waveform crosses
+// level in the rising direction (from below to at-or-above), linearly
+// interpolated between samples.
+func (w *Waveform) FirstCrossing(level float64) (float64, error) {
+	return w.firstCrossingFrom(0, level)
+}
+
+func (w *Waveform) firstCrossingFrom(start int, level float64) (float64, error) {
+	if start < len(w.Value) && w.Value[start] >= level {
+		return w.Time[start], nil
+	}
+	for i := start + 1; i < len(w.Value); i++ {
+		v0, v1 := w.Value[i-1], w.Value[i]
+		if v0 < level && v1 >= level {
+			t0, t1 := w.Time[i-1], w.Time[i]
+			if v1 == v0 {
+				return t1, nil
+			}
+			return t0 + (t1-t0)*(level-v0)/(v1-v0), nil
+		}
+	}
+	return 0, ErrNoCrossing{Level: level}
+}
+
+// CrossTime returns the first time the waveform reaches frac·final in the
+// rising direction, where final is the steady-state value. frac is a
+// fraction in (0, 1], e.g. 0.5 for the 50% point.
+func (w *Waveform) CrossTime(frac, final float64) (float64, error) {
+	return w.FirstCrossing(frac * final)
+}
+
+// Delay50 returns the 50% propagation delay relative to t=0 for a signal
+// with steady-state value final.
+func (w *Waveform) Delay50(final float64) (float64, error) {
+	return w.CrossTime(0.5, final)
+}
+
+// RiseTime returns the 10%→90% rise time (first crossings of each level)
+// for a signal with steady-state value final, the definition used in the
+// paper (Sec. IV).
+func (w *Waveform) RiseTime(final float64) (float64, error) {
+	t10, err := w.CrossTime(0.1, final)
+	if err != nil {
+		return 0, fmt.Errorf("10%% point: %w", err)
+	}
+	// Search for the 90% crossing only after the 10% point.
+	i := sort.SearchFloat64s(w.Time, t10)
+	if i > 0 {
+		i--
+	}
+	t90, err := w.firstCrossingFrom(i, 0.9*final)
+	if err != nil {
+		return 0, fmt.Errorf("90%% point: %w", err)
+	}
+	return t90 - t10, nil
+}
+
+// Extremum is a local peak or valley of the waveform.
+type Extremum struct {
+	T, V    float64
+	Maximum bool // true for a local maximum
+}
+
+// Extrema returns the interior local extrema of the waveform in time order.
+// Flat runs report their first sample. Endpoints are not extrema.
+func (w *Waveform) Extrema() []Extremum {
+	var out []Extremum
+	n := len(w.Value)
+	for i := 1; i < n-1; i++ {
+		v := w.Value[i]
+		// Find the next strictly different sample to handle flat runs.
+		j := i + 1
+		for j < n && w.Value[j] == v {
+			j++
+		}
+		if j == n {
+			break
+		}
+		prev := w.Value[i-1]
+		next := w.Value[j]
+		switch {
+		case v > prev && v > next:
+			out = append(out, Extremum{T: w.Time[i], V: v, Maximum: true})
+		case v < prev && v < next:
+			out = append(out, Extremum{T: w.Time[i], V: v, Maximum: false})
+		}
+		i = j - 1
+	}
+	return out
+}
+
+// Overshoot returns the maximum relative overshoot above the steady-state
+// value final, as a fraction of final (0 when monotone), and the time at
+// which it occurs. For a non-monotone (underdamped) response this is the
+// first and largest overshoot of paper eq. (39) with n=1.
+func (w *Waveform) Overshoot(final float64) (frac, at float64) {
+	sign := 1.0
+	if final < 0 {
+		sign = -1
+	}
+	for i, v := range w.Value {
+		if excess := sign * (v - final); excess > frac*math.Abs(final) {
+			frac = excess / math.Abs(final)
+			at = w.Time[i]
+		}
+	}
+	return frac, at
+}
+
+// SettlingTime returns the time after which the waveform stays within
+// ±x·|final| of final for the remainder of the record (paper eq. (42) uses
+// x = 0.1). It reports an error when the final sample itself is outside the
+// band, meaning the record is too short to witness settling.
+func (w *Waveform) SettlingTime(final, x float64) (float64, error) {
+	band := x * math.Abs(final)
+	last := len(w.Value) - 1
+	if math.Abs(w.Value[last]-final) > band {
+		return 0, fmt.Errorf("waveform: not settled within ±%g%% by end of record", 100*x)
+	}
+	// Walk backwards to the last sample outside the band.
+	for i := last; i >= 0; i-- {
+		if math.Abs(w.Value[i]-final) > band {
+			// The settling instant is between sample i and i+1: interpolate
+			// against whichever band edge was violated.
+			v0, v1 := w.Value[i], w.Value[i+1]
+			edge := final + band
+			if v0 < final {
+				edge = final - band
+			}
+			t0, t1 := w.Time[i], w.Time[i+1]
+			if v1 == v0 {
+				return t1, nil
+			}
+			return t0 + (t1-t0)*(edge-v0)/(v1-v0), nil
+		}
+	}
+	return w.Time[0], nil
+}
+
+// MaxAbsDiff returns the maximum absolute difference between two waveforms
+// over the overlap of their time ranges, comparing at the union of both
+// sample grids.
+func MaxAbsDiff(a, b *Waveform) float64 {
+	lo := math.Max(a.Start(), b.Start())
+	hi := math.Min(a.End(), b.End())
+	var max float64
+	check := func(t float64) {
+		if t < lo || t > hi {
+			return
+		}
+		if d := math.Abs(a.At(t) - b.At(t)); d > max {
+			max = d
+		}
+	}
+	for _, t := range a.Time {
+		check(t)
+	}
+	for _, t := range b.Time {
+		check(t)
+	}
+	return max
+}
+
+// RMSDiff returns the root-mean-square difference between two waveforms
+// sampled at n uniform points over the overlap of their time ranges.
+func RMSDiff(a, b *Waveform, n int) float64 {
+	lo := math.Max(a.Start(), b.Start())
+	hi := math.Min(a.End(), b.End())
+	if hi <= lo || n < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		t := lo + (hi-lo)*float64(i)/float64(n-1)
+		d := a.At(t) - b.At(t)
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n))
+}

@@ -1,0 +1,201 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+)
+
+func expWave(tau, tEnd float64, n int) *Waveform {
+	return Sample(func(t float64) float64 { return 1 - math.Exp(-t/tau) }, 0, tEnd, n)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]float64{0, 1}, []float64{0}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := New([]float64{0}, []float64{0}); err == nil {
+		t.Fatal("expected too-few-samples error")
+	}
+	if _, err := New([]float64{0, 0}, []float64{0, 1}); err == nil {
+		t.Fatal("expected non-increasing-times error")
+	}
+	w, err := New([]float64{0, 1, 2}, []float64{0, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 3 || w.Start() != 0 || w.End() != 2 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestSamplePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Sample(func(float64) float64 { return 0 }, 0, 1, 0) },
+		func() { Sample(func(float64) float64 { return 0 }, 1, 1, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAtInterpolation(t *testing.T) {
+	w, _ := New([]float64{0, 1, 3}, []float64{0, 2, 8})
+	cases := []struct{ t, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 1}, {1, 2}, {2, 5}, {3, 8}, {4, 8},
+	}
+	for _, c := range cases {
+		if got := w.At(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("At(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+}
+
+func TestDelayAndRiseOnExponential(t *testing.T) {
+	tau := 2e-9
+	w := expWave(tau, 20e-9, 4000)
+	d, err := w.Delay50(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Ln2 * tau; math.Abs(d-want) > 1e-3*want {
+		t.Fatalf("Delay50 = %g, want %g", d, want)
+	}
+	r, err := w.RiseTime(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Log(9) * tau; math.Abs(r-want) > 1e-3*want {
+		t.Fatalf("RiseTime = %g, want %g", r, want)
+	}
+}
+
+func TestFirstCrossingNoCross(t *testing.T) {
+	w, _ := New([]float64{0, 1, 2}, []float64{0, 0.2, 0.4})
+	if _, err := w.FirstCrossing(0.9); err == nil {
+		t.Fatal("expected ErrNoCrossing")
+	}
+	var e ErrNoCrossing
+	_, err := w.FirstCrossing(0.9)
+	if !errorsAs(err, &e) || e.Level != 0.9 {
+		t.Fatalf("error %v does not carry the level", err)
+	}
+}
+
+func errorsAs(err error, target *ErrNoCrossing) bool {
+	if e, ok := err.(ErrNoCrossing); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+func TestFirstCrossingAlreadyAbove(t *testing.T) {
+	w, _ := New([]float64{1, 2}, []float64{0.8, 0.9})
+	got, err := w.FirstCrossing(0.5)
+	if err != nil || got != 1 {
+		t.Fatalf("crossing = %g err=%v, want start time 1", got, err)
+	}
+}
+
+func TestExtremaOnDampedSine(t *testing.T) {
+	// e^{-t}·sin has alternating extrema; check count and ordering.
+	f := func(t float64) float64 { return 1 - math.Exp(-0.3*t)*math.Cos(t) }
+	w := Sample(f, 0, 20, 20000)
+	ex := w.Extrema()
+	if len(ex) < 4 {
+		t.Fatalf("expected ≥ 4 extrema, got %d", len(ex))
+	}
+	// Alternating max/min starting with a maximum: the extrema of
+	// 1 − e^{−at}·cos(t) satisfy tan(t) = −a, so the first maximum is at
+	// t₁ = π − atan(a) with a = 0.3.
+	if !ex[0].Maximum {
+		t.Fatal("first extremum should be a maximum")
+	}
+	t1 := math.Pi - math.Atan(0.3)
+	if math.Abs(ex[0].T-t1) > 0.01 {
+		t.Fatalf("first extremum at %g, want ≈ %g", ex[0].T, t1)
+	}
+	for i := 1; i < len(ex); i++ {
+		if ex[i].Maximum == ex[i-1].Maximum {
+			t.Fatal("extrema must alternate")
+		}
+		if ex[i].T <= ex[i-1].T {
+			t.Fatal("extrema times must increase")
+		}
+	}
+}
+
+func TestExtremaFlatRuns(t *testing.T) {
+	w, _ := New([]float64{0, 1, 2, 3, 4}, []float64{0, 1, 1, 0, 0.5})
+	ex := w.Extrema()
+	if len(ex) != 2 || !ex[0].Maximum || ex[0].V != 1 || ex[1].Maximum || ex[1].V != 0 {
+		t.Fatalf("flat-run extrema wrong: %+v", ex)
+	}
+}
+
+func TestOvershoot(t *testing.T) {
+	f := func(t float64) float64 { return 1 - math.Exp(-0.3*t)*math.Cos(t) }
+	w := Sample(f, 0, 30, 30000)
+	frac, at := w.Overshoot(1)
+	// First maximum at t₁ = π − atan(0.3) with |cos t₁| = 1/√(1+0.09),
+	// so the overshoot fraction is e^{−0.3·t₁}/√1.09.
+	t1 := math.Pi - math.Atan(0.3)
+	want := math.Exp(-0.3*t1) / math.Sqrt(1.09)
+	if math.Abs(frac-want) > 1e-3 {
+		t.Fatalf("overshoot = %g, want %g", frac, want)
+	}
+	if math.Abs(at-t1) > 0.01 {
+		t.Fatalf("overshoot at %g, want ≈ %g", at, t1)
+	}
+	// Monotone signal: zero overshoot.
+	mono := expWave(1e-9, 10e-9, 100)
+	if frac, _ := mono.Overshoot(1); frac != 0 {
+		t.Fatalf("monotone overshoot = %g, want 0", frac)
+	}
+}
+
+func TestSettlingTime(t *testing.T) {
+	// First-order: settles within 10% at t = ln(10)·τ.
+	tau := 1.0
+	w := Sample(func(t float64) float64 { return 1 - math.Exp(-t/tau) }, 0, 12, 24000)
+	ts, err := w.SettlingTime(1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Log(10); math.Abs(ts-want) > 1e-3 {
+		t.Fatalf("settling = %g, want %g", ts, want)
+	}
+	// Record too short to witness settling.
+	short := Sample(func(t float64) float64 { return 1 - math.Exp(-t/tau) }, 0, 1, 100)
+	if _, err := short.SettlingTime(1, 0.1); err == nil {
+		t.Fatal("expected not-settled error")
+	}
+}
+
+func TestSettlingTimeAlreadySettled(t *testing.T) {
+	w, _ := New([]float64{0, 1, 2}, []float64{1, 1, 1})
+	ts, err := w.SettlingTime(1, 0.1)
+	if err != nil || ts != 0 {
+		t.Fatalf("settling = %g err=%v, want 0", ts, err)
+	}
+}
+
+func TestMaxAbsDiffAndRMS(t *testing.T) {
+	a := Sample(func(t float64) float64 { return t }, 0, 1, 100)
+	b := Sample(func(t float64) float64 { return t + 0.25 }, 0, 1, 77)
+	if d := MaxAbsDiff(a, b); math.Abs(d-0.25) > 1e-12 {
+		t.Fatalf("MaxAbsDiff = %g, want 0.25", d)
+	}
+	if d := RMSDiff(a, b, 500); math.Abs(d-0.25) > 1e-12 {
+		t.Fatalf("RMSDiff = %g, want 0.25", d)
+	}
+	if d := MaxAbsDiff(a, a); d != 0 {
+		t.Fatalf("self diff = %g, want 0", d)
+	}
+}

@@ -1,0 +1,66 @@
+package xtalk
+
+import (
+	"math"
+	"testing"
+
+	"eedtree/internal/sources"
+	"eedtree/internal/transim"
+)
+
+// TestAWEModesImproveNoisePeak: the order-4 AWE mode estimate must land
+// closer to the simulated victim peak than the two-pole estimate —
+// quantifying the paper's Sec. V-F observation that fine (noise) features
+// need more poles than macro (delay) features.
+func TestAWEModesImproveNoisePeak(t *testing.T) {
+	deck, err := pair.Deck(sources.Step{V0: 0, V1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stop = 2e-9
+	res, err := transim.Simulate(deck, transim.Options{Step: stop / 40000, Stop: stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vicName := pair.FarEndNodes()
+	vic, err := res.Node(vicName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simPeak := 0.0
+	for _, v := range vic.Value {
+		if a := math.Abs(v); a > simPeak {
+			simPeak = a
+		}
+	}
+
+	eed, err := pair.Analyze(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aweEst, err := pair.AnalyzeAWE(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errEED := math.Abs(eed.VictimPeak - simPeak)
+	errAWE := math.Abs(aweEst.VictimPeak - simPeak)
+	t.Logf("sim peak %.1f mV | EED estimate %.1f mV (err %.1f mV) | AWE-4 %.1f mV (err %.1f mV)",
+		1e3*simPeak, 1e3*eed.VictimPeak, 1e3*errEED, 1e3*aweEst.VictimPeak, 1e3*errAWE)
+	if errAWE >= errEED {
+		t.Fatalf("AWE mode estimate (err %g) not better than two-pole (err %g)", errAWE, errEED)
+	}
+	if errAWE > 0.25*simPeak {
+		t.Fatalf("AWE-4 peak error %.1f%% of peak still large", 100*errAWE/simPeak)
+	}
+}
+
+func TestAnalyzeAWEValidation(t *testing.T) {
+	if _, err := pair.AnalyzeAWE(1, 0); err == nil {
+		t.Fatal("order 0 must fail")
+	}
+	bad := pair
+	bad.Secs = 0
+	if _, err := bad.AnalyzeAWE(1, 4); err == nil {
+		t.Fatal("invalid pair must fail")
+	}
+}
