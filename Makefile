@@ -1,0 +1,31 @@
+# Developer targets for eedtree. `make check` is the full gate: vet, the
+# race-enabled test suite, and a short fuzz smoke over every parser.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test check vet race fuzz-smoke
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check: the robustness gate — static analysis, race-enabled tests, and a
+# short fuzz pass over the three input parsers.
+check: vet race fuzz-smoke
+
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzParseDeck -fuzztime=$(FUZZTIME) ./internal/circuit/
+	$(GO) test -run=NONE -fuzz=FuzzParseSource -fuzztime=$(FUZZTIME) ./internal/circuit/
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/rlctree/
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/spef/

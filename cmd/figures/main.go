@@ -8,34 +8,43 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"eedtree/internal/experiments"
+	"eedtree/internal/guard"
 )
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate, or \"all\"")
-		format = flag.String("format", "table", "output format: table or csv")
-		outDir = flag.String("o", "", "also write each figure as <dir>/<id>.csv")
+		fig     = flag.String("fig", "all", "figure to regenerate, or \"all\"")
+		format  = flag.String("format", "table", "output format: table or csv")
+		outDir  = flag.String("o", "", "also write each figure as <dir>/<id>.csv")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
 	flag.Parse()
-	if err := run(*fig, *format, *outDir); err != nil {
-		fmt.Fprintln(os.Stderr, "figures:", err)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *fig, *format, *outDir); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: [%s] %v\n", guard.ClassName(err), err)
 		os.Exit(1)
 	}
 }
 
-func run(fig, format, outDir string) error {
+func run(ctx context.Context, fig, format, outDir string) error {
 	if format != "table" && format != "csv" {
 		return fmt.Errorf("unknown format %q (want table or csv)", format)
 	}
 	var tables []*experiments.Table
 	if fig == "all" {
-		all, err := experiments.All()
+		all, err := experiments.AllCtx(ctx)
 		if err != nil {
 			return err
 		}
@@ -45,7 +54,14 @@ func run(fig, format, outDir string) error {
 		if gen == nil {
 			return fmt.Errorf("unknown figure %q", fig)
 		}
-		t, err := gen()
+		// Run the single generator under the guard so -timeout and
+		// panic isolation apply to it too.
+		var t *experiments.Table
+		err := guard.Run(ctx, func(context.Context) error {
+			var err error
+			t, err = gen()
+			return err
+		})
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -35,7 +36,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 }
 
 func TestRunSingleFigureTable(t *testing.T) {
-	out, err := capture(t, func() error { return run("fig6", "table", "") })
+	out, err := capture(t, func() error { return run(context.Background(), "fig6", "table", "") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestRunSingleFigureTable(t *testing.T) {
 }
 
 func TestRunSingleFigureCSV(t *testing.T) {
-	out, err := capture(t, func() error { return run("fig6", "csv", "") })
+	out, err := capture(t, func() error { return run(context.Background(), "fig6", "csv", "") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,17 +59,17 @@ func TestRunSingleFigureCSV(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("fig99", "table", ""); err == nil {
+	if err := run(context.Background(), "fig99", "table", ""); err == nil {
 		t.Fatal("unknown figure must fail")
 	}
-	if err := run("fig6", "xml", ""); err == nil {
+	if err := run(context.Background(), "fig6", "xml", ""); err == nil {
 		t.Fatal("unknown format must fail")
 	}
 }
 
 func TestRunWritesCSVDir(t *testing.T) {
 	dir := t.TempDir()
-	if _, err := capture(t, func() error { return run("fig6", "table", dir) }); err != nil {
+	if _, err := capture(t, func() error { return run(context.Background(), "fig6", "table", dir) }); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(dir + "/fig6.csv")

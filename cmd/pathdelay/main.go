@@ -17,13 +17,14 @@
 package main
 
 import (
-	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"eedtree/internal/guard"
 	"eedtree/internal/rlctree"
 	"eedtree/internal/timing"
 	"eedtree/internal/unit"
@@ -31,6 +32,7 @@ import (
 
 func main() {
 	riseFlag := flag.String("rise", "0", "10-90% rise time of the input edge (e.g. 50p); 0 = ideal step")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pathdelay [flags] <spec-file>\n")
 		flag.PrintDefaults()
@@ -40,8 +42,19 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *riseFlag); err != nil {
-		fmt.Fprintln(os.Stderr, "pathdelay:", err)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	// guard.Run honors -timeout and converts an internal fault into a
+	// classed error instead of a crash.
+	err := guard.Run(ctx, func(context.Context) error {
+		return run(flag.Arg(0), *riseFlag)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pathdelay: [%s] %v\n", guard.ClassName(err), err)
 		os.Exit(1)
 	}
 }
@@ -77,7 +90,8 @@ func loadSpec(path string) ([]timing.Stage, error) {
 	dir := filepath.Dir(path)
 	trees := map[string]*rlctree.Tree{} // cache by file
 	var stages []timing.Stage
-	sc := bufio.NewScanner(f)
+	lim := guard.DefaultLimits.WithDefaults()
+	sc := lim.NewScanner(f)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -137,8 +151,8 @@ func loadSpec(path string) ([]timing.Stage, error) {
 		}
 		stages = append(stages, st)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("pathdelay: read: %w", err)
+	if err := lim.ScanError("pathdelay", lineNo, sc.Err()); err != nil {
+		return nil, err
 	}
 	if len(stages) == 0 {
 		return nil, fmt.Errorf("pathdelay: spec %q describes no stages", path)

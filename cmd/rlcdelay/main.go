@@ -3,8 +3,8 @@
 // time, overshoot and settling time, with the classical Elmore (Wyatt) RC
 // delay for comparison and an optional transient-simulation cross-check.
 //
-// The tree is read from a file (or stdin with "-") in the compact text
-// format of internal/rlctree:
+// The tree is read from one or more files (or stdin with "-") in the
+// compact text format of internal/rlctree:
 //
 //	# name parent R L C   ("-" parent = attached to the input)
 //	s1 -  25 5n 50f
@@ -13,13 +13,21 @@
 // SPEF parasitic files are also accepted (-spef, with -net selecting the
 // net when the file holds several).
 //
+// Each input is processed in isolation: a malformed or oversized file is
+// reported with its error class (parse, topology, numeric, limit,
+// canceled, internal) and the remaining inputs are still analyzed.
+//
+// Exit status: 0 when every input succeeded, 1 when every input failed,
+// 2 on usage errors, 3 when only some inputs failed (partial failure).
+//
 // Usage:
 //
-//	rlcdelay [-sim] [-node name] [-vdd v] tree.txt
+//	rlcdelay [-sim] [-node name] [-vdd v] [-timeout d] tree.txt [tree2.txt ...]
 //	rlcdelay -spef [-net name] design.spef
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +35,7 @@ import (
 	"os"
 
 	"eedtree/internal/core"
+	"eedtree/internal/guard"
 	"eedtree/internal/rlctree"
 	"eedtree/internal/sources"
 	"eedtree/internal/spef"
@@ -41,25 +50,68 @@ func main() {
 		useSpef  = flag.Bool("spef", false, "input is a SPEF parasitic file")
 		netName  = flag.String("net", "", "with -spef: the net to analyze (default: first net)")
 		dot      = flag.Bool("dot", false, "emit the tree as Graphviz DOT instead of analyzing it")
+		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rlcdelay [flags] <tree-file|->\n")
+		fmt.Fprintf(os.Stderr, "usage: rlcdelay [flags] <tree-file|-> [more-files...]\n")
 		flag.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "exit status: 0 all inputs ok, 1 all failed, 2 usage, 3 some failed\n")
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	var err error
-	if *dot {
-		err = runDOT(flag.Arg(0), *useSpef, *netName)
-	} else {
-		err = run(flag.Arg(0), *node, *vdd, *simulate, *useSpef, *netName)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rlcdelay:", err)
-		os.Exit(1)
+	opts := batchOptions{
+		node: *node, vdd: *vdd, sim: *simulate,
+		spef: *useSpef, net: *netName, dot: *dot,
+	}
+	os.Exit(runBatch(ctx, flag.Args(), opts, os.Stderr))
+}
+
+type batchOptions struct {
+	node string
+	vdd  float64
+	sim  bool
+	spef bool
+	net  string
+	dot  bool
+}
+
+// runBatch processes each input in isolation — guard.Run converts a fault
+// (or the context firing) in one file into a reported, classed error and
+// the batch moves on — and returns the process exit code: 0 when every
+// input succeeded, 1 when all failed, 3 on partial failure.
+func runBatch(ctx context.Context, paths []string, opts batchOptions, errw io.Writer) int {
+	failed := 0
+	for _, path := range paths {
+		if len(paths) > 1 {
+			fmt.Printf("== %s ==\n", path)
+		}
+		err := guard.Run(ctx, func(ctx context.Context) error {
+			if opts.dot {
+				return runDOT(path, opts.spef, opts.net)
+			}
+			return run(ctx, path, opts.node, opts.vdd, opts.sim, opts.spef, opts.net)
+		})
+		if err != nil {
+			fmt.Fprintf(errw, "rlcdelay: %s: [%s] %v\n", path, guard.ClassName(err), err)
+			failed++
+		}
+	}
+	switch {
+	case failed == 0:
+		return 0
+	case failed == len(paths):
+		return 1
+	default:
+		return 3 // partial failure
 	}
 }
 
@@ -71,7 +123,7 @@ func runDOT(path string, useSpef bool, netName string) error {
 	return tree.WriteDOT(os.Stdout, path)
 }
 
-func run(path, only string, vdd float64, simulate, useSpef bool, netName string) error {
+func run(ctx context.Context, path, only string, vdd float64, simulate, useSpef bool, netName string) error {
 	tree, err := loadTree(path, useSpef, netName)
 	if err != nil {
 		return err
@@ -79,13 +131,13 @@ func run(path, only string, vdd float64, simulate, useSpef bool, netName string)
 	if only != "" && tree.Section(only) == nil {
 		return fmt.Errorf("unknown node %q", only)
 	}
-	analyses, err := core.AnalyzeTree(tree)
+	analyses, err := core.AnalyzeTreeCtx(ctx, tree)
 	if err != nil {
 		return err
 	}
 	var simDelay map[string]float64
 	if simulate {
-		simDelay, err = simulateDelays(tree, analyses, vdd)
+		simDelay, err = simulateDelays(ctx, tree, analyses, vdd)
 		if err != nil {
 			return err
 		}
@@ -96,6 +148,7 @@ func run(path, only string, vdd float64, simulate, useSpef bool, netName string)
 		fmt.Printf(" %11s %8s", "sim50", "err%")
 	}
 	fmt.Println()
+	degraded := map[string]int{}
 	for _, a := range analyses {
 		if only != "" && a.Section.Name() != only {
 			continue
@@ -105,6 +158,9 @@ func run(path, only string, vdd float64, simulate, useSpef bool, netName string)
 		if !a.Model.RCOnly() {
 			zeta = fmt.Sprintf("%.4g", a.Model.Zeta())
 			omega = fmt.Sprintf("%.4g", a.Model.OmegaN())
+		}
+		if a.Degraded {
+			degraded[a.DegradedReason]++
 		}
 		fmt.Printf("%-12s %9s %12s %11s %11s %9.2f%% %11s %11s",
 			a.Section.Name(), zeta, omega,
@@ -118,6 +174,9 @@ func run(path, only string, vdd float64, simulate, useSpef bool, netName string)
 			fmt.Printf(" %11s %7.2f%%", si(d), errPct)
 		}
 		fmt.Println()
+	}
+	for reason, n := range degraded {
+		fmt.Printf("note: %d node(s) degraded to the RC (Elmore) model: %s\n", n, reason)
 	}
 	return nil
 }
@@ -153,7 +212,7 @@ func loadTree(path string, useSpef bool, netName string) (*rlctree.Tree, error) 
 	return net.Tree(file.Units)
 }
 
-func simulateDelays(tree *rlctree.Tree, analyses []core.NodeAnalysis, vdd float64) (map[string]float64, error) {
+func simulateDelays(ctx context.Context, tree *rlctree.Tree, analyses []core.NodeAnalysis, vdd float64) (map[string]float64, error) {
 	deck, err := tree.ToDeck(sources.Step{V0: 0, V1: vdd})
 	if err != nil {
 		return nil, err
@@ -168,7 +227,7 @@ func simulateDelays(tree *rlctree.Tree, analyses []core.NodeAnalysis, vdd float6
 			horizon = h
 		}
 	}
-	res, err := transim.Simulate(deck, transim.Options{Step: horizon / 20000, Stop: horizon})
+	res, err := transim.SimulateCtx(ctx, deck, transim.Options{Step: horizon / 20000, Stop: horizon})
 	if err != nil {
 		return nil, err
 	}

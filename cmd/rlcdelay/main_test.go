@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -57,7 +59,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 
 func TestRunAllNodes(t *testing.T) {
 	path := writeTree(t)
-	out, err := capture(t, func() error { return run(path, "", 1.0, false, false, "") })
+	out, err := capture(t, func() error { return run(context.Background(), path, "", 1.0, false, false, "") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +75,7 @@ func TestRunAllNodes(t *testing.T) {
 
 func TestRunSingleNodeWithSim(t *testing.T) {
 	path := writeTree(t)
-	out, err := capture(t, func() error { return run(path, "s7", 1.0, true, false, "") })
+	out, err := capture(t, func() error { return run(context.Background(), path, "s7", 1.0, true, false, "") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,18 +88,19 @@ func TestRunSingleNodeWithSim(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "missing.txt"), "", 1, false, false, ""); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, filepath.Join(t.TempDir(), "missing.txt"), "", 1, false, false, ""); err == nil {
 		t.Fatal("missing file must fail")
 	}
 	path := writeTree(t)
-	if err := run(path, "bogus", 1, false, false, ""); err == nil {
+	if err := run(ctx, path, "bogus", 1, false, false, ""); err == nil {
 		t.Fatal("unknown node must fail")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.txt")
 	if err := os.WriteFile(bad, []byte("x y z"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(bad, "", 1, false, false, ""); err == nil {
+	if err := run(ctx, bad, "", 1, false, false, ""); err == nil {
 		t.Fatal("malformed tree must fail")
 	}
 }
@@ -133,5 +136,93 @@ func TestSIFormatting(t *testing.T) {
 		if got := si(c.in); got != c.want {
 			t.Errorf("si(%g) = %q, want %q", c.in, got, c.want)
 		}
+	}
+}
+
+// TestRunBatchPartialFailure exercises the documented batch contract: a
+// malformed deck among valid ones is reported with its error class, the
+// valid inputs are still analyzed, and the exit code is 3.
+func TestRunBatchPartialFailure(t *testing.T) {
+	good := writeTree(t)
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("not a tree"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	var code int
+	out, _ := capture(t, func() error {
+		code = runBatch(context.Background(), []string{bad, good}, batchOptions{vdd: 1}, &stderr)
+		return nil
+	})
+	if code != 3 {
+		t.Fatalf("exit code = %d, want 3 (partial failure)", code)
+	}
+	if !strings.Contains(out, "s7") || !strings.Contains(out, "elmore50") {
+		t.Fatalf("valid input was not analyzed:\n%s", out)
+	}
+	if msg := stderr.String(); !strings.Contains(msg, bad) || !strings.Contains(msg, "[parse]") {
+		t.Fatalf("malformed input not reported with its class:\n%s", msg)
+	}
+}
+
+func TestRunBatchAllFailAndAllOK(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	var code int
+	capture(t, func() error {
+		code = runBatch(context.Background(), []string{bad}, batchOptions{vdd: 1}, &stderr)
+		return nil
+	})
+	if code != 1 {
+		t.Fatalf("all-failed exit code = %d, want 1", code)
+	}
+	good := writeTree(t)
+	capture(t, func() error {
+		code = runBatch(context.Background(), []string{good}, batchOptions{vdd: 1}, &stderr)
+		return nil
+	})
+	if code != 0 {
+		t.Fatalf("all-ok exit code = %d, want 0", code)
+	}
+}
+
+// TestRunBatchCanceled: an expired context fails every input with the
+// canceled class instead of hanging or crashing.
+func TestRunBatchCanceled(t *testing.T) {
+	good := writeTree(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stderr bytes.Buffer
+	var code int
+	capture(t, func() error {
+		code = runBatch(ctx, []string{good}, batchOptions{vdd: 1}, &stderr)
+		return nil
+	})
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "[canceled]") {
+		t.Fatalf("expected canceled class in:\n%s", stderr.String())
+	}
+}
+
+// TestRunDegradedNote: an all-inductances-zero tree degrades every node to
+// the RC (Elmore) model and says so.
+func TestRunDegradedNote(t *testing.T) {
+	rc := filepath.Join(t.TempDir(), "rc.txt")
+	if err := os.WriteFile(rc, []byte("s1 - 25 0 50f\ns2 s1 25 0 50f\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run(context.Background(), rc, "", 1, false, false, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "inf(RC)") || !strings.Contains(out, "degraded to the RC (Elmore) model") {
+		t.Fatalf("degradation note missing:\n%s", out)
 	}
 }

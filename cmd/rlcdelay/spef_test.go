@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -48,7 +49,7 @@ func writeSpef(t *testing.T) string {
 
 func TestRunSpefDefaultNet(t *testing.T) {
 	path := writeSpef(t)
-	out, err := capture(t, func() error { return run(path, "", 1.0, false, true, "") })
+	out, err := capture(t, func() error { return run(context.Background(), path, "", 1.0, false, true, "") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,14 +60,14 @@ func TestRunSpefDefaultNet(t *testing.T) {
 
 func TestRunSpefSelectNet(t *testing.T) {
 	path := writeSpef(t)
-	out, err := capture(t, func() error { return run(path, "", 1.0, false, true, "nety") })
+	out, err := capture(t, func() error { return run(context.Background(), path, "", 1.0, false, true, "nety") })
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "d2:Z") {
 		t.Fatalf("selected net missing:\n%s", out)
 	}
-	if err := run(path, "", 1.0, false, true, "bogus"); err == nil {
+	if err := run(context.Background(), path, "", 1.0, false, true, "bogus"); err == nil {
 		t.Fatal("unknown SPEF net must fail")
 	}
 }
@@ -76,11 +77,11 @@ func TestRunSpefErrors(t *testing.T) {
 	if err := os.WriteFile(empty, []byte("*SPEF \"x\"\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(empty, "", 1, false, true, ""); err == nil {
+	if err := run(context.Background(), empty, "", 1, false, true, ""); err == nil {
 		t.Fatal("SPEF with no nets must fail")
 	}
 	tree := writeTree(t)
-	if err := run(tree, "", 1, false, true, ""); err == nil {
+	if err := run(context.Background(), tree, "", 1, false, true, ""); err == nil {
 		t.Fatal("tree file parsed as SPEF must fail")
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -8,7 +9,7 @@ import (
 
 func TestRunACSweep(t *testing.T) {
 	path := writeDeck(t, deckText)
-	out, err := capture(t, func() error { return runAC(path, 1e6, 1e10, 9, "out") })
+	out, err := capture(t, func() error { return runAC(context.Background(), path, 1e6, 1e10, 9, "out") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,26 +42,26 @@ func TestRunACSweep(t *testing.T) {
 
 func TestRunACErrors(t *testing.T) {
 	path := writeDeck(t, deckText)
-	if err := runAC(path, 0, 1e9, 10, ""); err == nil {
+	if err := runAC(context.Background(), path, 0, 1e9, 10, ""); err == nil {
 		t.Fatal("fstart 0 must fail")
 	}
-	if err := runAC(path, 1e9, 1e6, 10, ""); err == nil {
+	if err := runAC(context.Background(), path, 1e9, 1e6, 10, ""); err == nil {
 		t.Fatal("inverted range must fail")
 	}
-	if err := runAC(path, 1e6, 1e9, 1, ""); err == nil {
+	if err := runAC(context.Background(), path, 1e6, 1e9, 1, ""); err == nil {
 		t.Fatal("1 point must fail")
 	}
-	if err := runAC(path, 1e6, 1e9, 10, "bogus"); err == nil {
+	if err := runAC(context.Background(), path, 1e6, 1e9, 10, "bogus"); err == nil {
 		t.Fatal("unknown node must fail")
 	}
-	if err := runAC("/nonexistent", 1e6, 1e9, 10, ""); err == nil {
+	if err := runAC(context.Background(), "/nonexistent", 1e6, 1e9, 10, ""); err == nil {
 		t.Fatal("missing deck must fail")
 	}
 }
 
 func TestRunAdaptive(t *testing.T) {
 	path := writeDeck(t, deckText)
-	out, err := capture(t, func() error { return runAdaptive(path, "", 1e-4, "out") })
+	out, err := capture(t, func() error { return runAdaptive(context.Background(), path, "", 1e-4, "out") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,14 +88,14 @@ func TestRunAdaptive(t *testing.T) {
 
 func TestRunAdaptiveErrors(t *testing.T) {
 	path := writeDeck(t, deckText)
-	if err := runAdaptive(path, "bogus", 1e-4, ""); err == nil {
+	if err := runAdaptive(context.Background(), path, "bogus", 1e-4, ""); err == nil {
 		t.Fatal("bad stop must fail")
 	}
-	if err := runAdaptive(path, "", 1e-4, "nosuch"); err == nil {
+	if err := runAdaptive(context.Background(), path, "", 1e-4, "nosuch"); err == nil {
 		t.Fatal("unknown node must fail")
 	}
 	noTran := writeDeck(t, "V1 in 0 1\nR1 in 0 50\n")
-	if err := runAdaptive(noTran, "", 1e-4, ""); err == nil {
+	if err := runAdaptive(context.Background(), noTran, "", 1e-4, ""); err == nil {
 		t.Fatal("missing stop must fail")
 	}
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -21,6 +22,7 @@ import (
 	"strings"
 
 	"eedtree/internal/circuit"
+	"eedtree/internal/guard"
 	"eedtree/internal/mna"
 	"eedtree/internal/transim"
 	"eedtree/internal/unit"
@@ -39,6 +41,7 @@ func main() {
 		points    = flag.Int("points", 50, "with -ac: number of log-spaced frequency points")
 		adaptive  = flag.Bool("adaptive", false, "error-controlled time stepping (trapezoidal; -step ignored)")
 		tol       = flag.Float64("tol", 1e-4, "with -adaptive: relative local-truncation-error tolerance")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: rlcsim [flags] <deck-file|->\n")
@@ -49,22 +52,31 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	var err error
-	switch {
-	case *acFlag:
-		err = runAC(flag.Arg(0), *fstart, *fstop, *points, *nodesFlag)
-	case *adaptive:
-		err = runAdaptive(flag.Arg(0), *stopFlag, *tol, *nodesFlag)
-	default:
-		err = run(flag.Arg(0), *stepFlag, *stopFlag, *method, *nodesFlag, *stride)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
+	// guard.Run honors -timeout and converts an internal fault into a
+	// classed error instead of a crash.
+	err := guard.Run(ctx, func(ctx context.Context) error {
+		switch {
+		case *acFlag:
+			return runAC(ctx, flag.Arg(0), *fstart, *fstop, *points, *nodesFlag)
+		case *adaptive:
+			return runAdaptive(ctx, flag.Arg(0), *stopFlag, *tol, *nodesFlag)
+		default:
+			return run(ctx, flag.Arg(0), *stepFlag, *stopFlag, *method, *nodesFlag, *stride)
+		}
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rlcsim:", err)
+		fmt.Fprintf(os.Stderr, "rlcsim: [%s] %v\n", guard.ClassName(err), err)
 		os.Exit(1)
 	}
 }
 
-func runAC(path string, fstart, fstop float64, points int, nodeList string) error {
+func runAC(ctx context.Context, path string, fstart, fstop float64, points int, nodeList string) error {
 	if !(fstart > 0) || !(fstop > fstart) || points < 2 {
 		return fmt.Errorf("-ac requires 0 < fstart < fstop and points ≥ 2")
 	}
@@ -89,6 +101,9 @@ func runAC(path string, fstart, fstop float64, points int, nodeList string) erro
 	ratio := math.Pow(fstop/fstart, 1/float64(points-1))
 	f := fstart
 	for i := 0; i < points; i++ {
+		if err := guard.Check(ctx); err != nil {
+			return err
+		}
 		sol, err := sys.AC(2 * math.Pi * f)
 		if err != nil {
 			return err
@@ -104,7 +119,7 @@ func runAC(path string, fstart, fstop float64, points int, nodeList string) erro
 	return nil
 }
 
-func runAdaptive(path, stopStr string, tol float64, nodeList string) error {
+func runAdaptive(ctx context.Context, path, stopStr string, tol float64, nodeList string) error {
 	deck, err := loadDeck(path)
 	if err != nil {
 		return err
@@ -117,7 +132,7 @@ func runAdaptive(path, stopStr string, tol float64, nodeList string) error {
 	} else if deck.Tran != nil {
 		stop = deck.Tran.Stop
 	}
-	res, stats, err := transim.SimulateAdaptive(deck, transim.AdaptiveOptions{Stop: stop, Tol: tol})
+	res, stats, err := transim.SimulateAdaptiveCtx(ctx, deck, transim.AdaptiveOptions{Stop: stop, Tol: tol})
 	if err != nil {
 		return err
 	}
@@ -183,7 +198,7 @@ func selectNodes(deck *circuit.Deck, nodeList string) ([]string, []circuit.NodeI
 	return nodes, ids, nil
 }
 
-func run(path, stepStr, stopStr, method, nodeList string, stride int) error {
+func run(ctx context.Context, path, stepStr, stopStr, method, nodeList string, stride int) error {
 	deck, err := loadDeck(path)
 	if err != nil {
 		return err
@@ -215,7 +230,7 @@ func run(path, stepStr, stopStr, method, nodeList string, stride int) error {
 		return fmt.Errorf("-stride must be ≥ 1")
 	}
 
-	res, err := transim.Simulate(deck, opt)
+	res, err := transim.SimulateCtx(ctx, deck, opt)
 	if err != nil {
 		return err
 	}

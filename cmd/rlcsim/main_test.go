@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -54,7 +55,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 
 func TestRunDefaultTran(t *testing.T) {
 	path := writeDeck(t, deckText)
-	out, err := capture(t, func() error { return run(path, "", "", "trap", "", 1) })
+	out, err := capture(t, func() error { return run(context.Background(), path, "", "", "trap", "", 1) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestRunDefaultTran(t *testing.T) {
 
 func TestRunNodeSelectionAndStride(t *testing.T) {
 	path := writeDeck(t, deckText)
-	out, err := capture(t, func() error { return run(path, "", "", "be", "out", 100) })
+	out, err := capture(t, func() error { return run(context.Background(), path, "", "", "be", "out", 100) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestRunNodeSelectionAndStride(t *testing.T) {
 
 func TestRunOverrides(t *testing.T) {
 	path := writeDeck(t, deckText)
-	out, err := capture(t, func() error { return run(path, "10p", "100p", "trap", "out", 1) })
+	out, err := capture(t, func() error { return run(context.Background(), path, "10p", "100p", "trap", "out", 1) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,30 +105,30 @@ func TestRunOverrides(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	path := writeDeck(t, deckText)
-	if err := run(filepath.Join(t.TempDir(), "nope.sp"), "", "", "trap", "", 1); err == nil {
+	if err := run(context.Background(), filepath.Join(t.TempDir(), "nope.sp"), "", "", "trap", "", 1); err == nil {
 		t.Fatal("missing deck must fail")
 	}
-	if err := run(path, "", "", "rk4", "", 1); err == nil {
+	if err := run(context.Background(), path, "", "", "rk4", "", 1); err == nil {
 		t.Fatal("unknown method must fail")
 	}
-	if err := run(path, "bogus", "", "trap", "", 1); err == nil {
+	if err := run(context.Background(), path, "bogus", "", "trap", "", 1); err == nil {
 		t.Fatal("bad -step must fail")
 	}
-	if err := run(path, "", "bogus", "trap", "", 1); err == nil {
+	if err := run(context.Background(), path, "", "bogus", "trap", "", 1); err == nil {
 		t.Fatal("bad -stop must fail")
 	}
-	if err := run(path, "", "", "trap", "nosuchnode", 1); err == nil {
+	if err := run(context.Background(), path, "", "", "trap", "nosuchnode", 1); err == nil {
 		t.Fatal("unknown node must fail")
 	}
-	if err := run(path, "", "", "trap", "", 0); err == nil {
+	if err := run(context.Background(), path, "", "", "trap", "", 0); err == nil {
 		t.Fatal("stride 0 must fail")
 	}
 	noTran := writeDeck(t, "V1 in 0 1\nR1 in 0 50\n")
-	if err := run(noTran, "", "", "trap", "", 1); err == nil {
+	if err := run(context.Background(), noTran, "", "", "trap", "", 1); err == nil {
 		t.Fatal("deck without .tran and no overrides must fail")
 	}
 	bad := writeDeck(t, "Q1 a 0 1")
-	if err := run(bad, "", "", "trap", "", 1); err == nil {
+	if err := run(context.Background(), bad, "", "", "trap", "", 1); err == nil {
 		t.Fatal("malformed deck must fail")
 	}
 }

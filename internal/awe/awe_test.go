@@ -129,7 +129,7 @@ func TestConvergenceWithOrder(t *testing.T) {
 		if !model.Stable() {
 			continue // AWE's documented failure mode; skip unstable orders
 		}
-		aw := waveform.Sample(model.StepResponse(1), 0, stop, 3000)
+		aw := waveform.MustSample(model.StepResponse(1), 0, stop, 3000)
 		rms := waveform.RMSDiff(sim, aw, 3000)
 		if rms < prevErr {
 			improved++

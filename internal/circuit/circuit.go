@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"eedtree/internal/guard"
 	"eedtree/internal/sources"
 )
 
@@ -152,10 +153,10 @@ func (d *Deck) Element(name string) Element { return d.elemByName[name] }
 
 func (d *Deck) register(name string, e Element) error {
 	if name == "" {
-		return fmt.Errorf("circuit: element name must be non-empty")
+		return guard.Newf(guard.ErrTopology, "circuit", "element name must be non-empty")
 	}
 	if _, dup := d.elemByName[name]; dup {
-		return fmt.Errorf("circuit: duplicate element name %q", name)
+		return guard.Newf(guard.ErrTopology, "circuit", "duplicate element name %q", name)
 	}
 	d.elemByName[name] = e
 	d.Elements = append(d.Elements, e)
@@ -164,7 +165,8 @@ func (d *Deck) register(name string, e Element) error {
 
 func checkValue(kind, name string, v float64) error {
 	if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
-		return fmt.Errorf("circuit: %s %q requires a positive finite value, got %g", kind, name, v)
+		return guard.Newf(guard.ErrNumeric, "circuit",
+			"%s %q requires a positive finite value, got %g", kind, name, v)
 	}
 	return nil
 }
@@ -231,9 +233,10 @@ func (d *Deck) SetTran(step, stop float64) error {
 // Validate performs structural checks: at least one element, every
 // element's value positive (guaranteed by construction), and that some
 // element references ground so the nodal equations are anchored.
+// Failures carry the guard.ErrTopology class.
 func (d *Deck) Validate() error {
 	if len(d.Elements) == 0 {
-		return fmt.Errorf("circuit: deck %q has no elements", d.Title)
+		return guard.Newf(guard.ErrTopology, "circuit", "deck %q has no elements", d.Title)
 	}
 	grounded := false
 	for _, e := range d.Elements {
@@ -244,7 +247,7 @@ func (d *Deck) Validate() error {
 		}
 	}
 	if !grounded {
-		return fmt.Errorf("circuit: deck %q never references ground", d.Title)
+		return guard.Newf(guard.ErrTopology, "circuit", "deck %q never references ground", d.Title)
 	}
 	return nil
 }

@@ -1,8 +1,9 @@
 package circuit
 
 import (
-	"fmt"
 	"math"
+
+	"eedtree/internal/guard"
 )
 
 // Coupling is a SPICE-style K element: mutual inductive coupling between
@@ -29,18 +30,18 @@ func (k *Coupling) InductorNames() (string, string) { return k.LA, k.LB }
 // deck.
 func (d *Deck) AddCoupling(name, la, lb string, k float64) (*Coupling, error) {
 	if math.IsNaN(k) || k <= 0 || k >= 1 {
-		return nil, fmt.Errorf("circuit: coupling %q requires 0 < k < 1, got %g", name, k)
+		return nil, guard.Newf(guard.ErrNumeric, "circuit", "coupling %q requires 0 < k < 1, got %g", name, k)
 	}
 	if la == lb {
-		return nil, fmt.Errorf("circuit: coupling %q couples %q to itself", name, la)
+		return nil, guard.Newf(guard.ErrTopology, "circuit", "coupling %q couples %q to itself", name, la)
 	}
 	for _, ln := range [...]string{la, lb} {
 		e := d.Element(ln)
 		if e == nil {
-			return nil, fmt.Errorf("circuit: coupling %q references unknown inductor %q", name, ln)
+			return nil, guard.Newf(guard.ErrTopology, "circuit", "coupling %q references unknown inductor %q", name, ln)
 		}
 		if _, ok := e.(*Inductor); !ok {
-			return nil, fmt.Errorf("circuit: coupling %q references %q, which is not an inductor", name, ln)
+			return nil, guard.Newf(guard.ErrTopology, "circuit", "coupling %q references %q, which is not an inductor", name, ln)
 		}
 	}
 	e := &Coupling{name: name, LA: la, LB: lb, K: k}

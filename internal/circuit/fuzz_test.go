@@ -1,8 +1,11 @@
 package circuit
 
 import (
+	"context"
 	"strings"
 	"testing"
+
+	"eedtree/internal/guard"
 )
 
 // FuzzParseDeck drives the SPICE-subset parser with arbitrary inputs: it
@@ -15,7 +18,23 @@ func FuzzParseDeck(f *testing.F) {
 	f.Add(".title x\n.tran 1p 1n\n.end\n")
 	f.Add("* comment only\n")
 	f.Add("R1 a 0 12meg\nC1 a 0 1.5e-12\n")
+	// Limit-exercising seeds: an over-long line, a large PWL source, and
+	// an element avalanche.
+	f.Add("R1 a 0 1 " + strings.Repeat("x", 1<<17) + "\n")
+	f.Add("V1 a 0 PWL(" + strings.Repeat("0 0 ", 300) + "1n 1)\nR1 a 0 1\n")
+	f.Add(strings.Repeat("R1 a 0 1\n", 64))
+	f.Add("R1 a 0 1\n.end\nR1 duplicate after end ignored\n")
 	f.Fuzz(func(t *testing.T, input string) {
+		// Under guard.Run with tight limits the parser must never panic
+		// and every failure must carry a guard class.
+		gerr := guard.Run(context.Background(), func(context.Context) error {
+			_, err := ParseDeckLimits(strings.NewReader(input),
+				guard.Limits{MaxLineBytes: 256, MaxElements: 16, MaxNodes: 16, MaxPWLPoints: 8})
+			return err
+		})
+		if gerr != nil && guard.Class(gerr) == nil {
+			t.Fatalf("limited parse error %v carries no guard class\ninput: %q", gerr, input)
+		}
 		d, err := ParseDeckString(input)
 		if err != nil {
 			return

@@ -1,14 +1,18 @@
 package circuit
 
 import (
-	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 
+	"eedtree/internal/guard"
 	"eedtree/internal/sources"
 	"eedtree/internal/unit"
 )
+
+// parseOp names this parser in typed errors.
+const parseOp = "circuit.ParseDeck"
 
 // ParseDeck reads a SPICE-subset netlist:
 //
@@ -27,9 +31,25 @@ import (
 // "50f", "0.5meg"). Element kind is the first letter of the name,
 // case-insensitively, as in SPICE. Node "0" or "gnd" is ground. Unlike
 // classic SPICE the first line is not an implicit title; use ".title".
+// As in SPICE, nothing after a ".end" line is read.
+//
+// ParseDeck enforces guard.DefaultLimits; errors carry the guard taxonomy
+// (guard.ErrParse for syntax, guard.ErrNumeric for non-finite element
+// values, guard.ErrTopology for structural faults, guard.ErrLimit for
+// oversized input) with the offending line number. Use ParseDeckLimits to
+// tighten or loosen the bounds.
 func ParseDeck(r io.Reader) (*Deck, error) {
+	return ParseDeckLimits(r, guard.Limits{})
+}
+
+// ParseDeckLimits is ParseDeck under explicit input limits (zero fields
+// mean the defaults). Lines longer than MaxLineBytes, more than
+// MaxElements elements, more than MaxNodes nodes, or PWL sources with more
+// than MaxPWLPoints points fail with a guard.ErrLimit-classed error.
+func ParseDeckLimits(r io.Reader, lim guard.Limits) (*Deck, error) {
+	lim = lim.WithDefaults()
 	d := NewDeck("")
-	sc := bufio.NewScanner(r)
+	sc := lim.NewScanner(r)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -37,12 +57,23 @@ func ParseDeck(r io.Reader) (*Deck, error) {
 		if line == "" || strings.HasPrefix(line, "*") {
 			continue
 		}
-		if err := parseLine(d, line); err != nil {
-			return nil, fmt.Errorf("circuit: line %d: %w", lineNo, err)
+		if fields := strings.Fields(line); strings.ToLower(fields[0]) == ".end" {
+			// SPICE semantics: .end terminates the deck; anything after
+			// it (library text, editor cruft) is not part of the netlist.
+			break
+		}
+		if err := parseLine(d, line, lim); err != nil {
+			return nil, atLine(err, lineNo)
+		}
+		if err := guard.CheckCount(parseOp, "element", len(d.Elements), lim.MaxElements); err != nil {
+			return nil, atLine(err, lineNo)
+		}
+		if err := guard.CheckCount(parseOp, "node", d.NumNodes()-1, lim.MaxNodes); err != nil {
+			return nil, atLine(err, lineNo)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("circuit: read: %w", err)
+	if err := lim.ScanError(parseOp, lineNo, sc.Err()); err != nil {
+		return nil, err
 	}
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -55,7 +86,20 @@ func ParseDeckString(s string) (*Deck, error) {
 	return ParseDeck(strings.NewReader(s))
 }
 
-func parseLine(d *Deck, line string) error {
+// atLine annotates err with a 1-based line number, wrapping unclassified
+// errors as guard.ErrParse.
+func atLine(err error, line int) error {
+	var ge *guard.Error
+	if errors.As(err, &ge) {
+		if ge.Line == 0 {
+			return ge.WithLine(line)
+		}
+		return ge
+	}
+	return guard.New(guard.ErrParse, parseOp, err).WithLine(line)
+}
+
+func parseLine(d *Deck, line string, lim guard.Limits) error {
 	lower := strings.ToLower(line)
 	switch {
 	case strings.HasPrefix(lower, ".title"):
@@ -75,8 +119,6 @@ func parseLine(d *Deck, line string) error {
 			return err
 		}
 		return d.SetTran(step, stop)
-	case lower == ".end":
-		return nil
 	case strings.HasPrefix(lower, "."):
 		return fmt.Errorf("unsupported directive %q", strings.Fields(line)[0])
 	}
@@ -110,7 +152,7 @@ func parseLine(d *Deck, line string) error {
 		_, err = d.AddCapacitor(name, a, b, v)
 		return err
 	case 'v':
-		src, err := parseSource(rest)
+		src, err := parseSource(rest, lim)
 		if err != nil {
 			return err
 		}
@@ -130,7 +172,7 @@ func parseLine(d *Deck, line string) error {
 }
 
 // parseSource parses the waveform portion of a V line.
-func parseSource(s string) (sources.Source, error) {
+func parseSource(s string, lim guard.Limits) (sources.Source, error) {
 	s = strings.TrimSpace(s)
 	upper := strings.ToUpper(s)
 	// Functional forms FN(args...).
@@ -177,6 +219,9 @@ func parseSource(s string) (sources.Source, error) {
 		case "PWL":
 			if len(args) == 0 || len(args)%2 != 0 {
 				return nil, fmt.Errorf("PWL requires an even number of values (t v pairs)")
+			}
+			if err := guard.CheckCount(parseOp, "PWL point", len(args)/2, lim.MaxPWLPoints); err != nil {
+				return nil, err
 			}
 			pts := make([]sources.PWLPoint, len(args)/2)
 			for i := range pts {

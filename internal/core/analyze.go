@@ -1,9 +1,11 @@
 package core
 
 import (
-	"fmt"
+	"context"
+	"errors"
 	"math"
 
+	"eedtree/internal/guard"
 	"eedtree/internal/rlctree"
 )
 
@@ -24,6 +26,13 @@ type NodeAnalysis struct {
 	// Classical Elmore (Wyatt) baseline, which ignores inductance.
 	ElmoreDelay50  float64
 	ElmoreRiseTime float64
+
+	// Degraded is set when Model is an RC (Wyatt) fallback rather than a
+	// genuine second-order characterization; DegradedReason says why
+	// (zero path inductance, or a non-physical summation that degraded
+	// gracefully). See SecondOrder.Degraded.
+	Degraded       bool
+	DegradedReason string
 }
 
 // SettlingBand is the ±fraction of the final value used for the settling
@@ -36,15 +45,40 @@ const SettlingBand = 0.1
 // because all per-node summations come from the two O(n) passes of the
 // paper's Appendix.
 func AnalyzeTree(t *rlctree.Tree) ([]NodeAnalysis, error) {
+	return AnalyzeTreeCtx(context.Background(), t)
+}
+
+// analyzeCheckEvery is how many nodes AnalyzeTreeCtx processes between
+// context checks; per-node work is a handful of closed-form evaluations,
+// so this keeps cancellation latency far below a millisecond without
+// paying a channel poll on every node.
+const analyzeCheckEvery = 256
+
+// AnalyzeTreeCtx is AnalyzeTree under a context: cancellation (or a
+// deadline) is honored periodically along the node sweep, returning a
+// guard.ErrCanceled-classed error. Per-node model failures carry the
+// guard taxonomy with the offending node's name.
+func AnalyzeTreeCtx(ctx context.Context, t *rlctree.Tree) ([]NodeAnalysis, error) {
 	if t.Len() == 0 {
-		return nil, fmt.Errorf("core: empty tree")
+		return nil, guard.Newf(guard.ErrTopology, "core", "empty tree")
+	}
+	if err := guard.Check(ctx); err != nil {
+		return nil, err
 	}
 	sums := t.ElmoreSums()
 	out := make([]NodeAnalysis, t.Len())
 	for i, s := range t.Sections() {
+		if i%analyzeCheckEvery == 0 {
+			if err := guard.Check(ctx); err != nil {
+				return nil, err
+			}
+		}
 		m, err := FromSums(sums.SR[i], sums.SL[i])
 		if err != nil {
-			return nil, fmt.Errorf("core: node %s: %w", s.Name(), err)
+			if ge := new(guard.Error); errors.As(err, &ge) {
+				return nil, ge.WithNode(s.Name())
+			}
+			return nil, err
 		}
 		na := NodeAnalysis{
 			Section:        s,
@@ -54,6 +88,8 @@ func AnalyzeTree(t *rlctree.Tree) ([]NodeAnalysis, error) {
 			Overshoot:      m.Overshoot(1),
 			ElmoreDelay50:  m.ElmoreDelay50(),
 			ElmoreRiseTime: m.ElmoreRiseTime(),
+			Degraded:       m.Degraded(),
+			DegradedReason: m.DegradedReason(),
 		}
 		if ts, err := m.SettlingTime(SettlingBand); err == nil {
 			na.SettlingTime = ts

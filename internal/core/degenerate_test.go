@@ -1,0 +1,144 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"eedtree/internal/circuit"
+	"eedtree/internal/guard"
+	"eedtree/internal/rlctree"
+)
+
+// Degenerate-input coverage: inputs at the edge of physical validity must
+// produce either a well-defined (possibly degraded) characterization or a
+// typed error — never a panic and never NaN in the reported metrics.
+
+func TestAnalyzeZeroResistanceTree(t *testing.T) {
+	// Lossless LC line: ζ = 0 at every node; the analysis must still
+	// complete with finite delays (the undamped closed forms).
+	tr, err := rlctree.Line("w", 5, rlctree.SectionValues{R: 0, L: 1e-9, C: 100e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := AnalyzeTree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range out {
+		if a.Model.Zeta() != 0 {
+			t.Fatalf("node %s: ζ = %g, want 0 for a lossless line", a.Section.Name(), a.Model.Zeta())
+		}
+		if math.IsNaN(a.Delay50) || math.IsInf(a.Delay50, 0) || a.Delay50 <= 0 {
+			t.Fatalf("node %s: Delay50 = %g not finite positive", a.Section.Name(), a.Delay50)
+		}
+		if a.Degraded {
+			t.Fatalf("node %s: lossless line is a genuine second-order model, not degraded", a.Section.Name())
+		}
+	}
+}
+
+func TestAnalyzeZeroCapacitanceTree(t *testing.T) {
+	// No capacitance at all: both summations vanish; every node collapses
+	// to a zero-delay RC model, flagged Degraded.
+	tr, err := rlctree.Line("w", 3, rlctree.SectionValues{R: 10, L: 1e-9, C: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := AnalyzeTree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range out {
+		if !a.Model.RCOnly() || !a.Degraded {
+			t.Fatalf("node %s: want degraded RC-only model, got %v", a.Section.Name(), a.Model)
+		}
+		if a.Delay50 != 0 || a.ElmoreDelay50 != 0 {
+			t.Fatalf("node %s: zero-capacitance delay must be 0, got %g / %g",
+				a.Section.Name(), a.Delay50, a.ElmoreDelay50)
+		}
+	}
+}
+
+func TestAnalyzeSingleNodeTree(t *testing.T) {
+	tr := rlctree.New()
+	tr.MustAddSection("only", nil, 50, 2e-9, 100e-15)
+	out, err := AnalyzeTree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("got %d analyses, want 1", len(out))
+	}
+	a := out[0]
+	wantZeta := (50.0 / 2) * math.Sqrt(100e-15/2e-9)
+	if math.Abs(a.Model.Zeta()-wantZeta) > 1e-12*wantZeta {
+		t.Fatalf("ζ = %g, want %g", a.Model.Zeta(), wantZeta)
+	}
+}
+
+func TestAnalyzeLongChain(t *testing.T) {
+	// 10k-section chain: the two O(n) passes must survive deep trees (no
+	// recursion blowup) and keep every metric finite.
+	const n = 10_000
+	tr, err := rlctree.Line("w", n, rlctree.SectionValues{R: 0.5, L: 0.05e-9, C: 5e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := AnalyzeTree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n {
+		t.Fatalf("got %d analyses, want %d", len(out), n)
+	}
+	for _, a := range out {
+		if math.IsNaN(a.Delay50) || math.IsNaN(a.RiseTime) || math.IsNaN(a.Overshoot) {
+			t.Fatalf("node %s: NaN metric in %+v", a.Section.Name(), a)
+		}
+	}
+	// Delays must be monotone down the chain.
+	if out[0].Delay50 >= out[n-1].Delay50 {
+		t.Fatalf("delay not increasing along chain: %g vs %g", out[0].Delay50, out[n-1].Delay50)
+	}
+}
+
+func TestAnalyzeTreeCtxCanceled(t *testing.T) {
+	tr, err := rlctree.Line("w", 8, rlctree.SectionValues{R: 10, L: 1e-9, C: 50e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AnalyzeTreeCtx(ctx, tr); !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("error %v not classed guard.ErrCanceled", err)
+	}
+}
+
+func TestAnalyzeEmptyTreeTyped(t *testing.T) {
+	if _, err := AnalyzeTree(rlctree.New()); !errors.Is(err, guard.ErrTopology) {
+		t.Fatalf("error %v not classed guard.ErrTopology", err)
+	}
+}
+
+// TestDeckParserRejectsNaNInf: non-finite element values must be stopped
+// at the parse boundary with a typed error, never reaching the solvers.
+func TestDeckParserRejectsNaNInf(t *testing.T) {
+	for _, deck := range []string{
+		"R1 a 0 NaN\n.end\n",
+		"C1 a 0 Inf\n.end\n",
+		"L1 a 0 -Inf\n.end\n",
+		"R1 a 0 -5\n.end\n",
+	} {
+		_, err := circuit.ParseDeck(strings.NewReader(deck))
+		if err == nil {
+			t.Errorf("deck %q: expected error", deck)
+			continue
+		}
+		if guard.Class(err) == nil {
+			t.Errorf("deck %q: error %v carries no guard class", deck, err)
+		}
+	}
+}

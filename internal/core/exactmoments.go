@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"eedtree/internal/guard"
 	"eedtree/internal/moments"
 	"eedtree/internal/rlctree"
 )
@@ -41,11 +42,14 @@ func (e ErrMomentsUnrealizable) Error() string {
 // real second-order system.
 func FromExactMoments(m1, m2 float64) (SecondOrder, error) {
 	if math.IsNaN(m1) || math.IsNaN(m2) {
-		return SecondOrder{}, fmt.Errorf("core: NaN moments")
+		return SecondOrder{}, guard.Newf(guard.ErrNumeric, "core", "NaN moments")
 	}
 	if m1 == 0 && m2 == 0 {
 		// Degenerate zero-delay node.
-		return SecondOrder{zeta: math.Inf(1), omegaN: math.Inf(1), tauRC: 0, rcOnly: true}, nil
+		return SecondOrder{
+			zeta: math.Inf(1), omegaN: math.Inf(1), tauRC: 0, rcOnly: true,
+			degradedReason: "zero moments (zero-delay node): collapse to RC Elmore",
+		}, nil
 	}
 	disc := m1*m1 - m2
 	if m1 >= 0 || disc <= 0 {

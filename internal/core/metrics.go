@@ -104,10 +104,11 @@ func (m SecondOrder) ElmoreRiseTime() float64 { return math.Log(9) * m.tauRC }
 // step response relative to the final value (paper eq. 39):
 // |v(t_n) − V_final|/V_final = e^{−nπζ/√(1−ζ²)}. Odd n are overshoots
 // (above the final value), even n undershoots. It returns 0 for a
-// monotone (ζ ≥ 1 or RC-only) response. n must be ≥ 1.
+// monotone (ζ ≥ 1 or RC-only) response. Extremum indices below 1 do not
+// exist, so n is clamped to 1.
 func (m SecondOrder) Overshoot(n int) float64 {
 	if n < 1 {
-		panic(fmt.Sprintf("core: Overshoot requires n ≥ 1, got %d", n))
+		n = 1
 	}
 	if !m.Underdamped() {
 		return 0
@@ -117,10 +118,11 @@ func (m SecondOrder) Overshoot(n int) float64 {
 
 // OvershootTime returns the time of the n-th extremum of the underdamped
 // step response (paper eqs. 40–41): t_n = nπ/(ω_n·√(1−ζ²)). It returns
-// +Inf for a monotone response. n must be ≥ 1.
+// +Inf for a monotone response. Extremum indices below 1 do not exist,
+// so n is clamped to 1.
 func (m SecondOrder) OvershootTime(n int) float64 {
 	if n < 1 {
-		panic(fmt.Sprintf("core: OvershootTime requires n ≥ 1, got %d", n))
+		n = 1
 	}
 	if !m.Underdamped() {
 		return math.Inf(1)

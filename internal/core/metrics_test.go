@@ -84,7 +84,7 @@ func TestDelayMatchesSampledResponse(t *testing.T) {
 		m, _ := FromZetaOmega(zeta, 1e9)
 		f := m.StepResponse(1)
 		horizon := 5 * (1 + 2*zeta) / 1e9 * 3
-		w := waveform.Sample(f, 0, horizon, 60000)
+		w := waveform.MustSample(f, 0, horizon, 60000)
 		d, err := w.Delay50(1)
 		if err != nil {
 			t.Fatal(err)
@@ -109,7 +109,7 @@ func TestOvershootFormula(t *testing.T) {
 	zeta, wn := 0.35, 1e9
 	m, _ := FromZetaOmega(zeta, wn)
 	f := m.StepResponse(1)
-	w := waveform.Sample(f, 0, 60e-9, 120000)
+	w := waveform.MustSample(f, 0, 60e-9, 120000)
 	ex := w.Extrema()
 	if len(ex) < 3 {
 		t.Fatalf("expected several extrema, got %d", len(ex))
@@ -196,20 +196,18 @@ func TestSettlingTimeValidation(t *testing.T) {
 	}
 }
 
-func TestOvershootPanicsOnBadN(t *testing.T) {
+func TestOvershootClampsBadN(t *testing.T) {
+	// Extremum indices below 1 do not exist; the accessors clamp to the
+	// first extremum instead of panicking so hostile inputs cannot crash
+	// a whole-tree analysis.
 	m, _ := FromZetaOmega(0.5, 1e9)
-	for _, fn := range []func(){
-		func() { m.Overshoot(0) },
-		func() { m.OvershootTime(0) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("expected panic for n=0")
-				}
-			}()
-			fn()
-		}()
+	for _, n := range []int{0, -3} {
+		if got, want := m.Overshoot(n), m.Overshoot(1); got != want {
+			t.Fatalf("Overshoot(%d) = %g, want clamp to Overshoot(1) = %g", n, got, want)
+		}
+		if got, want := m.OvershootTime(n), m.OvershootTime(1); got != want {
+			t.Fatalf("OvershootTime(%d) = %g, want clamp to OvershootTime(1) = %g", n, got, want)
+		}
 	}
 }
 

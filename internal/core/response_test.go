@@ -323,7 +323,7 @@ func TestPWLMultiSegment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := waveform.Sample(f, 0, 40e-9, 4000)
+	w := waveform.MustSample(f, 0, 40e-9, 4000)
 	if got := w.Final(); math.Abs(got-1) > 1e-5 {
 		t.Fatalf("PWL final value = %g, want 1", got)
 	}

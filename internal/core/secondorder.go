@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 
+	"eedtree/internal/guard"
 	"eedtree/internal/rlctree"
 )
 
@@ -35,25 +36,48 @@ type SecondOrder struct {
 	omegaN float64 // natural frequency ω_n [rad/s] (paper eq. 29); +Inf for RC-only
 	tauRC  float64 // Σ_k C_k·R_ik — the Elmore (RC) time constant [s]
 	rcOnly bool    // true when Σ_k C_k·L_ik == 0 (first-order/Wyatt limit)
+
+	// degradedReason is non-empty when the second-order form was not
+	// used and the model fell back to the first-order RC (Wyatt)
+	// characterization — either the exact collapse (Σ C·L = 0, the
+	// paper's own limit as inductance vanishes) or a defensive fallback
+	// from a non-physical summation. See Degraded.
+	degradedReason string
 }
 
 // FromSums builds the model from the two tree summations at a node:
 // sr = Σ_k C_k·R_ik and sl = Σ_k C_k·L_ik (see rlctree.ElmoreSums).
-// A node with sl == 0 (no inductance anywhere on/under its path) yields the
-// classical first-order Elmore (Wyatt) model, which all methods honor.
+//
+// A node with sl == 0 (no inductance anywhere on/under its path) yields
+// the classical first-order Elmore (Wyatt) model, which all methods honor;
+// the model reports Degraded with the collapse reason. A degenerate or
+// non-physical inductance summation (NaN, ±Inf, negative — e.g. from
+// overflowing extractions) likewise degrades to the RC model instead of
+// failing, mirroring how eqs. 29–30 collapse to the Elmore form as
+// Σ C·L → 0. Only an unusable RC summation sr is a hard error
+// (guard.ErrNumeric): without it no delay at all can be produced.
 func FromSums(sr, sl float64) (SecondOrder, error) {
-	if math.IsNaN(sr) || math.IsNaN(sl) || sr < 0 || sl < 0 {
-		return SecondOrder{}, fmt.Errorf("core: invalid summations sr=%g sl=%g", sr, sl)
+	if math.IsNaN(sr) || math.IsInf(sr, 0) || sr < 0 {
+		return SecondOrder{}, guard.Newf(guard.ErrNumeric, "core", "invalid RC summation Σ C·R = %g", sr)
 	}
+	rc := SecondOrder{zeta: math.Inf(1), omegaN: math.Inf(1), tauRC: sr, rcOnly: true}
 	if sl == 0 {
-		return SecondOrder{zeta: math.Inf(1), omegaN: math.Inf(1), tauRC: sr, rcOnly: true}, nil
+		rc.degradedReason = "no inductance on path (Σ C·L = 0): exact collapse to RC Elmore"
+		return rc, nil
+	}
+	if math.IsNaN(sl) || math.IsInf(sl, 0) || sl < 0 {
+		rc.degradedReason = fmt.Sprintf("non-physical inductance summation Σ C·L = %g: falling back to RC Elmore", sl)
+		return rc, nil
 	}
 	root := math.Sqrt(sl)
-	return SecondOrder{
-		zeta:   sr / (2 * root),
-		omegaN: 1 / root,
-		tauRC:  sr,
-	}, nil
+	zeta, omegaN := sr/(2*root), 1/root
+	if omegaN == 0 || math.IsInf(omegaN, 0) || math.IsNaN(zeta) {
+		// Overflow/underflow of the summations (denormal or enormous
+		// Σ C·L): the second-order form is numerically meaningless.
+		rc.degradedReason = fmt.Sprintf("degenerate second-order model (Σ C·L = %g): falling back to RC Elmore", sl)
+		return rc, nil
+	}
+	return SecondOrder{zeta: zeta, omegaN: omegaN, tauRC: sr}, nil
 }
 
 // FromZetaOmega builds the model directly from a damping factor and a
@@ -88,6 +112,17 @@ func (m SecondOrder) TauRC() float64 { return m.tauRC }
 // RCOnly reports whether the node degenerates to the first-order RC model
 // (no inductance contributes to its response).
 func (m SecondOrder) RCOnly() bool { return m.rcOnly }
+
+// Degraded reports whether the model is a first-order RC (Wyatt) fallback
+// rather than a genuine second-order characterization — because the
+// inductance summation was exactly zero (the paper's own RC limit) or
+// because it was non-physical and the constructor degraded gracefully
+// instead of failing. DegradedReason explains which.
+func (m SecondOrder) Degraded() bool { return m.degradedReason != "" }
+
+// DegradedReason returns a human-readable explanation of why the model
+// fell back to the RC characterization, or "" when it did not.
+func (m SecondOrder) DegradedReason() string { return m.degradedReason }
 
 // Underdamped reports whether the response is non-monotone (ζ < 1), the
 // case the classical Elmore delay cannot represent.

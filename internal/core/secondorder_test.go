@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/cmplx"
 	"math/rand"
@@ -8,16 +9,59 @@ import (
 	"testing"
 	"testing/quick"
 
+	"eedtree/internal/guard"
 	"eedtree/internal/rlctree"
 )
 
 func TestFromSumsValidation(t *testing.T) {
-	for _, c := range []struct{ sr, sl float64 }{
-		{-1, 0}, {0, -1}, {math.NaN(), 0}, {0, math.NaN()},
-	} {
-		if _, err := FromSums(c.sr, c.sl); err == nil {
-			t.Errorf("FromSums(%g, %g): expected error", c.sr, c.sl)
+	// An unusable RC summation is a hard error: nothing can be salvaged.
+	for _, sr := range []float64{-1, math.NaN(), math.Inf(1)} {
+		_, err := FromSums(sr, 0)
+		if err == nil {
+			t.Fatalf("FromSums(%g, 0): expected error", sr)
 		}
+		if !errors.Is(err, guard.ErrNumeric) {
+			t.Errorf("FromSums(%g, 0): error %v not classed guard.ErrNumeric", sr, err)
+		}
+	}
+	// A non-physical inductance summation degrades to the RC (Wyatt)
+	// model instead of failing: the RC part of the characterization is
+	// still trustworthy.
+	for _, sl := range []float64{-1, math.NaN(), math.Inf(1)} {
+		m, err := FromSums(1e-9, sl)
+		if err != nil {
+			t.Fatalf("FromSums(1e-9, %g): unexpected error %v", sl, err)
+		}
+		if !m.RCOnly() || !m.Degraded() || m.DegradedReason() == "" {
+			t.Errorf("FromSums(1e-9, %g): want degraded RC fallback, got %v (reason %q)",
+				sl, m, m.DegradedReason())
+		}
+		if got, want := m.Delay50(), math.Ln2*1e-9; math.Abs(got-want) > 1e-20 {
+			t.Errorf("FromSums(1e-9, %g): Delay50 = %g, want Wyatt %g", sl, got, want)
+		}
+	}
+}
+
+func TestFromSumsDegradedFlag(t *testing.T) {
+	// Σ C·L = 0 is the paper's own RC limit: RC-only and flagged Degraded
+	// with the collapse reason.
+	m, err := FromSums(1e-9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.RCOnly() || !m.Degraded() {
+		t.Fatalf("FromSums(1e-9, 0): want RC-only degraded model, got %v", m)
+	}
+	if !strings.Contains(m.DegradedReason(), "Σ C·L = 0") {
+		t.Fatalf("reason %q does not name the collapse", m.DegradedReason())
+	}
+	// A genuine second-order model is not degraded.
+	m2, err := FromSums(1e-9, 1e-19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Degraded() || m2.DegradedReason() != "" {
+		t.Fatalf("second-order model wrongly degraded: %q", m2.DegradedReason())
 	}
 }
 

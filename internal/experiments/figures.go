@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"eedtree/internal/core"
+	"eedtree/internal/guard"
 	"eedtree/internal/rlctree"
 	"eedtree/internal/sources"
 	"eedtree/internal/waveform"
@@ -427,7 +429,10 @@ func Fig16() (*Table, error) {
 		return nil, err
 	}
 	ovSim, _ := sim.Overshoot(vdd)
-	an := waveform.Sample(model.StepResponse(vdd), 0, horizon, 40000)
+	an, err := waveform.Sample(model.StepResponse(vdd), 0, horizon, 40000)
+	if err != nil {
+		return nil, err
+	}
 	t.AddRow(model.Zeta(),
 		1e12*cmp.DelayFit, 1e12*cmp.DelaySim, cmp.DelayErrPct,
 		100*model.Overshoot(1), 100*ovSim,
@@ -482,6 +487,15 @@ func AppendixComplexity() (*Table, error) {
 
 // All returns every figure reproduction in paper order.
 func All() ([]*Table, error) {
+	return AllCtx(context.Background())
+}
+
+// AllCtx is All under a context: cancellation (or a deadline) is honored
+// between figure generators, and each generator runs under guard.Run so a
+// fault in one reproduction surfaces as a typed error naming the figure
+// instead of crashing the sweep. (Generators that simulate or sweep also
+// honor ctx internally via transim and mna.)
+func AllCtx(ctx context.Context) ([]*Table, error) {
 	type gen struct {
 		name string
 		fn   func() (*Table, error)
@@ -493,7 +507,12 @@ func All() ([]*Table, error) {
 	}
 	out := make([]*Table, 0, len(gens))
 	for _, g := range gens {
-		tbl, err := g.fn()
+		var tbl *Table
+		err := guard.Run(ctx, func(context.Context) error {
+			var err error
+			tbl, err = g.fn()
+			return err
+		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", g.name, err)
 		}

@@ -180,7 +180,10 @@ func compareNode(model core.SecondOrder, analytic func(float64) float64, sim *wa
 	c.DelaySim = dSim
 	c.DelayErrPct = 100 * math.Abs(c.DelayFit-dSim) / dSim
 	c.ElmoreErrPct = 100 * math.Abs(c.ElmoreDelay-dSim) / dSim
-	an := waveform.Sample(analytic, sim.Start(), sim.End(), 8000)
+	an, err := waveform.Sample(analytic, sim.Start(), sim.End(), 8000)
+	if err != nil {
+		return c, fmt.Errorf("experiments: sampling analytic response: %w", err)
+	}
 	c.WaveErrPct = 100 * waveform.MaxAbsDiff(an, sim) / math.Abs(vdd)
 	if dw, err := an.Delay50(vdd); err == nil {
 		c.DelayWave = dw

@@ -1,0 +1,159 @@
+// Package guard is the fault-isolation layer the rest of the library
+// routes through when it processes untrusted input or runs long
+// computations on behalf of a caller. It provides three things:
+//
+//   - a typed error taxonomy (ErrParse, ErrTopology, ErrNumeric,
+//     ErrCanceled, ErrLimit, ErrInternal) that callers can dispatch on
+//     with errors.Is while still reaching the underlying cause with
+//     errors.As/Unwrap;
+//   - Run, which executes a function under a context and converts any
+//     panic escaping it into a typed error with a captured stack instead
+//     of crashing the process; and
+//   - Limits, explicit input bounds (line length, element, node, PWL
+//     point counts) that parsers enforce so malformed or adversarial
+//     inputs fail fast with ErrLimit instead of exhausting memory or
+//     dying inside bufio.
+//
+// The degradation philosophy follows the paper: where the second-order
+// RLC model degenerates, internal/core falls back to the classical Elmore
+// (Wyatt) RC characterization rather than failing (see core.SecondOrder's
+// Degraded flag); guard supplies the error vocabulary for the cases where
+// no answer can be produced at all.
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// The error classes. Every error produced by this package (and by the
+// parsers and solvers routed through it) matches exactly one class under
+// errors.Is.
+var (
+	// ErrParse reports malformed textual input (netlists, tree files,
+	// SPEF, spec files): syntax, unknown directives, bad numbers.
+	ErrParse = errors.New("parse error")
+	// ErrTopology reports structurally invalid circuits or trees:
+	// duplicate names, unknown parents, missing ground, empty inputs.
+	ErrTopology = errors.New("topology error")
+	// ErrNumeric reports a numeric failure: singular systems,
+	// non-physical sums, NaN/Inf where finite values are required, and
+	// runtime faults (index/division) recovered from numeric kernels.
+	ErrNumeric = errors.New("numeric error")
+	// ErrCanceled reports that a context was canceled or its deadline
+	// exceeded before the computation finished.
+	ErrCanceled = errors.New("canceled")
+	// ErrLimit reports input that exceeds a configured Limits bound.
+	ErrLimit = errors.New("limit exceeded")
+	// ErrInternal reports a recovered library invariant violation (an
+	// explicit panic) — a bug, not a property of the input.
+	ErrInternal = errors.New("internal error")
+)
+
+// Error is the typed error produced throughout the guarded layer. It
+// carries the class (one of the sentinel values above), the operation that
+// failed, optional node and input-line context, the underlying cause, and
+// — for recovered panics — the goroutine stack.
+//
+// errors.Is(err, guard.ErrParse) matches the class; errors.Is/As also see
+// the wrapped cause through Unwrap.
+type Error struct {
+	Class error  // one of ErrParse … ErrInternal
+	Op    string // failing operation, e.g. "circuit.ParseDeck"
+	Node  string // circuit node or tree section, when known
+	Line  int    // 1-based input line, when known (0 = unknown)
+	Err   error  // underlying cause, may be nil
+	Stack []byte // goroutine stack, captured for recovered panics
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	var b strings.Builder
+	if e.Op != "" {
+		b.WriteString(e.Op)
+		b.WriteString(": ")
+	}
+	if e.Line > 0 {
+		fmt.Fprintf(&b, "line %d: ", e.Line)
+	}
+	if e.Node != "" {
+		fmt.Fprintf(&b, "node %q: ", e.Node)
+	}
+	if e.Class != nil {
+		b.WriteString(e.Class.Error())
+	}
+	if e.Err != nil {
+		b.WriteString(": ")
+		b.WriteString(e.Err.Error())
+	}
+	return b.String()
+}
+
+// Unwrap returns the underlying cause.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is reports whether target is this error's class, making
+// errors.Is(err, guard.ErrNumeric) work without unwrapping ambiguity.
+func (e *Error) Is(target error) bool { return target == e.Class }
+
+// New wraps cause as a typed error of the given class.
+func New(class error, op string, cause error) *Error {
+	return &Error{Class: class, Op: op, Err: cause}
+}
+
+// Newf is New with a formatted cause.
+func Newf(class error, op, format string, args ...any) *Error {
+	return &Error{Class: class, Op: op, Err: fmt.Errorf(format, args...)}
+}
+
+// WithLine returns a copy of the error annotated with a 1-based input
+// line number.
+func (e *Error) WithLine(line int) *Error {
+	c := *e
+	c.Line = line
+	return &c
+}
+
+// WithNode returns a copy of the error annotated with a node or section
+// name.
+func (e *Error) WithNode(node string) *Error {
+	c := *e
+	c.Node = node
+	return &c
+}
+
+// Class returns the taxonomy class of err (one of the sentinel errors),
+// or nil when err is nil or carries no class.
+func Class(err error) error {
+	for _, class := range []error{ErrParse, ErrTopology, ErrNumeric, ErrCanceled, ErrLimit, ErrInternal} {
+		if errors.Is(err, class) {
+			return class
+		}
+	}
+	return nil
+}
+
+// ClassName returns a short stable name for the class of err: "parse",
+// "topology", "numeric", "canceled", "limit", "internal", or "error" for
+// an unclassified non-nil error ("" for nil).
+func ClassName(err error) string {
+	switch Class(err) {
+	case ErrParse:
+		return "parse"
+	case ErrTopology:
+		return "topology"
+	case ErrNumeric:
+		return "numeric"
+	case ErrCanceled:
+		return "canceled"
+	case ErrLimit:
+		return "limit"
+	case ErrInternal:
+		return "internal"
+	}
+	if err == nil {
+		return ""
+	}
+	return "error"
+}

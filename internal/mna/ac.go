@@ -1,10 +1,12 @@
 package mna
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"eedtree/internal/circuit"
+	"eedtree/internal/guard"
 	"eedtree/internal/lina"
 )
 
@@ -32,7 +34,7 @@ func (s *ACSolution) VoltageAt(n circuit.NodeID) complex128 { return s.V[n] }
 // capacitor jωC, inductor branch v_a − v_b − jωL·i = 0.
 func (s *System) AC(omega float64) (*ACSolution, error) {
 	if omega < 0 || math.IsNaN(omega) || math.IsInf(omega, 0) {
-		return nil, fmt.Errorf("mna: invalid angular frequency %g", omega)
+		return nil, guard.Newf(guard.ErrNumeric, "mna", "invalid angular frequency %g", omega)
 	}
 	n := s.size
 	m := lina.NewCMatrix(n, n)
@@ -90,7 +92,7 @@ func (s *System) AC(omega float64) (*ACSolution, error) {
 	}
 	x, err := lina.SolveComplex(m, rhs)
 	if err != nil {
-		return nil, fmt.Errorf("mna: AC solve at ω=%g: %w", omega, err)
+		return nil, guard.New(guard.ErrNumeric, "mna", fmt.Errorf("AC solve at ω=%g: %w", omega, err))
 	}
 	sol := &ACSolution{
 		Omega: omega,
@@ -105,14 +107,25 @@ func (s *System) AC(omega float64) (*ACSolution, error) {
 // TransferFunction sweeps the exact H(jω) from the (unit-phasor) sources
 // to the named node over the given angular frequencies.
 func (s *System) TransferFunction(node circuit.NodeID, omegas []float64) ([]complex128, error) {
+	return s.TransferFunctionCtx(context.Background(), node, omegas)
+}
+
+// TransferFunctionCtx is TransferFunction under a context: cancellation
+// (or a deadline) is honored between frequency points, returning a
+// guard.ErrCanceled-classed error within one AC solve of the context
+// firing.
+func (s *System) TransferFunctionCtx(ctx context.Context, node circuit.NodeID, omegas []float64) ([]complex128, error) {
 	if node == circuit.Ground {
-		return nil, fmt.Errorf("mna: transfer function to ground is identically zero")
+		return nil, guard.Newf(guard.ErrTopology, "mna", "transfer function to ground is identically zero")
 	}
 	if int(node) <= 0 || int(node) > s.numNodes {
-		return nil, fmt.Errorf("mna: node id %d out of range", node)
+		return nil, guard.Newf(guard.ErrTopology, "mna", "node id %d out of range", node)
 	}
 	out := make([]complex128, len(omegas))
 	for i, w := range omegas {
+		if err := guard.Check(ctx); err != nil {
+			return nil, err
+		}
 		sol, err := s.AC(w)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,75 @@
+package mna
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"eedtree/internal/guard"
+	"eedtree/internal/lina"
+)
+
+func TestTransferFunctionCtxCancel(t *testing.T) {
+	s, out, _ := rcDeckAC(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.TransferFunctionCtx(ctx, out, []float64{0, 1e8, 1e9})
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("error %v not classed guard.ErrCanceled", err)
+	}
+}
+
+// TestTransferFunctionCtxCancelMidSweep: a long sweep must stop within one
+// AC solve of the context firing.
+func TestTransferFunctionCtxCancelMidSweep(t *testing.T) {
+	s, out, _ := rcDeckAC(t)
+	omegas := make([]float64, 2_000_000)
+	for i := range omegas {
+		omegas[i] = 1e6 + float64(i)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(3 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := s.TransferFunctionCtx(ctx, out, omegas)
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("error %v not classed guard.ErrCanceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v; sweep did not stop promptly", elapsed)
+	}
+}
+
+func TestACInvalidOmegaTyped(t *testing.T) {
+	s, _, _ := rcDeckAC(t)
+	for _, w := range []float64{-1, nan()} {
+		_, err := s.AC(w)
+		if !errors.Is(err, guard.ErrNumeric) {
+			t.Fatalf("AC(%g): error %v not classed guard.ErrNumeric", w, err)
+		}
+	}
+}
+
+func nan() float64 { var z float64; return z / z }
+
+// TestGuardRunIsolatesSolverPanic: an out-of-bounds stamp into the system
+// matrix faults at runtime; through guard.Run the fault surfaces as a
+// typed guard.ErrNumeric instead of crashing the process.
+func TestGuardRunIsolatesSolverPanic(t *testing.T) {
+	err := guard.Run(context.Background(), func(context.Context) error {
+		m := lina.NewCMatrix(3, 3)
+		m.Set(5, 5, 1) // out-of-range stamp: runtime fault
+		_, err := lina.SolveComplex(m, make([]complex128, 3))
+		return err
+	})
+	if !errors.Is(err, guard.ErrNumeric) {
+		t.Fatalf("error %v not classed guard.ErrNumeric", err)
+	}
+	var ge *guard.Error
+	if !errors.As(err, &ge) || len(ge.Stack) == 0 {
+		t.Fatalf("error %v carries no captured stack", err)
+	}
+}

@@ -1,11 +1,11 @@
 package rlctree
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"strings"
 
+	"eedtree/internal/guard"
 	"eedtree/internal/unit"
 )
 
@@ -18,10 +18,24 @@ import (
 // input node. Values accept SPICE engineering suffixes ("25", "1n", "20f").
 // The format round-trips through Parse and WriteTo.
 
-// Parse reads a tree from the text format above.
+// parseOp names this parser in typed errors.
+const parseOp = "rlctree.Parse"
+
+// Parse reads a tree from the text format above under
+// guard.DefaultLimits. Errors carry the guard taxonomy (guard.ErrParse
+// for syntax, guard.ErrTopology for structural faults, guard.ErrLimit for
+// oversized input) with the offending line number.
 func Parse(r io.Reader) (*Tree, error) {
+	return ParseLimits(r, guard.Limits{})
+}
+
+// ParseLimits is Parse under explicit input limits (zero fields mean the
+// defaults): MaxLineBytes bounds line length and MaxSections the number
+// of tree sections.
+func ParseLimits(r io.Reader, lim guard.Limits) (*Tree, error) {
+	lim = lim.WithDefaults()
 	t := New()
-	sc := bufio.NewScanner(r)
+	sc := lim.NewScanner(r)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -31,33 +45,38 @@ func Parse(r io.Reader) (*Tree, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) != 5 {
-			return nil, fmt.Errorf("rlctree: line %d: want 5 fields (name parent R L C), got %d", lineNo, len(fields))
+			return nil, guard.Newf(guard.ErrParse, parseOp,
+				"want 5 fields (name parent R L C), got %d", len(fields)).WithLine(lineNo)
 		}
 		name, parentName := fields[0], fields[1]
 		var parent *Section
 		if parentName != "-" {
 			parent = t.Section(parentName)
 			if parent == nil {
-				return nil, fmt.Errorf("rlctree: line %d: unknown parent %q (parents must be declared first)", lineNo, parentName)
+				return nil, guard.Newf(guard.ErrTopology, parseOp,
+					"unknown parent %q (parents must be declared first)", parentName).WithLine(lineNo)
 			}
 		}
 		var vals [3]float64
 		for i, f := range fields[2:] {
 			v, err := unit.Parse(f)
 			if err != nil {
-				return nil, fmt.Errorf("rlctree: line %d: %w", lineNo, err)
+				return nil, guard.New(guard.ErrParse, parseOp, err).WithLine(lineNo)
 			}
 			vals[i] = v
 		}
 		if _, err := t.AddSection(name, parent, vals[0], vals[1], vals[2]); err != nil {
-			return nil, fmt.Errorf("rlctree: line %d: %w", lineNo, err)
+			return nil, guard.New(guard.ErrTopology, parseOp, err).WithLine(lineNo)
+		}
+		if err := guard.CheckCount(parseOp, "section", t.Len(), lim.MaxSections); err != nil {
+			return nil, err
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("rlctree: read: %w", err)
+	if err := lim.ScanError(parseOp, lineNo, sc.Err()); err != nil {
+		return nil, err
 	}
 	if t.Len() == 0 {
-		return nil, fmt.Errorf("rlctree: input describes no sections")
+		return nil, guard.Newf(guard.ErrTopology, parseOp, "input describes no sections")
 	}
 	return t, nil
 }

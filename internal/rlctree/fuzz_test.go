@@ -1,6 +1,13 @@
 package rlctree
 
-import "testing"
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+
+	"eedtree/internal/guard"
+)
 
 // FuzzParse drives the tree text parser with arbitrary inputs: no panics,
 // and accepted trees must round-trip through Format.
@@ -10,7 +17,20 @@ func FuzzParse(f *testing.F) {
 	f.Add("a - 1 1 1\nb a 2 2 2\nc a 3 3 3\n")
 	f.Add("x y 1 1 1\n")
 	f.Add("")
+	// Limit-exercising seeds: an over-long line and a deep chain.
+	f.Add("a - 1 1 1 " + strings.Repeat("#", 1<<17) + "\n")
+	f.Add(chainSeed(40))
 	f.Fuzz(func(t *testing.T, input string) {
+		// Under guard.Run with tight limits the parser must never panic
+		// and every failure must carry a guard class.
+		gerr := guard.Run(context.Background(), func(context.Context) error {
+			_, err := ParseLimits(strings.NewReader(input),
+				guard.Limits{MaxLineBytes: 256, MaxSections: 16})
+			return err
+		})
+		if gerr != nil && guard.Class(gerr) == nil {
+			t.Fatalf("limited parse error %v carries no guard class\ninput: %q", gerr, input)
+		}
 		tr, err := ParseString(input)
 		if err != nil {
 			return
@@ -23,4 +43,16 @@ func FuzzParse(f *testing.F) {
 			t.Fatalf("round trip changed section count %d → %d", tr.Len(), back.Len())
 		}
 	})
+}
+
+// chainSeed builds a parent-chained tree description n sections long.
+func chainSeed(n int) string {
+	var b strings.Builder
+	prev := "-"
+	for i := 0; i < n; i++ {
+		name := "s" + strconv.Itoa(i)
+		b.WriteString(name + " " + prev + " 1 1n 1f\n")
+		prev = name
+	}
+	return b.String()
 }

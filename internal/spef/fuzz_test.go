@@ -1,6 +1,12 @@
 package spef
 
-import "testing"
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"eedtree/internal/guard"
+)
 
 // FuzzParse drives the SPEF parser with arbitrary inputs: no panics, and
 // accepted files must round-trip through the writer with the same net and
@@ -11,7 +17,22 @@ func FuzzParse(f *testing.F) {
 	f.Add("*D_NET n 1\n*CAP\n1 a 0.5\n*END\n")
 	f.Add("*NAME_MAP\n*1 foo\n*D_NET *1 1\n*RES\n1 *1:1 *1:2 5\n*END\n")
 	f.Add("")
+	// Limit-exercising seeds: an over-long line, many nets, and a net
+	// with many branches.
+	f.Add("*SPEF \"x\"\n// " + strings.Repeat("y", 1<<17) + "\n")
+	f.Add(strings.Repeat("*D_NET n 1\n*END\n", 40))
+	f.Add("*D_NET n 1\n*CAP\n" + strings.Repeat("1 a 0.5\n", 64) + "*END\n")
 	f.Fuzz(func(t *testing.T, input string) {
+		// Under guard.Run with tight limits the parser must never panic
+		// and every failure must carry a guard class.
+		gerr := guard.Run(context.Background(), func(context.Context) error {
+			_, err := ParseLimits(strings.NewReader(input),
+				guard.Limits{MaxLineBytes: 256, MaxNets: 8, MaxElements: 32})
+			return err
+		})
+		if gerr != nil && guard.Class(gerr) == nil {
+			t.Fatalf("limited parse error %v carries no guard class\ninput: %q", gerr, input)
+		}
 		file, err := ParseString(input)
 		if err != nil {
 			return

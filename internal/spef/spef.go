@@ -18,6 +18,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"eedtree/internal/guard"
 )
 
 // Units holds the multipliers that convert the file's numeric values to SI
@@ -100,25 +102,41 @@ func (f *File) Net(name string) *Net {
 	return nil
 }
 
+// parseOp names this parser in typed errors.
+const parseOp = "spef.Parse"
+
 type parser struct {
-	sc   *bufio.Scanner
-	line int
-	file *File
+	sc       *bufio.Scanner
+	line     int
+	file     *File
+	lim      guard.Limits
+	elements int // running count of *CONN/*CAP/*RES/*INDUC entries
 }
 
+// errf reports a syntax error at the current line with the
+// guard.ErrParse class.
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("spef: line %d: %s", p.line, fmt.Sprintf(format, args...))
+	return guard.Newf(guard.ErrParse, parseOp, format, args...).WithLine(p.line)
 }
 
-// Parse reads a SPEF file.
+// Parse reads a SPEF file under guard.DefaultLimits. Errors carry the
+// guard taxonomy (guard.ErrParse for syntax, guard.ErrLimit for oversized
+// input) with the offending line number.
 func Parse(r io.Reader) (*File, error) {
+	return ParseLimits(r, guard.Limits{})
+}
+
+// ParseLimits is Parse under explicit input limits (zero fields mean the
+// defaults): MaxLineBytes bounds line length, MaxNets the number of
+// *D_NET sections, and MaxElements the total parasitic entry count.
+func ParseLimits(r io.Reader, lim guard.Limits) (*File, error) {
 	f := &File{
 		Header:  map[string]string{},
 		Units:   DefaultUnits,
 		nameMap: map[string]string{},
 	}
-	p := &parser{sc: bufio.NewScanner(r), file: f}
-	p.sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lim = lim.WithDefaults()
+	p := &parser{sc: lim.NewScanner(r), file: f, lim: lim}
 
 	var section string // "", "NAME_MAP", or a *D_NET subsection label
 	var cur *Net
@@ -144,6 +162,9 @@ func Parse(r io.Reader) (*File, error) {
 			cur = &Net{Name: p.mapName(fields[1]), TotalCap: tc}
 			f.Nets = append(f.Nets, cur)
 			section = "D_NET"
+			if err := guard.CheckCount(parseOp, "net", len(f.Nets), p.lim.MaxNets); err != nil {
+				return nil, err
+			}
 		case key == "*CONN" || key == "*CAP" || key == "*RES" || key == "*INDUC":
 			if cur == nil {
 				return nil, p.errf("%s outside a *D_NET", key)
@@ -169,11 +190,11 @@ func Parse(r io.Reader) (*File, error) {
 			return nil, p.errf("unexpected line %q", line)
 		}
 	}
-	if err := p.sc.Err(); err != nil {
-		return nil, fmt.Errorf("spef: read: %w", err)
+	if err := lim.ScanError(parseOp, p.line, p.sc.Err()); err != nil {
+		return nil, err
 	}
 	if cur != nil {
-		return nil, fmt.Errorf("spef: unterminated *D_NET %q (missing *END)", cur.Name)
+		return nil, guard.Newf(guard.ErrParse, parseOp, "unterminated *D_NET %q (missing *END)", cur.Name)
 	}
 	return f, nil
 }
@@ -241,6 +262,10 @@ func unitMultiplier(key, unit string) (float64, error) {
 }
 
 func (p *parser) netLine(net *Net, section string, fields []string) error {
+	p.elements++
+	if err := guard.CheckCount(parseOp, "parasitic entry", p.elements, p.lim.MaxElements); err != nil {
+		return err
+	}
 	switch section {
 	case "CONN":
 		if len(fields) < 3 {

@@ -130,7 +130,10 @@ func analyzeStage(st *Stage, inputRise float64) (StageResult, error) {
 	if ts, err := model.SettlingTime(core.SettlingBand); err == nil && 2*ts+8*tau > horizon {
 		horizon = 2*ts + 8*tau
 	}
-	w := waveform.Sample(f, 0, horizon, 20000)
+	w, err := waveform.Sample(f, 0, horizon, 20000)
+	if err != nil {
+		return StageResult{}, fmt.Errorf("timing: sampling response: %w", err)
+	}
 	t50, err := w.Delay50(1)
 	if err != nil {
 		return StageResult{}, fmt.Errorf("output never crossed 50%%: %w", err)

@@ -129,7 +129,7 @@ func TestStepResponseAgainstLumpedSimulation(t *testing.T) {
 	// The lumped chain deviates most right at the wave front (it smears
 	// the distributed line's time-of-flight edge), so compare RMS over the
 	// record plus a looser cap on the worst pointwise deviation.
-	exact := waveform.Sample(f, 1e-12, stop, 1500)
+	exact := waveform.MustSample(f, 1e-12, stop, 1500)
 	if diff := waveform.RMSDiff(exact, sim, 1500); diff > 0.01 {
 		t.Fatalf("distributed vs 64-section lumped RMS differ by %g", diff)
 	}

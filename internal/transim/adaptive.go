@@ -1,10 +1,12 @@
 package transim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"eedtree/internal/circuit"
+	"eedtree/internal/guard"
 )
 
 // AdaptiveOptions configures an error-controlled transient run. The
@@ -60,6 +62,13 @@ type AdaptiveStats struct {
 // SimulateAdaptive runs an error-controlled trapezoidal transient
 // analysis. The returned Result has non-uniform time points.
 func SimulateAdaptive(d *circuit.Deck, opt AdaptiveOptions) (*Result, *AdaptiveStats, error) {
+	return SimulateAdaptiveCtx(context.Background(), d, opt)
+}
+
+// SimulateAdaptiveCtx is SimulateAdaptive under a context: cancellation
+// (or a deadline) is honored between trial steps, returning a
+// guard.ErrCanceled-classed error within one step of the context firing.
+func SimulateAdaptiveCtx(ctx context.Context, d *circuit.Deck, opt AdaptiveOptions) (*Result, *AdaptiveStats, error) {
 	opt, err := opt.withDefaults()
 	if err != nil {
 		return nil, nil, err
@@ -73,6 +82,9 @@ func SimulateAdaptive(d *circuit.Deck, opt AdaptiveOptions) (*Result, *AdaptiveS
 	h := opt.InitialStep
 	xFull := make([]float64, e.sys.Size())
 	for e.t < opt.Stop {
+		if err := guard.Check(ctx); err != nil {
+			return nil, nil, err
+		}
 		if e.t+h > opt.Stop {
 			h = opt.Stop - e.t
 		}
@@ -120,7 +132,8 @@ func SimulateAdaptive(d *circuit.Deck, opt AdaptiveOptions) (*Result, *AdaptiveS
 				h = math.Min(2*h, opt.MaxStep)
 			}
 			if len(res.Time) > maxSteps {
-				return nil, nil, fmt.Errorf("transim: adaptive run exceeded %d samples; loosen Tol", maxSteps)
+				return nil, nil, guard.Newf(guard.ErrLimit, "transim",
+					"adaptive run exceeded %d samples; loosen Tol", maxSteps)
 			}
 		}
 	}

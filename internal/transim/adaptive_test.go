@@ -44,7 +44,7 @@ func TestAdaptiveMatchesAnalyticRLC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	exact := waveform.Sample(m.StepResponse(1), 0, stop, 4000)
+	exact := waveform.MustSample(m.StepResponse(1), 0, stop, 4000)
 	if diff := waveform.MaxAbsDiff(w, exact); diff > 5e-3 {
 		t.Fatalf("adaptive vs analytic differ by %g (accepted %d, rejected %d)",
 			diff, stats.Accepted, stats.Rejected)
@@ -73,7 +73,7 @@ func TestAdaptiveGrowsStepOnSlowTail(t *testing.T) {
 	}
 	// Still accurate against the analytic RC response.
 	w, _ := res.Node("out")
-	exact := waveform.Sample(func(tt float64) float64 {
+	exact := waveform.MustSample(func(tt float64) float64 {
 		if tt <= 0 {
 			return 0
 		}

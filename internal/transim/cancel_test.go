@@ -1,0 +1,106 @@
+package transim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"eedtree/internal/circuit"
+	"eedtree/internal/guard"
+)
+
+func cancelDeck(t *testing.T) *circuit.Deck {
+	t.Helper()
+	d, err := circuit.ParseDeck(strings.NewReader(`* RC line
+V1 in 0 PWL(0 0 10p 1)
+R1 in n1 100
+C1 n1 0 1p
+R2 n1 n2 100
+C2 n2 0 1p
+.end
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSimulateCtxAlreadyCanceled(t *testing.T) {
+	d := cancelDeck(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SimulateCtx(ctx, d, Options{Step: 1e-12, Stop: 1e-9})
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("error %v not classed guard.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+// TestSimulateCtxCancelMidRun: a long run must stop within one time step
+// of the context firing, not run to completion.
+func TestSimulateCtxCancelMidRun(t *testing.T) {
+	d := cancelDeck(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	// 10M steps would exceed maxSteps; size to just under the cap, which
+	// takes far longer than the 5 ms cancellation delay.
+	_, err := SimulateCtx(ctx, d, Options{Step: 1e-12, Stop: 1.9e-6})
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("error %v not classed guard.ErrCanceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v; run did not stop promptly", elapsed)
+	}
+}
+
+func TestSimulateCtxDeadline(t *testing.T) {
+	d := cancelDeck(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := SimulateCtx(ctx, d, Options{Step: 1e-12, Stop: 1.9e-6})
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("error %v not classed guard.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+}
+
+func TestSimulateAdaptiveCtxCancel(t *testing.T) {
+	d := cancelDeck(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := SimulateAdaptiveCtx(ctx, d, AdaptiveOptions{Stop: 1e-9})
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("error %v not classed guard.ErrCanceled", err)
+	}
+}
+
+// TestGuardRunIsolatesSimulatePanic: a panic anywhere under a simulation
+// driven through guard.Run surfaces as a typed error, not a crash.
+func TestGuardRunIsolatesSimulatePanic(t *testing.T) {
+	d := cancelDeck(t)
+	err := guard.Run(context.Background(), func(ctx context.Context) error {
+		res, err := SimulateCtx(ctx, d, Options{Step: 1e-12, Stop: 1e-10})
+		if err != nil {
+			return err
+		}
+		_ = res.Time[len(res.Time)+5] // deliberate out-of-range fault
+		return nil
+	})
+	if !errors.Is(err, guard.ErrNumeric) {
+		t.Fatalf("error %v not classed guard.ErrNumeric", err)
+	}
+	var ge *guard.Error
+	if !errors.As(err, &ge) || len(ge.Stack) == 0 {
+		t.Fatalf("error %v carries no stack", err)
+	}
+}

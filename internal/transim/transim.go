@@ -15,10 +15,12 @@
 package transim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"eedtree/internal/circuit"
+	"eedtree/internal/guard"
 	"eedtree/internal/lina"
 	"eedtree/internal/mna"
 	"eedtree/internal/waveform"
@@ -251,7 +253,8 @@ func (e *engine) setStep(h float64) error {
 	}
 	lu, err := lina.Factor(a)
 	if err != nil {
-		return fmt.Errorf("transim: singular MNA system (floating node or inconsistent sources): %w", err)
+		return guard.New(guard.ErrNumeric, "transim",
+			fmt.Errorf("singular MNA system (floating node or inconsistent sources): %w", err))
 	}
 	e.lu = lu
 	return nil
@@ -378,15 +381,26 @@ func (r *Result) record(e *engine) {
 
 // Simulate runs a fixed-step transient analysis of the deck.
 func Simulate(d *circuit.Deck, opt Options) (*Result, error) {
+	return SimulateCtx(context.Background(), d, opt)
+}
+
+// SimulateCtx is Simulate under a context: cancellation (or a deadline)
+// is honored between time steps, returning a guard.ErrCanceled-classed
+// error within one step of the context firing. Exceeding the sample
+// limit fails with guard.ErrLimit; non-physical step/stop values and
+// singular systems fail with guard.ErrNumeric.
+func SimulateCtx(ctx context.Context, d *circuit.Deck, opt Options) (*Result, error) {
 	if opt.Step == 0 && opt.Stop == 0 && d.Tran != nil {
 		opt.Step, opt.Stop = d.Tran.Step, d.Tran.Stop
 	}
 	if !(opt.Step > 0) || !(opt.Stop > opt.Step) {
-		return nil, fmt.Errorf("transim: require 0 < step < stop, got step=%g stop=%g", opt.Step, opt.Stop)
+		return nil, guard.Newf(guard.ErrNumeric, "transim",
+			"require 0 < step < stop, got step=%g stop=%g", opt.Step, opt.Stop)
 	}
 	steps := int(math.Ceil(opt.Stop / opt.Step))
 	if steps > maxSteps {
-		return nil, fmt.Errorf("transim: %d steps exceeds limit %d; increase the step", steps, maxSteps)
+		return nil, guard.Newf(guard.ErrLimit, "transim",
+			"%d steps exceeds limit %d; increase the step", steps, maxSteps)
 	}
 	e, err := newEngine(d, opt.Method)
 	if err != nil {
@@ -397,6 +411,9 @@ func Simulate(d *circuit.Deck, opt Options) (*Result, error) {
 	}
 	res := newResult(d, e, steps+1)
 	for k := 1; k <= steps; k++ {
+		if err := guard.Check(ctx); err != nil {
+			return nil, err
+		}
 		e.step()
 		res.record(e)
 	}

@@ -74,7 +74,7 @@ func TestRCStepExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	tau := r * c
-	exact := waveform.Sample(func(tt float64) float64 {
+	exact := waveform.MustSample(func(tt float64) float64 {
 		if tt <= 0 {
 			return 0
 		}
@@ -120,7 +120,7 @@ func TestSingleRLCSectionExact(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			analytic := waveform.Sample(m.StepResponse(1), 0, stop, 4000)
+			analytic := waveform.MustSample(m.StepResponse(1), 0, stop, 4000)
 			if diff := waveform.MaxAbsDiff(sim, analytic); diff > tc.maxDiff {
 				t.Fatalf("ζ=%.3g: simulator vs exact second-order differs by %g", m.Zeta(), diff)
 			}
@@ -310,7 +310,7 @@ func TestExpInputMatchesAnalyticRC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	analytic := waveform.Sample(f, 0, 3e-9, 3000)
+	analytic := waveform.MustSample(f, 0, 3e-9, 3000)
 	if diff := waveform.MaxAbsDiff(w, analytic); diff > 2e-3 {
 		t.Fatalf("exp-input RC response error %g", diff)
 	}

@@ -35,12 +35,15 @@ func New(time, value []float64) (*Waveform, error) {
 }
 
 // Sample evaluates f at n+1 uniform points over [t0, t1] (inclusive).
-func Sample(f func(float64) float64, t0, t1 float64, n int) *Waveform {
+// It requires n ≥ 1 and a non-empty, finite interval t0 < t1 and reports
+// a descriptive error otherwise — sampling parameters often come from
+// simulated or parsed quantities, so bad values must not crash a run.
+func Sample(f func(float64) float64, t0, t1 float64, n int) (*Waveform, error) {
 	if n < 1 {
-		panic("waveform: Sample requires n >= 1")
+		return nil, fmt.Errorf("waveform: Sample requires n >= 1, got %d", n)
 	}
-	if t1 <= t0 {
-		panic("waveform: Sample requires t1 > t0")
+	if math.IsNaN(t0) || math.IsNaN(t1) || math.IsInf(t0, 0) || math.IsInf(t1, 0) || t1 <= t0 {
+		return nil, fmt.Errorf("waveform: Sample requires finite t1 > t0, got [%g, %g]", t0, t1)
 	}
 	time := make([]float64, n+1)
 	value := make([]float64, n+1)
@@ -50,7 +53,17 @@ func Sample(f func(float64) float64, t0, t1 float64, n int) *Waveform {
 		time[i] = t
 		value[i] = f(t)
 	}
-	return &Waveform{Time: time, Value: value}
+	return &Waveform{Time: time, Value: value}, nil
+}
+
+// MustSample is Sample, panicking on invalid parameters. Intended for
+// tests and examples with hard-coded sampling windows.
+func MustSample(f func(float64) float64, t0, t1 float64, n int) *Waveform {
+	w, err := Sample(f, t0, t1, n)
+	if err != nil {
+		panic(err)
+	}
+	return w
 }
 
 // Len returns the number of samples.

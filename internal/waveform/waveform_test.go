@@ -6,7 +6,7 @@ import (
 )
 
 func expWave(tau, tEnd float64, n int) *Waveform {
-	return Sample(func(t float64) float64 { return 1 - math.Exp(-t/tau) }, 0, tEnd, n)
+	return MustSample(func(t float64) float64 { return 1 - math.Exp(-t/tau) }, 0, tEnd, n)
 }
 
 func TestNewValidation(t *testing.T) {
@@ -28,20 +28,31 @@ func TestNewValidation(t *testing.T) {
 	}
 }
 
-func TestSamplePanics(t *testing.T) {
-	for _, fn := range []func(){
-		func() { Sample(func(float64) float64 { return 0 }, 0, 1, 0) },
-		func() { Sample(func(float64) float64 { return 0 }, 1, 1, 10) },
+func TestSampleValidation(t *testing.T) {
+	zero := func(float64) float64 { return 0 }
+	for _, c := range []struct {
+		t0, t1 float64
+		n      int
+	}{
+		{0, 1, 0},
+		{1, 1, 10},
+		{2, 1, 10},
+		{math.NaN(), 1, 10},
+		{0, math.Inf(1), 10},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("expected panic")
-				}
-			}()
-			fn()
-		}()
+		if _, err := Sample(zero, c.t0, c.t1, c.n); err == nil {
+			t.Errorf("Sample(f, %g, %g, %d): expected error", c.t0, c.t1, c.n)
+		}
 	}
+	// MustSample panics on the same inputs (test/example convenience).
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("MustSample: expected panic")
+			}
+		}()
+		MustSample(zero, 1, 1, 10)
+	}()
 }
 
 func TestAtInterpolation(t *testing.T) {
@@ -106,7 +117,7 @@ func TestFirstCrossingAlreadyAbove(t *testing.T) {
 func TestExtremaOnDampedSine(t *testing.T) {
 	// e^{-t}·sin has alternating extrema; check count and ordering.
 	f := func(t float64) float64 { return 1 - math.Exp(-0.3*t)*math.Cos(t) }
-	w := Sample(f, 0, 20, 20000)
+	w := MustSample(f, 0, 20, 20000)
 	ex := w.Extrema()
 	if len(ex) < 4 {
 		t.Fatalf("expected ≥ 4 extrema, got %d", len(ex))
@@ -141,7 +152,7 @@ func TestExtremaFlatRuns(t *testing.T) {
 
 func TestOvershoot(t *testing.T) {
 	f := func(t float64) float64 { return 1 - math.Exp(-0.3*t)*math.Cos(t) }
-	w := Sample(f, 0, 30, 30000)
+	w := MustSample(f, 0, 30, 30000)
 	frac, at := w.Overshoot(1)
 	// First maximum at t₁ = π − atan(0.3) with |cos t₁| = 1/√(1+0.09),
 	// so the overshoot fraction is e^{−0.3·t₁}/√1.09.
@@ -163,7 +174,7 @@ func TestOvershoot(t *testing.T) {
 func TestSettlingTime(t *testing.T) {
 	// First-order: settles within 10% at t = ln(10)·τ.
 	tau := 1.0
-	w := Sample(func(t float64) float64 { return 1 - math.Exp(-t/tau) }, 0, 12, 24000)
+	w := MustSample(func(t float64) float64 { return 1 - math.Exp(-t/tau) }, 0, 12, 24000)
 	ts, err := w.SettlingTime(1, 0.1)
 	if err != nil {
 		t.Fatal(err)
@@ -172,7 +183,7 @@ func TestSettlingTime(t *testing.T) {
 		t.Fatalf("settling = %g, want %g", ts, want)
 	}
 	// Record too short to witness settling.
-	short := Sample(func(t float64) float64 { return 1 - math.Exp(-t/tau) }, 0, 1, 100)
+	short := MustSample(func(t float64) float64 { return 1 - math.Exp(-t/tau) }, 0, 1, 100)
 	if _, err := short.SettlingTime(1, 0.1); err == nil {
 		t.Fatal("expected not-settled error")
 	}
@@ -187,8 +198,8 @@ func TestSettlingTimeAlreadySettled(t *testing.T) {
 }
 
 func TestMaxAbsDiffAndRMS(t *testing.T) {
-	a := Sample(func(t float64) float64 { return t }, 0, 1, 100)
-	b := Sample(func(t float64) float64 { return t + 0.25 }, 0, 1, 77)
+	a := MustSample(func(t float64) float64 { return t }, 0, 1, 100)
+	b := MustSample(func(t float64) float64 { return t + 0.25 }, 0, 1, 77)
 	if d := MaxAbsDiff(a, b); math.Abs(d-0.25) > 1e-12 {
 		t.Fatalf("MaxAbsDiff = %g, want 0.25", d)
 	}

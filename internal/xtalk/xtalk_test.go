@@ -115,7 +115,7 @@ func TestEstimateAgainstCoupledSimulation(t *testing.T) {
 	// peak magnitude is the quantity of interest; the pulse shape carries
 	// phase error from the two-pole mode models, so only a coarse bound is
 	// asserted on the waveform itself.
-	an := waveform.Sample(est.Victim, 0, stop, 2000)
+	an := waveform.MustSample(est.Victim, 0, stop, 2000)
 	if diff := waveform.MaxAbsDiff(an, vic); diff > simPeak {
 		t.Fatalf("victim waveform deviates by %g (peak %g)", diff, simPeak)
 	}
