@@ -3,8 +3,11 @@
 
 GO ?= go
 FUZZTIME ?= 10s
+BENCH ?= .
+BENCHTIME ?= 1s
+BENCHCOUNT ?= 6
 
-.PHONY: all build test check vet race fuzz-smoke
+.PHONY: all build test check vet race fuzz-smoke bench bench-json
 
 all: build
 
@@ -29,3 +32,18 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzParseSource -fuzztime=$(FUZZTIME) ./internal/circuit/
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/rlctree/
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/spef/
+
+# bench: quick interactive benchmark run (BENCH selects a pattern).
+bench:
+	$(GO) test -run=NONE -bench=$(BENCH) -benchtime=$(BENCHTIME) -benchmem .
+
+# bench-json: record the repository benchmark baseline. Writes the raw
+# test2json event stream (bench-baseline.json, for machines) and a
+# benchstat-ready text file (bench-baseline.txt) distilled from the same
+# run, so future PRs can measure their perf trajectory with
+# `benchstat bench-baseline.txt <new>.txt`. BENCHCOUNT=6 gives benchstat
+# enough samples for confidence intervals.
+bench-json:
+	$(GO) test -run=NONE -bench=$(BENCH) -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -benchmem -json . > bench-baseline.json
+	$(GO) run ./cmd/bench2text < bench-baseline.json > bench-baseline.txt
+	@echo "wrote bench-baseline.json and bench-baseline.txt"

@@ -5,11 +5,13 @@
 package eedtree_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"eedtree/internal/awe"
 	"eedtree/internal/core"
+	"eedtree/internal/engine"
 	"eedtree/internal/experiments"
 	"eedtree/internal/moments"
 	"eedtree/internal/mor"
@@ -66,6 +68,85 @@ func BenchmarkAppendixLinearComplexity(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/section")
+		})
+	}
+}
+
+// BenchmarkEngineParallelComplexity measures the engine's sharded per-node
+// sweep on the 65 536-section Appendix case across worker-pool widths.
+// Compare the workers=1 row (the serial path) against workers≥4 with
+// benchstat to see the concurrency layer's speedup; on ≥4 hardware threads
+// the sweep is ≥2× faster than serial with bit-identical results (see
+// TestEngineParallelSpeedup65536).
+func BenchmarkEngineParallelComplexity(b *testing.B) {
+	tree, err := rlctree.Line("w", 65536, rlctree.SectionValues{R: 1, L: 0.1e-9, C: 10e-15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.AnalyzeTreeParallel(ctx, tree, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(tree.Len()), "ns/section")
+		})
+	}
+}
+
+// BenchmarkEngineCachedAnalyze measures the content-addressed result cache:
+// the steady-state cost of re-analyzing an unchanged 65 536-section deck is
+// one fingerprint pass plus a slice copy.
+func BenchmarkEngineCachedAnalyze(b *testing.B) {
+	tree, err := rlctree.Line("w", 65536, rlctree.SectionValues{R: 1, L: 0.1e-9, C: 10e-15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	eng := engine.New(engine.Options{Workers: 4})
+	if _, err := eng.AnalyzeTree(ctx, tree); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.AnalyzeTree(ctx, tree); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := eng.CacheStats(); st.Hits < uint64(b.N) {
+		b.Fatalf("expected every iteration to hit the cache: %+v", st)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(tree.Len()), "ns/section")
+}
+
+// BenchmarkSingleNodeAnalysis contrasts the per-node cost with and without
+// the precomputed-sums fast path across tree sizes. The presums rows must
+// stay flat as the tree grows (the closed forms do not see the tree at
+// all); the fresh-sums rows pay the O(n) summation passes per call.
+func BenchmarkSingleNodeAnalysis(b *testing.B) {
+	for _, n := range []int{256, 4096} {
+		tree, err := rlctree.Line("w", n, rlctree.SectionValues{R: 1, L: 0.1e-9, C: 10e-15})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink := tree.Leaves()[0]
+		sums := tree.ElmoreSums()
+		b.Run(fmt.Sprintf("presums/sections=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.AnalyzeNodeSums(sums, sink); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("fresh-sums/sections=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.AnalyzeNode(sink); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }
@@ -145,6 +226,19 @@ func BenchmarkAblationModelOrder(b *testing.B) {
 	b.Run("eed", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			m, err := core.AtNode(sink)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = m.Delay50()
+		}
+	})
+	// The synthesis-loop shape: sums computed once, then per-node model
+	// evaluations that never touch the tree again (the O(n²)-loop fix).
+	b.Run("eed-presums", func(b *testing.B) {
+		sums := tree.ElmoreSums()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m, err := core.AtNodeSums(sums, sink)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,0 +1,90 @@
+// Command bench2text converts a `go test -json` event stream (stdin) into
+// the plain benchmark text format that benchstat consumes (stdout). It
+// keeps the machine-readable JSON baseline and the benchstat baseline in
+// lockstep from a single benchmark run:
+//
+//	go test -run=NONE -bench=. -json . > bench-baseline.json
+//	bench2text < bench-baseline.json > bench-baseline.txt
+//	# later: benchstat bench-baseline.txt new.txt
+//
+// Only benchmark-relevant output events pass through: the goos/goarch/pkg/
+// cpu header, Benchmark result lines (including their wrapped continuation
+// metrics), and the PASS/ok trailer benchstat tolerates. Test logs and
+// progress events are dropped.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// event is the subset of the test2json schema bench2text needs.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+func main() {
+	if err := convert(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "bench2text: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func convert(r io.Reader, w io.Writer) error {
+	in := bufio.NewScanner(r)
+	in.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	out := bufio.NewWriter(w)
+	defer out.Flush()
+	// test2json splits a single text line across events when the bench
+	// name is flushed before its timings ("BenchmarkFoo \t" then
+	// " 100\t 12 ns/op\n"), so a continuation event inherits the keep/drop
+	// decision made at its line's start.
+	kept, midline := false, false
+	for in.Scan() {
+		line := in.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("malformed test2json line %q: %w", in.Text(), err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		decide := keep(ev.Output)
+		if midline {
+			decide = kept
+		}
+		if decide {
+			if _, err := out.WriteString(ev.Output); err != nil {
+				return err
+			}
+		}
+		kept = decide
+		midline = !strings.HasSuffix(ev.Output, "\n")
+	}
+	return in.Err()
+}
+
+// keep reports whether an output line belongs in a benchstat baseline.
+func keep(s string) bool {
+	for _, prefix := range []string{
+		"goos:", "goarch:", "pkg:", "cpu:",
+		"Benchmark",
+		"PASS", "ok ",
+	} {
+		if strings.HasPrefix(s, prefix) {
+			return true
+		}
+	}
+	// Benchmark result lines report extra metrics (e.g. ns/section) on the
+	// same line; wrapped sub-benchmark names are always Benchmark-prefixed,
+	// so nothing else is needed.
+	return false
+}

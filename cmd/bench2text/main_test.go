@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const stream = `{"Action":"start","Package":"eedtree"}
+{"Action":"output","Package":"eedtree","Output":"goos: linux\n"}
+{"Action":"output","Package":"eedtree","Output":"goarch: amd64\n"}
+{"Action":"output","Package":"eedtree","Output":"pkg: eedtree\n"}
+{"Action":"output","Package":"eedtree","Output":"cpu: Intel\n"}
+{"Action":"run","Package":"eedtree","Test":"BenchmarkFoo"}
+{"Action":"output","Package":"eedtree","Test":"BenchmarkFoo","Output":"BenchmarkFoo\n"}
+{"Action":"output","Package":"eedtree","Test":"BenchmarkFoo","Output":"some stray test log\n"}
+{"Action":"output","Package":"eedtree","Test":"BenchmarkFoo","Output":"BenchmarkFoo-8   \t 1000\t 1234 ns/op\t 5.0 ns/section\n"}
+{"Action":"output","Package":"eedtree","Output":"PASS\n"}
+{"Action":"output","Package":"eedtree","Output":"ok  \teedtree\t1.2s\n"}
+{"Action":"pass","Package":"eedtree"}
+`
+
+func TestConvertKeepsBenchstatLines(t *testing.T) {
+	var out bytes.Buffer
+	if err := convert(strings.NewReader(stream), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"goos: linux\n", "goarch: amd64\n", "pkg: eedtree\n", "cpu: Intel\n",
+		"BenchmarkFoo-8   \t 1000\t 1234 ns/op\t 5.0 ns/section\n",
+		"PASS\n", "ok  \teedtree\t1.2s\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "stray test log") {
+		t.Errorf("test noise leaked into the baseline:\n%s", got)
+	}
+}
+
+// TestConvertJoinsSplitBenchmarkLines: test2json flushes the benchmark name
+// before its timings, splitting one text line across two output events; the
+// continuation (which has no Benchmark prefix) must still be kept — and a
+// split dropped line must stay dropped.
+func TestConvertJoinsSplitBenchmarkLines(t *testing.T) {
+	const split = `{"Action":"output","Output":"BenchmarkBar-8   \t"}
+{"Action":"output","Output":" 500\t 99 ns/op\n"}
+{"Action":"output","Output":"    bench_test.go:10: noisy "}
+{"Action":"output","Output":"wrapped log line\n"}
+{"Action":"output","Output":"PASS\n"}
+`
+	var out bytes.Buffer
+	if err := convert(strings.NewReader(split), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if want := "BenchmarkBar-8   \t 500\t 99 ns/op\n"; !strings.Contains(got, want) {
+		t.Errorf("split benchmark line not rejoined, got:\n%s", got)
+	}
+	if strings.Contains(got, "wrapped log line") {
+		t.Errorf("split log line leaked into the baseline:\n%s", got)
+	}
+}
+
+func TestConvertRejectsMalformedStream(t *testing.T) {
+	var out bytes.Buffer
+	if err := convert(strings.NewReader("not json\n"), &out); err == nil {
+		t.Fatal("malformed input must error")
+	}
+}
+
+func TestConvertEmptyStream(t *testing.T) {
+	var out bytes.Buffer
+	if err := convert(strings.NewReader(""), &out); err != nil || out.Len() != 0 {
+		t.Fatalf("empty stream: err=%v out=%q", err, out.String())
+	}
+}

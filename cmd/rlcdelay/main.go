@@ -16,17 +16,22 @@
 // Each input is processed in isolation: a malformed or oversized file is
 // reported with its error class (parse, topology, numeric, limit,
 // canceled, internal) and the remaining inputs are still analyzed.
+// With -j N, up to N inputs are processed concurrently on the
+// internal/engine batch scheduler (and per-node sweeps use N workers);
+// output is still emitted in input order and the exit-code semantics are
+// unchanged. -j 0 means one worker per CPU.
 //
 // Exit status: 0 when every input succeeded, 1 when every input failed,
 // 2 on usage errors, 3 when only some inputs failed (partial failure).
 //
 // Usage:
 //
-//	rlcdelay [-sim] [-node name] [-vdd v] [-timeout d] tree.txt [tree2.txt ...]
+//	rlcdelay [-sim] [-node name] [-vdd v] [-timeout d] [-j n] tree.txt [tree2.txt ...]
 //	rlcdelay -spef [-net name] design.spef
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -35,6 +40,7 @@ import (
 	"os"
 
 	"eedtree/internal/core"
+	"eedtree/internal/engine"
 	"eedtree/internal/guard"
 	"eedtree/internal/rlctree"
 	"eedtree/internal/sources"
@@ -51,6 +57,7 @@ func main() {
 		netName  = flag.String("net", "", "with -spef: the net to analyze (default: first net)")
 		dot      = flag.Bool("dot", false, "emit the tree as Graphviz DOT instead of analyzing it")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+		jobs     = flag.Int("j", 1, "process up to this many inputs concurrently (0 = one per CPU)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: rlcdelay [flags] <tree-file|-> [more-files...]\n")
@@ -70,7 +77,7 @@ func main() {
 	}
 	opts := batchOptions{
 		node: *node, vdd: *vdd, sim: *simulate,
-		spef: *useSpef, net: *netName, dot: *dot,
+		spef: *useSpef, net: *netName, dot: *dot, jobs: *jobs,
 	}
 	os.Exit(runBatch(ctx, flag.Args(), opts, os.Stderr))
 }
@@ -82,26 +89,36 @@ type batchOptions struct {
 	spef bool
 	net  string
 	dot  bool
+	jobs int // concurrent inputs and per-node sweep workers; 0 = GOMAXPROCS
 }
 
-// runBatch processes each input in isolation — guard.Run converts a fault
-// (or the context firing) in one file into a reported, classed error and
-// the batch moves on — and returns the process exit code: 0 when every
-// input succeeded, 1 when all failed, 3 on partial failure.
+// runBatch processes the inputs on the engine's bounded-concurrency batch
+// scheduler. Each input runs in isolation — guard.Run converts a fault (or
+// the context firing) in one file into a reported, classed error and the
+// rest of the batch is unaffected. Every input writes into its own buffer
+// and the buffers are flushed in input order, so stdout and the stderr
+// diagnostics are deterministic regardless of how the scheduler interleaves
+// the work. Returns the process exit code: 0 when every input succeeded,
+// 1 when all failed, 3 on partial failure.
 func runBatch(ctx context.Context, paths []string, opts batchOptions, errw io.Writer) int {
+	// One shared engine: the per-node sweeps of all inputs draw from the
+	// same worker budget, and repeated decks hit the shared result cache.
+	eng := engine.New(engine.Options{Workers: opts.jobs})
+	outs := make([]bytes.Buffer, len(paths))
+	errs := engine.Batch(ctx, len(paths), opts.jobs, func(ctx context.Context, i int) error {
+		if opts.dot {
+			return runDOT(&outs[i], paths[i], opts.spef, opts.net)
+		}
+		return run(ctx, eng, &outs[i], paths[i], opts)
+	})
 	failed := 0
-	for _, path := range paths {
+	for i, path := range paths {
 		if len(paths) > 1 {
 			fmt.Printf("== %s ==\n", path)
 		}
-		err := guard.Run(ctx, func(ctx context.Context) error {
-			if opts.dot {
-				return runDOT(path, opts.spef, opts.net)
-			}
-			return run(ctx, path, opts.node, opts.vdd, opts.sim, opts.spef, opts.net)
-		})
-		if err != nil {
-			fmt.Fprintf(errw, "rlcdelay: %s: [%s] %v\n", path, guard.ClassName(err), err)
+		outs[i].WriteTo(os.Stdout)
+		if errs[i] != nil {
+			fmt.Fprintf(errw, "rlcdelay: %s: [%s] %v\n", path, guard.ClassName(errs[i]), errs[i])
 			failed++
 		}
 	}
@@ -115,23 +132,24 @@ func runBatch(ctx context.Context, paths []string, opts batchOptions, errw io.Wr
 	}
 }
 
-func runDOT(path string, useSpef bool, netName string) error {
+func runDOT(w io.Writer, path string, useSpef bool, netName string) error {
 	tree, err := loadTree(path, useSpef, netName)
 	if err != nil {
 		return err
 	}
-	return tree.WriteDOT(os.Stdout, path)
+	return tree.WriteDOT(w, path)
 }
 
-func run(ctx context.Context, path, only string, vdd float64, simulate, useSpef bool, netName string) error {
-	tree, err := loadTree(path, useSpef, netName)
+func run(ctx context.Context, eng *engine.Engine, w io.Writer, path string, opts batchOptions) error {
+	only, vdd, simulate := opts.node, opts.vdd, opts.sim
+	tree, err := loadTree(path, opts.spef, opts.net)
 	if err != nil {
 		return err
 	}
 	if only != "" && tree.Section(only) == nil {
 		return fmt.Errorf("unknown node %q", only)
 	}
-	analyses, err := core.AnalyzeTreeCtx(ctx, tree)
+	analyses, err := eng.AnalyzeTree(ctx, tree)
 	if err != nil {
 		return err
 	}
@@ -143,11 +161,11 @@ func run(ctx context.Context, path, only string, vdd float64, simulate, useSpef 
 		}
 	}
 
-	fmt.Printf("%-12s %9s %12s %11s %11s %10s %11s %11s", "node", "zeta", "omega_n", "delay50", "rise", "overshoot", "settle", "elmore50")
+	fmt.Fprintf(w, "%-12s %9s %12s %11s %11s %10s %11s %11s", "node", "zeta", "omega_n", "delay50", "rise", "overshoot", "settle", "elmore50")
 	if simulate {
-		fmt.Printf(" %11s %8s", "sim50", "err%")
+		fmt.Fprintf(w, " %11s %8s", "sim50", "err%")
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	degraded := map[string]int{}
 	for _, a := range analyses {
 		if only != "" && a.Section.Name() != only {
@@ -162,7 +180,7 @@ func run(ctx context.Context, path, only string, vdd float64, simulate, useSpef 
 		if a.Degraded {
 			degraded[a.DegradedReason]++
 		}
-		fmt.Printf("%-12s %9s %12s %11s %11s %9.2f%% %11s %11s",
+		fmt.Fprintf(w, "%-12s %9s %12s %11s %11s %9.2f%% %11s %11s",
 			a.Section.Name(), zeta, omega,
 			si(a.Delay50), si(a.RiseTime), 100*a.Overshoot, si(a.SettlingTime), si(a.ElmoreDelay50))
 		if simulate {
@@ -171,12 +189,12 @@ func run(ctx context.Context, path, only string, vdd float64, simulate, useSpef 
 			if d > 0 {
 				errPct = 100 * math.Abs(a.Delay50-d) / d
 			}
-			fmt.Printf(" %11s %7.2f%%", si(d), errPct)
+			fmt.Fprintf(w, " %11s %7.2f%%", si(d), errPct)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 	for reason, n := range degraded {
-		fmt.Printf("note: %d node(s) degraded to the RC (Elmore) model: %s\n", n, reason)
+		fmt.Fprintf(w, "note: %d node(s) degraded to the RC (Elmore) model: %s\n", n, reason)
 	}
 	return nil
 }

@@ -3,10 +3,14 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"eedtree/internal/engine"
 )
 
 const treeText = `# Fig-5 style tree
@@ -57,9 +61,21 @@ func capture(t *testing.T, fn func() error) (string, error) {
 	return out, ferr
 }
 
+// runToString invokes run with a fresh single-worker engine, returning the
+// report text.
+func runToString(t *testing.T, path string, opts batchOptions) (string, error) {
+	t.Helper()
+	if opts.vdd == 0 {
+		opts.vdd = 1
+	}
+	var buf bytes.Buffer
+	err := run(context.Background(), engine.New(engine.Options{Workers: 1}), &buf, path, opts)
+	return buf.String(), err
+}
+
 func TestRunAllNodes(t *testing.T) {
 	path := writeTree(t)
-	out, err := capture(t, func() error { return run(context.Background(), path, "", 1.0, false, false, "") })
+	out, err := runToString(t, path, batchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +91,7 @@ func TestRunAllNodes(t *testing.T) {
 
 func TestRunSingleNodeWithSim(t *testing.T) {
 	path := writeTree(t)
-	out, err := capture(t, func() error { return run(context.Background(), path, "s7", 1.0, true, false, "") })
+	out, err := runToString(t, path, batchOptions{node: "s7", sim: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,35 +104,35 @@ func TestRunSingleNodeWithSim(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	ctx := context.Background()
-	if err := run(ctx, filepath.Join(t.TempDir(), "missing.txt"), "", 1, false, false, ""); err == nil {
+	if _, err := runToString(t, filepath.Join(t.TempDir(), "missing.txt"), batchOptions{}); err == nil {
 		t.Fatal("missing file must fail")
 	}
 	path := writeTree(t)
-	if err := run(ctx, path, "bogus", 1, false, false, ""); err == nil {
+	if _, err := runToString(t, path, batchOptions{node: "bogus"}); err == nil {
 		t.Fatal("unknown node must fail")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.txt")
 	if err := os.WriteFile(bad, []byte("x y z"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(ctx, bad, "", 1, false, false, ""); err == nil {
+	if _, err := runToString(t, bad, batchOptions{}); err == nil {
 		t.Fatal("malformed tree must fail")
 	}
 }
 
 func TestRunDOT(t *testing.T) {
 	path := writeTree(t)
-	out, err := capture(t, func() error { return runDOT(path, false, "") })
-	if err != nil {
+	var buf bytes.Buffer
+	if err := runDOT(&buf, path, false, ""); err != nil {
 		t.Fatal(err)
 	}
+	out := buf.String()
 	for _, want := range []string{"digraph", `"in" -> "s1"`, `"s3" -> "s7"`} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("DOT output missing %q:\n%s", want, out)
 		}
 	}
-	if err := runDOT(filepath.Join(t.TempDir(), "missing"), false, ""); err == nil {
+	if err := runDOT(io.Discard, filepath.Join(t.TempDir(), "missing"), false, ""); err == nil {
 		t.Fatal("missing file must fail")
 	}
 }
@@ -216,13 +232,115 @@ func TestRunDegradedNote(t *testing.T) {
 	if err := os.WriteFile(rc, []byte("s1 - 25 0 50f\ns2 s1 25 0 50f\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	out, err := capture(t, func() error {
-		return run(context.Background(), rc, "", 1, false, false, "")
-	})
+	out, err := runToString(t, rc, batchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "inf(RC)") || !strings.Contains(out, "degraded to the RC (Elmore) model") {
 		t.Fatalf("degradation note missing:\n%s", out)
+	}
+}
+
+// writeScaledTrees writes n tree files with distinct element values so each
+// input's report is distinguishable, returning the paths.
+func writeScaledTrees(t *testing.T, n int) []string {
+	t.Helper()
+	dir := t.TempDir()
+	paths := make([]string, n)
+	for i := range paths {
+		r := 20 + 5*i
+		text := fmt.Sprintf("s1 -  %d 1n 50f\ns2 s1 %d 1n 50f\ns3 s2 %d 1n 50f\n", r, r, r)
+		paths[i] = filepath.Join(dir, fmt.Sprintf("tree%02d.txt", i))
+		if err := os.WriteFile(paths[i], []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return paths
+}
+
+// TestRunBatchParallelDeterministicOrder: with -j 4, a batch of distinct
+// inputs emits exactly the byte stream the serial batch emits — headers and
+// per-input reports in input order — and exit code 0.
+func TestRunBatchParallelDeterministicOrder(t *testing.T) {
+	paths := writeScaledTrees(t, 8)
+	var serialErr, parErr bytes.Buffer
+	var serialCode, parCode int
+	serialOut, _ := capture(t, func() error {
+		serialCode = runBatch(context.Background(), paths, batchOptions{vdd: 1, jobs: 1}, &serialErr)
+		return nil
+	})
+	parOut, _ := capture(t, func() error {
+		parCode = runBatch(context.Background(), paths, batchOptions{vdd: 1, jobs: 4}, &parErr)
+		return nil
+	})
+	if serialCode != 0 || parCode != 0 {
+		t.Fatalf("exit codes serial=%d parallel=%d, want 0", serialCode, parCode)
+	}
+	if parOut != serialOut {
+		t.Fatalf("parallel output differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", serialOut, parOut)
+	}
+	// Headers must appear in input order.
+	last := -1
+	for _, p := range paths {
+		idx := strings.Index(parOut, "== "+p+" ==")
+		if idx < 0 || idx < last {
+			t.Fatalf("header for %s missing or out of order", p)
+		}
+		last = idx
+	}
+}
+
+// TestRunBatchParallelExitCodes: the 0/1/3 exit-code contract and per-input
+// isolation hold under -j 4: bad inputs are reported with their class, good
+// inputs still analyzed.
+func TestRunBatchParallelExitCodes(t *testing.T) {
+	good := writeScaledTrees(t, 3)
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("not a tree"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	var code int
+	out, _ := capture(t, func() error {
+		code = runBatch(context.Background(), []string{good[0], bad, good[1], good[2]}, batchOptions{vdd: 1, jobs: 4}, &stderr)
+		return nil
+	})
+	if code != 3 {
+		t.Fatalf("partial-failure exit code = %d, want 3", code)
+	}
+	if strings.Count(out, "elmore50") != 3 {
+		t.Fatalf("expected 3 successful reports:\n%s", out)
+	}
+	if msg := stderr.String(); !strings.Contains(msg, bad) || !strings.Contains(msg, "[parse]") {
+		t.Fatalf("bad input not reported with its class:\n%s", msg)
+	}
+
+	stderr.Reset()
+	capture(t, func() error {
+		code = runBatch(context.Background(), []string{bad, bad}, batchOptions{vdd: 1, jobs: 4}, &stderr)
+		return nil
+	})
+	if code != 1 {
+		t.Fatalf("all-failed exit code = %d, want 1", code)
+	}
+}
+
+// TestRunBatchParallelCanceled: a dead context fails every input of a
+// parallel batch with the canceled class, exit code 1.
+func TestRunBatchParallelCanceled(t *testing.T) {
+	paths := writeScaledTrees(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stderr bytes.Buffer
+	var code int
+	capture(t, func() error {
+		code = runBatch(ctx, paths, batchOptions{vdd: 1, jobs: 4}, &stderr)
+		return nil
+	})
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if got := strings.Count(stderr.String(), "[canceled]"); got != len(paths) {
+		t.Fatalf("%d canceled diagnostics for %d inputs:\n%s", got, len(paths), stderr.String())
 	}
 }

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -49,7 +48,7 @@ func writeSpef(t *testing.T) string {
 
 func TestRunSpefDefaultNet(t *testing.T) {
 	path := writeSpef(t)
-	out, err := capture(t, func() error { return run(context.Background(), path, "", 1.0, false, true, "") })
+	out, err := runToString(t, path, batchOptions{spef: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,14 +59,14 @@ func TestRunSpefDefaultNet(t *testing.T) {
 
 func TestRunSpefSelectNet(t *testing.T) {
 	path := writeSpef(t)
-	out, err := capture(t, func() error { return run(context.Background(), path, "", 1.0, false, true, "nety") })
+	out, err := runToString(t, path, batchOptions{spef: true, net: "nety"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "d2:Z") {
 		t.Fatalf("selected net missing:\n%s", out)
 	}
-	if err := run(context.Background(), path, "", 1.0, false, true, "bogus"); err == nil {
+	if _, err := runToString(t, path, batchOptions{spef: true, net: "bogus"}); err == nil {
 		t.Fatal("unknown SPEF net must fail")
 	}
 }
@@ -77,11 +76,11 @@ func TestRunSpefErrors(t *testing.T) {
 	if err := os.WriteFile(empty, []byte("*SPEF \"x\"\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), empty, "", 1, false, true, ""); err == nil {
+	if _, err := runToString(t, empty, batchOptions{spef: true}); err == nil {
 		t.Fatal("SPEF with no nets must fail")
 	}
 	tree := writeTree(t)
-	if err := run(context.Background(), tree, "", 1, false, true, ""); err == nil {
+	if _, err := runToString(t, tree, batchOptions{spef: true}); err == nil {
 		t.Fatal("tree file parsed as SPEF must fail")
 	}
 }

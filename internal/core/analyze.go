@@ -73,39 +73,64 @@ func AnalyzeTreeCtx(ctx context.Context, t *rlctree.Tree) ([]NodeAnalysis, error
 				return nil, err
 			}
 		}
-		m, err := FromSums(sums.SR[i], sums.SL[i])
+		na, err := AnalyzeNodeSums(sums, s)
 		if err != nil {
-			if ge := new(guard.Error); errors.As(err, &ge) {
-				return nil, ge.WithNode(s.Name())
-			}
 			return nil, err
-		}
-		na := NodeAnalysis{
-			Section:        s,
-			Model:          m,
-			Delay50:        m.Delay50(),
-			RiseTime:       m.RiseTime(),
-			Overshoot:      m.Overshoot(1),
-			ElmoreDelay50:  m.ElmoreDelay50(),
-			ElmoreRiseTime: m.ElmoreRiseTime(),
-			Degraded:       m.Degraded(),
-			DegradedReason: m.DegradedReason(),
-		}
-		if ts, err := m.SettlingTime(SettlingBand); err == nil {
-			na.SettlingTime = ts
-		} else {
-			na.SettlingTime = math.NaN()
 		}
 		out[i] = na
 	}
 	return out, nil
 }
 
-// AnalyzeNode computes the characterization for a single section.
-func AnalyzeNode(s *rlctree.Section) (NodeAnalysis, error) {
-	all, err := AnalyzeTree(s.Tree())
+// AnalyzeNodeSums computes the characterization for a single section from
+// precomputed tree summations (see rlctree.Tree.ElmoreSums). This is the
+// per-node kernel shared by the serial sweep of AnalyzeTreeCtx and the
+// parallel sweep of internal/engine: given the same sums it is a pure
+// constant-time function of one section, so sharding the node range across
+// workers yields bit-identical results to the serial pass.
+//
+// Callers that evaluate many single nodes of an unchanged tree should
+// compute the sums once and call this per node — that keeps the per-node
+// cost independent of the tree size, the property that makes the model
+// usable inside synthesis loops (paper Appendix).
+func AnalyzeNodeSums(sums rlctree.Sums, s *rlctree.Section) (NodeAnalysis, error) {
+	i := s.Index()
+	if i >= len(sums.SR) || i >= len(sums.SL) {
+		return NodeAnalysis{}, guard.Newf(guard.ErrTopology, "core",
+			"sums cover %d sections but node %q has index %d (stale sums?)", len(sums.SR), s.Name(), i)
+	}
+	m, err := FromSums(sums.SR[i], sums.SL[i])
 	if err != nil {
+		if ge := new(guard.Error); errors.As(err, &ge) {
+			return NodeAnalysis{}, ge.WithNode(s.Name())
+		}
 		return NodeAnalysis{}, err
 	}
-	return all[s.Index()], nil
+	na := NodeAnalysis{
+		Section:        s,
+		Model:          m,
+		Delay50:        m.Delay50(),
+		RiseTime:       m.RiseTime(),
+		Overshoot:      m.Overshoot(1),
+		ElmoreDelay50:  m.ElmoreDelay50(),
+		ElmoreRiseTime: m.ElmoreRiseTime(),
+		Degraded:       m.Degraded(),
+		DegradedReason: m.DegradedReason(),
+	}
+	if ts, err := m.SettlingTime(SettlingBand); err == nil {
+		na.SettlingTime = ts
+	} else {
+		na.SettlingTime = math.NaN()
+	}
+	return na, nil
+}
+
+// AnalyzeNode computes the characterization for a single section. It runs
+// the O(n) summation passes and then evaluates only the requested node —
+// it does not build models for the rest of the tree, so looping over nodes
+// costs O(n) per call for the sums alone. Callers iterating many nodes of
+// an unchanged tree should precompute the sums once and use
+// AnalyzeNodeSums (or analyze the whole tree with AnalyzeTree).
+func AnalyzeNode(s *rlctree.Section) (NodeAnalysis, error) {
+	return AnalyzeNodeSums(s.Tree().ElmoreSums(), s)
 }

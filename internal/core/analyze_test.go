@@ -1,9 +1,12 @@
 package core
 
 import (
+	"errors"
 	"math"
+	"math/rand"
 	"testing"
 
+	"eedtree/internal/guard"
 	"eedtree/internal/rlctree"
 )
 
@@ -74,6 +77,131 @@ func TestAnalyzeNode(t *testing.T) {
 	}
 	if a.Model.Zeta() != m.Zeta() || a.Model.OmegaN() != m.OmegaN() {
 		t.Fatal("AnalyzeNode and AtNode disagree")
+	}
+}
+
+// TestAnalyzeNodeSumsMatchesTreeSweep: the single-node fast path must be
+// bit-identical to the corresponding entry of the whole-tree sweep, for
+// every node of a randomized tree.
+func TestAnalyzeNodeSumsMatchesTreeSweep(t *testing.T) {
+	tr := rlctree.Random(rand.New(rand.NewSource(7)), rlctree.RandomSpec{Sections: 64})
+	all, err := AnalyzeTree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := tr.ElmoreSums()
+	for i, s := range tr.Sections() {
+		got, err := AnalyzeNodeSums(sums, s)
+		if err != nil {
+			t.Fatalf("node %s: %v", s.Name(), err)
+		}
+		if !sameAnalysis(got, all[i]) {
+			t.Fatalf("node %s: fast path %+v != sweep %+v", s.Name(), got, all[i])
+		}
+	}
+}
+
+// sameAnalysis compares two NodeAnalysis values bit-for-bit (NaN-safe,
+// unlike ==/DeepEqual on floats).
+func sameAnalysis(a, b NodeAnalysis) bool {
+	eq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	return a.Section == b.Section &&
+		eq(a.Model.Zeta(), b.Model.Zeta()) &&
+		eq(a.Model.OmegaN(), b.Model.OmegaN()) &&
+		eq(a.Model.TauRC(), b.Model.TauRC()) &&
+		a.Model.RCOnly() == b.Model.RCOnly() &&
+		a.Model.DegradedReason() == b.Model.DegradedReason() &&
+		eq(a.Delay50, b.Delay50) &&
+		eq(a.RiseTime, b.RiseTime) &&
+		eq(a.Overshoot, b.Overshoot) &&
+		eq(a.SettlingTime, b.SettlingTime) &&
+		eq(a.ElmoreDelay50, b.ElmoreDelay50) &&
+		eq(a.ElmoreRiseTime, b.ElmoreRiseTime) &&
+		a.Degraded == b.Degraded &&
+		a.DegradedReason == b.DegradedReason
+}
+
+// TestAnalyzeNodeIsolatedFromOtherNodes: AnalyzeNode evaluates only the
+// requested section. The old implementation analyzed the whole tree and
+// returned one entry, so a numeric failure at an unrelated node (here an
+// overflowing Σ C·R on a sibling branch) poisoned every single-node query —
+// this test fails against that code.
+func TestAnalyzeNodeIsolatedFromOtherNodes(t *testing.T) {
+	tr := rlctree.New()
+	good := tr.MustAddSection("good", nil, 10, 1e-9, 50e-15)
+	// Overflow Σ C·R = 1e308·1e308 → +Inf: FromSums hard-fails this node.
+	bad := tr.MustAddSection("bad", nil, 1e308, 0, 1e308)
+	if _, err := AnalyzeTree(tr); err == nil {
+		t.Fatal("whole-tree analysis should fail on the overflowing node")
+	}
+	if _, err := AnalyzeNode(bad); err == nil {
+		t.Fatal("analyzing the bad node itself must fail")
+	}
+	a, err := AnalyzeNode(good)
+	if err != nil {
+		t.Fatalf("AnalyzeNode(good) failed because of an unrelated node: %v", err)
+	}
+	if a.Section != good || a.Delay50 <= 0 {
+		t.Fatalf("bad analysis for isolated node: %+v", a)
+	}
+	if m, err := AtNodeSums(tr.ElmoreSums(), good); err != nil || !m.Stable() {
+		t.Fatalf("AtNodeSums(good) = %v, %v", m, err)
+	}
+}
+
+// TestAnalyzeNodeSumsStaleSums: sums from a shorter (stale) tree snapshot
+// must produce a typed error, not an index panic.
+func TestAnalyzeNodeSumsStaleSums(t *testing.T) {
+	tr, err := rlctree.Line("w", 4, rlctree.SectionValues{R: 10, L: 1e-9, C: 50e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := tr.ElmoreSums()
+	grown := tr.MustAddSection("extra", tr.Leaves()[0], 10, 1e-9, 50e-15)
+	if _, err := AnalyzeNodeSums(stale, grown); !errors.Is(err, guard.ErrTopology) {
+		t.Fatalf("stale sums error = %v, want guard.ErrTopology", err)
+	}
+	if _, err := AtNodeSums(stale, grown); !errors.Is(err, guard.ErrTopology) {
+		t.Fatalf("stale sums error = %v, want guard.ErrTopology", err)
+	}
+}
+
+// TestSingleNodeCheaperThanTreeSweep is the benchmark guard for the O(n²)
+// fix: on a 4096-section tree, one AnalyzeNode call must cost a small
+// fraction of the whole-tree sweep, because it evaluates closed forms for
+// exactly one node after the O(n) sums pass. The old AnalyzeNode ran the
+// full sweep and returned one entry, making this ratio ≈1 — the guard
+// fails hard against that code while leaving a wide margin for timer
+// noise (the true ratio here is ≈1/70).
+func TestSingleNodeCheaperThanTreeSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short mode")
+	}
+	tr, err := rlctree.Line("w", 4096, rlctree.SectionValues{R: 1, L: 0.1e-9, C: 10e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := tr.Leaves()[0]
+	nodeNs := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := AnalyzeNode(sink); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}).NsPerOp()
+	sweepNs := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := AnalyzeTree(tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}).NsPerOp()
+	if sweepNs <= 0 {
+		t.Skip("timer resolution too coarse")
+	}
+	if ratio := float64(nodeNs) / float64(sweepNs); ratio > 0.25 {
+		t.Fatalf("AnalyzeNode (%d ns) costs %.0f%% of the whole-tree sweep (%d ns); single-node path is not isolated",
+			nodeNs, 100*ratio, sweepNs)
 	}
 }
 

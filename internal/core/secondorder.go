@@ -90,12 +90,22 @@ func FromZetaOmega(zeta, omegaN float64) (SecondOrder, error) {
 	return SecondOrder{zeta: zeta, omegaN: omegaN, tauRC: 2 * zeta / omegaN}, nil
 }
 
-// AtNode builds the model for one node of an RLC tree. For whole-tree
-// analysis prefer AnalyzeTree, which shares the O(n) summation passes
-// across all nodes.
+// AtNode builds the model for one node of an RLC tree. Each call pays the
+// O(n) summation passes; for whole-tree analysis prefer AnalyzeTree, and
+// when looping over nodes of an unchanged tree precompute the sums once
+// and use AtNodeSums.
 func AtNode(s *rlctree.Section) (SecondOrder, error) {
-	sums := s.Tree().ElmoreSums()
+	return AtNodeSums(s.Tree().ElmoreSums(), s)
+}
+
+// AtNodeSums builds the model for one node from precomputed tree
+// summations (rlctree.Tree.ElmoreSums), in constant time per node.
+func AtNodeSums(sums rlctree.Sums, s *rlctree.Section) (SecondOrder, error) {
 	i := s.Index()
+	if i >= len(sums.SR) || i >= len(sums.SL) {
+		return SecondOrder{}, guard.Newf(guard.ErrTopology, "core",
+			"sums cover %d sections but node %q has index %d (stale sums?)", len(sums.SR), s.Name(), i)
+	}
 	return FromSums(sums.SR[i], sums.SL[i])
 }
 

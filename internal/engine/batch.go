@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"eedtree/internal/guard"
+)
+
+// defaultWorkers is the pool width used when a caller passes workers <= 0.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Batch runs fn(ctx, i) for every i in [0, n) with at most workers tasks
+// in flight at once and returns the per-task errors indexed by i — the
+// result order is deterministic regardless of scheduling. Each task runs
+// under guard.Run, so a panic inside one task becomes that task's typed
+// error without disturbing the others (per-input isolation, the contract
+// of rlcdelay's multi-file batch).
+//
+// Cancellation: tasks already running observe ctx through fn; tasks that
+// have not started when ctx fires are still invoked but guard.Run
+// short-circuits them immediately, so every not-yet-complete slot reports
+// a guard.ErrCanceled-classed error — exactly what the serial loop would
+// have produced for the remaining inputs.
+//
+// workers <= 0 means GOMAXPROCS; workers == 1 degenerates to the serial
+// loop (tasks run in index order on the calling goroutine).
+func Batch(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) []error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			i := i
+			errs[i] = guard.Run(ctx, func(ctx context.Context) error { return fn(ctx, i) })
+		}
+		return errs
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			errs[i] = guard.Run(ctx, func(ctx context.Context) error { return fn(ctx, i) })
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}

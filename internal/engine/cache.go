@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"eedtree/internal/core"
+	"eedtree/internal/rlctree"
+)
+
+// cache is a mutex-guarded LRU map from tree fingerprint to the analyzed
+// node slice. Entries are stored as engine-owned copies (callers never see
+// the stored slice directly — see Engine.AnalyzeTree/rebind), so the cache
+// needs no copy-on-read of the element values themselves.
+type cache struct {
+	mu        sync.Mutex
+	capacity  int
+	order     *list.List // front = most recently used; values are *cacheEntry
+	byKey     map[rlctree.Fingerprint]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key rlctree.Fingerprint
+	val []core.NodeAnalysis
+}
+
+func newCache(capacity int) *cache {
+	return &cache{
+		capacity: capacity,
+		order:    list.New(),
+		byKey:    make(map[rlctree.Fingerprint]*list.Element, capacity),
+	}
+}
+
+func (c *cache) get(key rlctree.Fingerprint) ([]core.NodeAnalysis, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *cache) put(key rlctree.Fingerprint, val []core.NodeAnalysis) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		// Same fingerprint ⇒ same content ⇒ same analysis; just refresh
+		// recency (two goroutines analyzing the same tree race here
+		// benignly).
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+func (c *cache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.order.Len(),
+		Capacity:  c.capacity,
+	}
+}

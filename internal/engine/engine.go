@@ -1,0 +1,133 @@
+// Package engine is the concurrent execution layer over the paper's O(n)
+// analysis. The closed-form sweep of core.AnalyzeTreeCtx is embarrassingly
+// parallel once the two serial summation passes of the Appendix have run:
+// each node's second-order model and timing metrics are a pure function of
+// (sums, section). The engine exploits that in three ways:
+//
+//   - AnalyzeTreeParallel shards the per-node sweep across a worker pool,
+//     producing results bit-identical to the serial path;
+//   - Engine adds a content-addressed result cache keyed by the tree's
+//     Fingerprint, so re-analyzing an unchanged deck is a hash plus a copy;
+//   - Batch is a bounded-concurrency scheduler for running many independent
+//     inputs (e.g. rlcdelay's multi-file loop) with per-task guard
+//     isolation and deterministic, input-ordered results.
+//
+// All entry points honor context cancellation with guard.ErrCanceled-classed
+// errors, and worker goroutines run under guard panic isolation so a fault
+// in one shard surfaces as a typed error instead of crashing the process.
+package engine
+
+import (
+	"context"
+	"runtime"
+
+	"eedtree/internal/core"
+	"eedtree/internal/guard"
+	"eedtree/internal/rlctree"
+)
+
+// Options configures an Engine. The zero value is usable: GOMAXPROCS
+// workers and a DefaultCacheEntries-entry result cache.
+type Options struct {
+	// Workers is the number of goroutines used for per-node sweeps.
+	// 0 (or negative) means runtime.GOMAXPROCS(0).
+	Workers int
+	// CacheEntries bounds the result cache (each entry holds one analyzed
+	// tree). 0 means DefaultCacheEntries; negative disables caching.
+	CacheEntries int
+}
+
+// DefaultCacheEntries is the result-cache capacity used when
+// Options.CacheEntries is zero.
+const DefaultCacheEntries = 64
+
+// Engine executes tree analyses on a worker pool with a content-addressed
+// result cache. It is safe for concurrent use by multiple goroutines —
+// the intended deployment is one shared Engine per process serving many
+// requests.
+type Engine struct {
+	workers int
+	cache   *cache // nil when caching is disabled
+}
+
+// New returns an Engine with the given options.
+func New(opts Options) *Engine {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	entries := opts.CacheEntries
+	if entries == 0 {
+		entries = DefaultCacheEntries
+	}
+	e := &Engine{workers: workers}
+	if entries > 0 {
+		e.cache = newCache(entries)
+	}
+	return e
+}
+
+// Workers returns the worker-pool width the engine analyzes with.
+func (e *Engine) Workers() int { return e.workers }
+
+// AnalyzeTree computes the equivalent Elmore characterization at every node
+// of the tree — the same results as core.AnalyzeTree, bit for bit — using
+// the worker pool, and serves repeated trees from the result cache. The
+// returned slice is owned by the caller; cached entries are copied out, so
+// mutating the result never corrupts the cache.
+func (e *Engine) AnalyzeTree(ctx context.Context, t *rlctree.Tree) ([]core.NodeAnalysis, error) {
+	if t.Len() == 0 {
+		// Match the serial path's error before touching the fingerprint.
+		return nil, guard.Newf(guard.ErrTopology, "core", "empty tree")
+	}
+	var fp rlctree.Fingerprint
+	if e.cache != nil {
+		fp = t.Fingerprint()
+		if hit, ok := e.cache.get(fp); ok {
+			return rebind(hit, t), nil
+		}
+	}
+	out, err := AnalyzeTreeParallel(ctx, t, e.workers)
+	if err != nil {
+		return nil, err
+	}
+	if e.cache != nil {
+		stored := make([]core.NodeAnalysis, len(out))
+		copy(stored, out)
+		e.cache.put(fp, stored)
+	}
+	return out, nil
+}
+
+// rebind copies a cached analysis slice, re-pointing each entry's Section
+// at the query tree's sections. Fingerprint equality guarantees the two
+// trees have identical section sequences, so index alignment is exact;
+// without this step a cache hit would leak sections of the first tree that
+// produced the entry.
+func rebind(cached []core.NodeAnalysis, t *rlctree.Tree) []core.NodeAnalysis {
+	out := make([]core.NodeAnalysis, len(cached))
+	copy(out, cached)
+	secs := t.Sections()
+	for i := range out {
+		out[i].Section = secs[i]
+	}
+	return out
+}
+
+// CacheStats is a point-in-time snapshot of the result cache's counters.
+type CacheStats struct {
+	Hits      uint64 // lookups served from the cache
+	Misses    uint64 // lookups that fell through to analysis
+	Evictions uint64 // entries displaced by the capacity bound
+	Entries   int    // entries currently resident
+	Capacity  int    // configured bound (0 when caching is disabled)
+}
+
+// CacheStats returns the engine's cache counters. All zeros when caching
+// is disabled.
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.stats()
+}

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"eedtree/internal/core"
+	"eedtree/internal/guard"
+	"eedtree/internal/rlctree"
+)
+
+// parallelThreshold is the tree size below which AnalyzeTreeParallel runs
+// the sweep inline instead of spawning workers: for small trees the
+// per-node closed forms finish faster than goroutine startup, and the
+// serial path is bit-identical anyway.
+const parallelThreshold = 2048
+
+// checkEvery is how many nodes a worker processes between context checks,
+// mirroring the serial sweep's cadence so cancellation latency is the same
+// in both paths.
+const checkEvery = 256
+
+// AnalyzeTreeParallel is core.AnalyzeTreeCtx with the per-node closed-form
+// sweep sharded across workers goroutines. The two O(n) summation passes
+// of the paper's Appendix are inherently serial (each node's sums depend on
+// its parent's) and run first on the calling goroutine; the per-node model
+// construction and metric evaluation that follow are independent across
+// nodes, so each worker fills a contiguous, disjoint shard of the result
+// slice with no synchronization beyond the final join.
+//
+// Results are bit-identical to the serial path: both call the same pure
+// per-node kernel (core.AnalyzeNodeSums) on the same sums. workers <= 0
+// means GOMAXPROCS. On error the returned error is the one the serial
+// sweep would have hit first (lowest node index); cancellation surfaces as
+// a guard.ErrCanceled-classed error. Worker panics are isolated by
+// guard.Run and reported as typed errors.
+func AnalyzeTreeParallel(ctx context.Context, t *rlctree.Tree, workers int) ([]core.NodeAnalysis, error) {
+	n := t.Len()
+	if n == 0 {
+		return nil, guard.Newf(guard.ErrTopology, "core", "empty tree")
+	}
+	if err := guard.Check(ctx); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 || n < parallelThreshold {
+		return core.AnalyzeTreeCtx(ctx, t)
+	}
+
+	sums := t.ElmoreSums()
+	secs := t.Sections()
+	out := make([]core.NodeAnalysis, n)
+
+	// Contiguous sharding: worker w owns [w·chunk, (w+1)·chunk). Each
+	// worker records at most one error together with the node index it
+	// occurred at, so the join can report the lowest-index failure — the
+	// same error a serial sweep would return.
+	chunk := (n + workers - 1) / workers
+	errs := make([]error, workers)
+	errAt := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errAt[w] = hi
+			errs[w] = guard.Run(ctx, func(ctx context.Context) error {
+				for i := lo; i < hi; i++ {
+					if (i-lo)%checkEvery == 0 {
+						if err := guard.Check(ctx); err != nil {
+							errAt[w] = i
+							return err
+						}
+					}
+					na, err := core.AnalyzeNodeSums(sums, secs[i])
+					if err != nil {
+						errAt[w] = i
+						return err
+					}
+					out[i] = na
+				}
+				return nil
+			})
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	first := -1
+	for w := range errs {
+		if errs[w] != nil && (first < 0 || errAt[w] < errAt[first]) {
+			first = w
+		}
+	}
+	if first >= 0 {
+		return nil, errs[first]
+	}
+	return out, nil
+}

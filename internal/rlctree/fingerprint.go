@@ -1,0 +1,48 @@
+package rlctree
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+)
+
+// Fingerprint is a content hash of a tree: its topology, section names and
+// exact element values. Two trees have equal fingerprints iff they were
+// built from the same sequence of sections (same names, same parent
+// indices, bit-identical R/L/C), which is exactly the condition under
+// which every analysis derived from the tree — sums, second-order models,
+// closed-form metrics — is identical. It is the key of the
+// content-addressed result cache in internal/engine.
+type Fingerprint [sha256.Size]byte
+
+// Fingerprint computes the tree's content hash in one O(n) pass. Any
+// structural mutation — adding a section, grafting a subtree, resegmenting
+// — and any element-value change (including sign-preserving rescales)
+// yields a different fingerprint; Clone preserves it.
+func (t *Tree) Fingerprint() Fingerprint {
+	h := sha256.New()
+	var buf [8]byte
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	putU64(uint64(len(t.sections)))
+	for _, s := range t.sections {
+		// Parent index, with ^0 marking attachment to the input node.
+		pi := ^uint64(0)
+		if s.parent != nil {
+			pi = uint64(s.parent.index)
+		}
+		putU64(pi)
+		// Length-prefixed name keeps the encoding injective across
+		// adjacent-name boundaries ("ab"+"c" vs "a"+"bc").
+		putU64(uint64(len(s.name)))
+		h.Write([]byte(s.name))
+		putU64(math.Float64bits(s.r))
+		putU64(math.Float64bits(s.l))
+		putU64(math.Float64bits(s.c))
+	}
+	var fp Fingerprint
+	h.Sum(fp[:0])
+	return fp
+}

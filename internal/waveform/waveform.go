@@ -3,6 +3,15 @@
 // propagation delay, 10–90% rise time, overshoots/undershoots, and settling
 // time. It is used to measure simulator output so it can be compared
 // against the closed-form expressions of internal/core.
+//
+// Crossing contract: FirstCrossing (and everything built on it — CrossTime,
+// Delay50, RiseTime) reports only genuine below→at-or-above transitions of
+// the requested level. A record whose first sample already sits at or above
+// the level has not crossed it; such a record yields ErrNoCrossing unless
+// the signal later dips below the level and rises back through it. Callers
+// measuring delays on waveforms with nonzero initial values (e.g.
+// exponential inputs with V0 above the threshold) must treat ErrNoCrossing
+// as "no measurable delay", not as time zero.
 package waveform
 
 import (
@@ -107,23 +116,29 @@ func (e ErrNoCrossing) Error() string {
 }
 
 // FirstCrossing returns the earliest time at which the waveform crosses
-// level in the rising direction (from below to at-or-above), linearly
-// interpolated between samples.
+// level in the rising direction — a genuine below→at-or-above transition,
+// linearly interpolated between samples. A record that starts at or above
+// the level has not crossed it: unless a later sample dips below the level
+// and rises back through it, FirstCrossing reports ErrNoCrossing rather
+// than fabricating a crossing at the first sample. (Before this contract
+// was tightened, a waveform with a nonzero initial value — e.g. an
+// exponential-input deck whose V0 sits above the threshold — was assigned
+// a spurious "crossing" at Time[0], corrupting 50%-delay measurements.)
 func (w *Waveform) FirstCrossing(level float64) (float64, error) {
 	return w.firstCrossingFrom(0, level)
 }
 
+// firstCrossingFrom scans sample pairs starting at index start for the
+// first below→at-or-above transition of level. The start sample itself
+// being at-or-above the level is not a crossing.
 func (w *Waveform) firstCrossingFrom(start int, level float64) (float64, error) {
-	if start < len(w.Value) && w.Value[start] >= level {
-		return w.Time[start], nil
+	if start < 0 {
+		start = 0
 	}
 	for i := start + 1; i < len(w.Value); i++ {
 		v0, v1 := w.Value[i-1], w.Value[i]
 		if v0 < level && v1 >= level {
 			t0, t1 := w.Time[i-1], w.Time[i]
-			if v1 == v0 {
-				return t1, nil
-			}
 			return t0 + (t1-t0)*(level-v0)/(v1-v0), nil
 		}
 	}

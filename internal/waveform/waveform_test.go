@@ -106,11 +106,64 @@ func errorsAs(err error, target *ErrNoCrossing) bool {
 	return false
 }
 
+// TestFirstCrossingAlreadyAbove: a record that starts at or above the level
+// has not crossed it. The old code returned Time[0] here — a fabricated
+// crossing that corrupted 50%-delay measurements on waveforms with nonzero
+// initial values — so this test fails against the pre-fix behavior.
 func TestFirstCrossingAlreadyAbove(t *testing.T) {
 	w, _ := New([]float64{1, 2}, []float64{0.8, 0.9})
+	if got, err := w.FirstCrossing(0.5); err == nil {
+		t.Fatalf("FirstCrossing(0.5) = %g on a record starting above the level; want ErrNoCrossing", got)
+	}
+	var e ErrNoCrossing
+	if _, err := w.FirstCrossing(0.5); !errorsAs(err, &e) || e.Level != 0.5 {
+		t.Fatalf("error %v is not ErrNoCrossing carrying the level", err)
+	}
+}
+
+// TestFirstCrossingDipAndRecross: starting above the level is fine as long
+// as the signal later dips below and genuinely re-crosses; the reported
+// time is that of the re-crossing, not the start.
+func TestFirstCrossingDipAndRecross(t *testing.T) {
+	w, _ := New(
+		[]float64{0, 1, 2, 3, 4},
+		[]float64{0.9, 0.2, 0.2, 0.8, 1.0},
+	)
 	got, err := w.FirstCrossing(0.5)
-	if err != nil || got != 1 {
-		t.Fatalf("crossing = %g err=%v, want start time 1", got, err)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Linear interpolation between (2, 0.2) and (3, 0.8): 0.5 at t = 2.5.
+	if math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("crossing = %g, want 2.5 (the genuine re-crossing)", got)
+	}
+}
+
+// TestFirstCrossingExactStartSample: a first sample exactly at the level is
+// not a crossing either — there was no below→above transition.
+func TestFirstCrossingExactStartSample(t *testing.T) {
+	w, _ := New([]float64{0, 1, 2}, []float64{0.5, 0.7, 0.9})
+	if got, err := w.FirstCrossing(0.5); err == nil {
+		t.Fatalf("FirstCrossing(0.5) = %g on a record starting exactly at the level; want ErrNoCrossing", got)
+	}
+}
+
+// TestDelay50InitialValueAboveThreshold is the bug scenario from the field:
+// an exponential-style response whose initial value already exceeds the 50%
+// threshold. The old code reported delay 0 — a crossing that never
+// happened; the fix reports ErrNoCrossing.
+func TestDelay50InitialValueAboveThreshold(t *testing.T) {
+	// Rises monotonically from 0.6 toward 1; the 0.5 level is never crossed.
+	w := MustSample(func(t float64) float64 { return 1 - 0.4*math.Exp(-t) }, 0, 10, 1000)
+	if d, err := w.Delay50(1); err == nil {
+		t.Fatalf("Delay50 = %g for a waveform starting above 50%%; want ErrNoCrossing", d)
+	}
+	// The 90% level is genuinely crossed, so RiseTime's 90% leg still works
+	// when measured from a level below the starting value... but the 10%
+	// point does not exist, so RiseTime must fail loudly rather than
+	// reporting a rise from t=0.
+	if r, err := w.RiseTime(1); err == nil {
+		t.Fatalf("RiseTime = %g for a waveform starting above 10%%; want error", r)
 	}
 }
 
