@@ -6,8 +6,10 @@ FUZZTIME ?= 10s
 BENCH ?= .
 BENCHTIME ?= 1s
 BENCHCOUNT ?= 6
+OBSCOUNT ?= 5
+OBSMAX ?= 2
 
-.PHONY: all build test check vet race fuzz-smoke bench bench-json
+.PHONY: all build test check vet race fuzz-smoke bench bench-json obs-check
 
 all: build
 
@@ -47,3 +49,11 @@ bench-json:
 	$(GO) test -run=NONE -bench=$(BENCH) -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -benchmem -json . > bench-baseline.json
 	$(GO) run ./cmd/bench2text < bench-baseline.json > bench-baseline.txt
 	@echo "wrote bench-baseline.json and bench-baseline.txt"
+
+# obs-check: the observability overhead gate (GUIDE.md §10). Runs the
+# instrumented hot-path benchmark and its uninstrumented twin back to back
+# and fails if the instrumented median ns/op is more than OBSMAX percent
+# above the baseline.
+obs-check:
+	$(GO) test -run=NONE -bench='BenchmarkAnalyzeTreeParallel$$|BenchmarkAnalyzeTreeParallelBaseline$$' \
+		-benchtime=$(BENCHTIME) -count=$(OBSCOUNT) -json . | $(GO) run ./cmd/obscheck -max $(OBSMAX)

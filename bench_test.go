@@ -15,6 +15,7 @@ import (
 	"eedtree/internal/experiments"
 	"eedtree/internal/moments"
 	"eedtree/internal/mor"
+	"eedtree/internal/obs"
 	"eedtree/internal/rlctree"
 	"eedtree/internal/sources"
 	"eedtree/internal/transim"
@@ -94,6 +95,40 @@ func BenchmarkEngineParallelComplexity(b *testing.B) {
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(tree.Len()), "ns/section")
 		})
 	}
+}
+
+// BenchmarkAnalyzeTreeParallel is the observability overhead probe: the
+// engine's parallel sweep on a 16 384-section line tree with 4 workers,
+// with instrumentation enabled (the default). Its Baseline twin below runs
+// the identical workload with the obs switch off; `make obs-check`
+// compares the two and fails if instrumentation costs more than the 2%
+// budget documented in GUIDE.md §10.
+func BenchmarkAnalyzeTreeParallel(b *testing.B) {
+	benchAnalyzeTreeParallel(b, true)
+}
+
+// BenchmarkAnalyzeTreeParallelBaseline is the uninstrumented twin of
+// BenchmarkAnalyzeTreeParallel (global obs switch off).
+func BenchmarkAnalyzeTreeParallelBaseline(b *testing.B) {
+	benchAnalyzeTreeParallel(b, false)
+}
+
+func benchAnalyzeTreeParallel(b *testing.B, instrumented bool) {
+	b.Helper()
+	obs.SetEnabled(instrumented)
+	defer obs.SetEnabled(true)
+	tree, err := rlctree.Line("w", 16384, rlctree.SectionValues{R: 1, L: 0.1e-9, C: 10e-15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.AnalyzeTreeParallel(ctx, tree, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(tree.Len()), "ns/section")
 }
 
 // BenchmarkEngineCachedAnalyze measures the content-addressed result cache:

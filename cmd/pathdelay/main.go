@@ -25,14 +25,25 @@ import (
 	"strings"
 
 	"eedtree/internal/guard"
+	"eedtree/internal/obs"
 	"eedtree/internal/rlctree"
 	"eedtree/internal/timing"
 	"eedtree/internal/unit"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain is main with an exit code instead of os.Exit, so deferred
+// cleanup (pprof shutdown, trace/metrics dumps) runs before the process
+// ends.
+func realMain() int {
 	riseFlag := flag.String("rise", "0", "10-90% rise time of the input edge (e.g. 50p); 0 = ideal step")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+	metricsOut := flag.String("metrics", "", `write the metrics exposition to this file at exit ("-" = stdout, *.json = JSON form)`)
+	traceOut := flag.String("trace", "", `write the pipeline span tree as JSON to this file at exit ("-" = stdout)`)
+	pprofAddr := flag.String("pprof", "", `serve net/http/pprof on this address (e.g. "localhost:6060"; empty = no listener)`)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pathdelay [flags] <spec-file>\n")
 		flag.PrintDefaults()
@@ -40,7 +51,21 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+	if *timeout < 0 {
+		fmt.Fprintf(os.Stderr, "pathdelay: -timeout must be >= 0 (0 = no limit), got %v\n", *timeout)
+		flag.Usage()
+		return 2
+	}
+	if *pprofAddr != "" {
+		stop, addr, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pathdelay: %v\n", err)
+			return 2
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "pathdelay: pprof listening on http://%s/debug/pprof/\n", addr)
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -48,30 +73,55 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	var trace *obs.Trace
+	if *traceOut != "" {
+		trace = obs.NewTrace("pathdelay")
+		ctx = obs.WithTrace(ctx, trace)
+	}
 	// guard.Run honors -timeout and converts an internal fault into a
 	// classed error instead of a crash.
-	err := guard.Run(ctx, func(context.Context) error {
-		return run(flag.Arg(0), *riseFlag)
+	err := guard.Run(ctx, func(ctx context.Context) error {
+		return run(ctx, flag.Arg(0), *riseFlag)
 	})
+	if trace != nil {
+		trace.Finish()
+		if derr := trace.DumpJSON(*traceOut); derr != nil {
+			fmt.Fprintf(os.Stderr, "pathdelay: -trace: %v\n", derr)
+		}
+	}
+	if *metricsOut != "" {
+		if derr := obs.Default().DumpPrometheus(*metricsOut); derr != nil {
+			fmt.Fprintf(os.Stderr, "pathdelay: -metrics: %v\n", derr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pathdelay: [%s] %v\n", guard.ClassName(err), err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func run(specPath, riseStr string) error {
+func run(ctx context.Context, specPath, riseStr string) error {
 	rise, err := unit.Parse(riseStr)
 	if err != nil {
 		return fmt.Errorf("-rise: %w", err)
 	}
+	parseSpan, _ := obs.StartSpan(ctx, "parse")
 	stages, err := loadSpec(specPath)
 	if err != nil {
+		parseSpan.EndWith(guard.ClassName(err))
 		return err
 	}
+	parseSpan.SetSections(len(stages))
+	parseSpan.End()
+	analyzeSpan, _ := obs.StartSpan(ctx, "analyze")
 	res, err := timing.AnalyzePath(stages, rise)
 	if err != nil {
+		analyzeSpan.EndWith(guard.ClassName(err))
 		return err
 	}
+	analyzeSpan.SetSections(len(res.Stages))
+	analyzeSpan.End()
 	fmt.Printf("%-12s %8s %12s %12s %12s\n", "stage", "zeta", "delay[ps]", "rise[ps]", "arrival[ps]")
 	for _, sr := range res.Stages {
 		fmt.Printf("%-12s %8.3f %12.2f %12.2f %12.2f\n",

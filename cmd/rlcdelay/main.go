@@ -19,7 +19,21 @@
 // With -j N, up to N inputs are processed concurrently on the
 // internal/engine batch scheduler (and per-node sweeps use N workers);
 // output is still emitted in input order and the exit-code semantics are
-// unchanged. -j 0 means one worker per CPU.
+// unchanged. -j 0 means one worker per CPU. Batch runs (multiple inputs
+// or -j ≠ 1) end with a summary line on stderr: inputs, failures by
+// class, degraded-node totals, cache hit rate, and p50/p99 per-input
+// latency.
+//
+// Observability: -metrics writes a Prometheus-style text exposition dump
+// ("-" = stdout, a .json path gets the JSON form) at exit; -trace writes
+// the pipeline span tree (parse, limits, sums, sweep, cache lookup,
+// simulate, metrics extraction per input) as JSON; -pprof serves
+// net/http/pprof on the given address while the run lasts. All three are
+// off by default and cost nothing when off.
+//
+// Nodes whose second-order model degraded to the RC (Elmore) fallback are
+// marked in the `deg` column with the degradation class (zero-inductance,
+// non-physical, degenerate); `-` means a genuine second-order model.
 //
 // Exit status: 0 when every input succeeded, 1 when every input failed,
 // 2 on usage errors, 3 when only some inputs failed (partial failure).
@@ -28,6 +42,7 @@
 //
 //	rlcdelay [-sim] [-node name] [-vdd v] [-timeout d] [-j n] tree.txt [tree2.txt ...]
 //	rlcdelay -spef [-net name] design.spef
+//	rlcdelay -j 4 -metrics - -trace spans.json nets/*.tree
 package main
 
 import (
@@ -38,10 +53,13 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
+	"time"
 
 	"eedtree/internal/core"
 	"eedtree/internal/engine"
 	"eedtree/internal/guard"
+	"eedtree/internal/obs"
 	"eedtree/internal/rlctree"
 	"eedtree/internal/sources"
 	"eedtree/internal/spef"
@@ -49,15 +67,25 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain is main with an exit code instead of os.Exit, so deferred
+// cleanup (pprof shutdown, trace/metrics dumps) runs before the process
+// ends.
+func realMain() int {
 	var (
-		simulate = flag.Bool("sim", false, "cross-check the 50% delay against a transient simulation")
-		node     = flag.String("node", "", "report a single node (default: all nodes)")
-		vdd      = flag.Float64("vdd", 1.0, "step amplitude used for the simulation cross-check")
-		useSpef  = flag.Bool("spef", false, "input is a SPEF parasitic file")
-		netName  = flag.String("net", "", "with -spef: the net to analyze (default: first net)")
-		dot      = flag.Bool("dot", false, "emit the tree as Graphviz DOT instead of analyzing it")
-		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
-		jobs     = flag.Int("j", 1, "process up to this many inputs concurrently (0 = one per CPU)")
+		simulate   = flag.Bool("sim", false, "cross-check the 50% delay against a transient simulation")
+		node       = flag.String("node", "", "report a single node (default: all nodes)")
+		vdd        = flag.Float64("vdd", 1.0, "step amplitude used for the simulation cross-check")
+		useSpef    = flag.Bool("spef", false, "input is a SPEF parasitic file")
+		netName    = flag.String("net", "", "with -spef: the net to analyze (default: first net)")
+		dot        = flag.Bool("dot", false, "emit the tree as Graphviz DOT instead of analyzing it")
+		timeout    = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+		jobs       = flag.Int("j", 1, "process up to this many inputs concurrently (0 = one per CPU)")
+		metricsOut = flag.String("metrics", "", `write the metrics exposition to this file at exit ("-" = stdout, *.json = JSON form)`)
+		traceOut   = flag.String("trace", "", `write the pipeline span tree as JSON to this file at exit ("-" = stdout)`)
+		pprofAddr  = flag.String("pprof", "", `serve net/http/pprof on this address (e.g. "localhost:6060"; empty = no listener)`)
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: rlcdelay [flags] <tree-file|-> [more-files...]\n")
@@ -67,7 +95,21 @@ func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+	if err := validateFlags(*jobs, *timeout, *vdd); err != nil {
+		fmt.Fprintf(os.Stderr, "rlcdelay: %v\n", err)
+		flag.Usage()
+		return 2
+	}
+	if *pprofAddr != "" {
+		stop, addr, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rlcdelay: %v\n", err)
+			return 2
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "rlcdelay: pprof listening on http://%s/debug/pprof/\n", addr)
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -75,11 +117,45 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	var trace *obs.Trace
+	if *traceOut != "" {
+		trace = obs.NewTrace("rlcdelay")
+		ctx = obs.WithTrace(ctx, trace)
+	}
 	opts := batchOptions{
 		node: *node, vdd: *vdd, sim: *simulate,
 		spef: *useSpef, net: *netName, dot: *dot, jobs: *jobs,
 	}
-	os.Exit(runBatch(ctx, flag.Args(), opts, os.Stderr))
+	code := runBatch(ctx, flag.Args(), opts, os.Stderr)
+	if trace != nil {
+		trace.Finish()
+		if err := trace.DumpJSON(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "rlcdelay: -trace: %v\n", err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := obs.Default().DumpPrometheus(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "rlcdelay: -metrics: %v\n", err)
+		}
+	}
+	return code
+}
+
+// validateFlags rejects flag values that would otherwise silently
+// misbehave: a negative -j used to mean "one worker per CPU" and a
+// negative -timeout used to mean "no limit". Callers report the error and
+// exit 2 (the usage path).
+func validateFlags(jobs int, timeout time.Duration, vdd float64) error {
+	if jobs < 0 {
+		return fmt.Errorf("-j must be >= 0 (0 = one per CPU), got %d", jobs)
+	}
+	if timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0 (0 = no limit), got %v", timeout)
+	}
+	if !(vdd > 0) || math.IsInf(vdd, 0) || math.IsNaN(vdd) {
+		return fmt.Errorf("-vdd must be a positive finite voltage, got %g", vdd)
+	}
+	return nil
 }
 
 type batchOptions struct {
@@ -90,6 +166,13 @@ type batchOptions struct {
 	net  string
 	dot  bool
 	jobs int // concurrent inputs and per-node sweep workers; 0 = GOMAXPROCS
+}
+
+// inputInfo is the per-input accounting runBatch collects for the batch
+// summary: wall time and how many nodes degraded to the RC model.
+type inputInfo struct {
+	dur      time.Duration
+	degraded int
 }
 
 // runBatch processes the inputs on the engine's bounded-concurrency batch
@@ -105,13 +188,30 @@ func runBatch(ctx context.Context, paths []string, opts batchOptions, errw io.Wr
 	// same worker budget, and repeated decks hit the shared result cache.
 	eng := engine.New(engine.Options{Workers: opts.jobs})
 	outs := make([]bytes.Buffer, len(paths))
+	infos := make([]inputInfo, len(paths))
 	errs := engine.Batch(ctx, len(paths), opts.jobs, func(ctx context.Context, i int) error {
+		span, ctx := obs.StartSpan(ctx, "input")
+		span.SetLabel(paths[i])
+		t0 := time.Now()
+		var err error
 		if opts.dot {
-			return runDOT(&outs[i], paths[i], opts.spef, opts.net)
+			err = runDOT(&outs[i], paths[i], opts.spef, opts.net)
+		} else {
+			err = run(ctx, eng, &outs[i], paths[i], opts, &infos[i])
 		}
-		return run(ctx, eng, &outs[i], paths[i], opts)
+		infos[i].dur = time.Since(t0)
+		switch {
+		case err != nil:
+			span.EndWith(guard.ClassName(err))
+		case infos[i].degraded > 0:
+			span.EndWith("degraded")
+		default:
+			span.End()
+		}
+		return err
 	})
 	failed := 0
+	byClass := map[string]int{}
 	for i, path := range paths {
 		if len(paths) > 1 {
 			fmt.Printf("== %s ==\n", path)
@@ -119,8 +219,12 @@ func runBatch(ctx context.Context, paths []string, opts batchOptions, errw io.Wr
 		outs[i].WriteTo(os.Stdout)
 		if errs[i] != nil {
 			fmt.Fprintf(errw, "rlcdelay: %s: [%s] %v\n", path, guard.ClassName(errs[i]), errs[i])
+			byClass[guard.ClassName(errs[i])]++
 			failed++
 		}
+	}
+	if len(paths) > 1 || opts.jobs != 1 {
+		fmt.Fprintln(errw, batchSummary(paths, infos, failed, byClass, eng.CacheStats()))
 	}
 	switch {
 	case failed == 0:
@@ -132,20 +236,78 @@ func runBatch(ctx context.Context, paths []string, opts batchOptions, errw io.Wr
 	}
 }
 
+// batchSummary renders the end-of-run accounting line for batch mode:
+// input and failure totals (failures broken down by guard class), how
+// many nodes were silently degraded to the RC model and across how many
+// inputs, the shared result cache's hit rate, and exact p50/p99 of the
+// per-input wall times.
+func batchSummary(paths []string, infos []inputInfo, failed int, byClass map[string]int, cs engine.CacheStats) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "rlcdelay: batch: %d input(s), %d failed", len(paths), failed)
+	if len(byClass) > 0 {
+		classes := make([]string, 0, len(byClass))
+		for c := range byClass {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		b.WriteString(" (")
+		for i, c := range classes {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s:%d", c, byClass[c])
+		}
+		b.WriteByte(')')
+	}
+	degNodes, degInputs := 0, 0
+	durs := make([]time.Duration, 0, len(infos))
+	for _, info := range infos {
+		if info.degraded > 0 {
+			degNodes += info.degraded
+			degInputs++
+		}
+		durs = append(durs, info.dur)
+	}
+	fmt.Fprintf(&b, ", %d node(s) degraded to RC in %d input(s)", degNodes, degInputs)
+	lookups := cs.Hits + cs.Misses
+	if lookups > 0 {
+		fmt.Fprintf(&b, ", cache %d/%d hits (%.1f%%)", cs.Hits, lookups, 100*float64(cs.Hits)/float64(lookups))
+	} else {
+		b.WriteString(", cache unused")
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	if len(durs) > 0 {
+		p50 := durs[(len(durs)-1)*50/100]
+		p99 := durs[(len(durs)-1)*99/100]
+		fmt.Fprintf(&b, ", latency p50=%s p99=%s", si(p50.Seconds()), si(p99.Seconds()))
+	}
+	return b.String()
+}
+
 func runDOT(w io.Writer, path string, useSpef bool, netName string) error {
-	tree, err := loadTree(path, useSpef, netName)
+	tree, err := loadTree(path, useSpef, netName, guard.DefaultLimits)
 	if err != nil {
 		return err
 	}
 	return tree.WriteDOT(w, path)
 }
 
-func run(ctx context.Context, eng *engine.Engine, w io.Writer, path string, opts batchOptions) error {
+func run(ctx context.Context, eng *engine.Engine, w io.Writer, path string, opts batchOptions, info *inputInfo) error {
 	only, vdd, simulate := opts.node, opts.vdd, opts.sim
-	tree, err := loadTree(path, opts.spef, opts.net)
+	// Limits stage: resolve the input-bound policy this input is parsed
+	// under. Kept as an explicit pipeline stage so traces show where the
+	// guard layer's bounds come from.
+	limSpan, _ := obs.StartSpan(ctx, "limits")
+	lim := guard.DefaultLimits.WithDefaults()
+	limSpan.End()
+	parseSpan, _ := obs.StartSpan(ctx, "parse")
+	tree, err := loadTree(path, opts.spef, opts.net, lim)
 	if err != nil {
+		parseSpan.EndWith(guard.ClassName(err))
 		return err
 	}
+	parseSpan.SetSections(tree.Len())
+	parseSpan.End()
 	if only != "" && tree.Section(only) == nil {
 		return fmt.Errorf("unknown node %q", only)
 	}
@@ -155,17 +317,22 @@ func run(ctx context.Context, eng *engine.Engine, w io.Writer, path string, opts
 	}
 	var simDelay map[string]float64
 	if simulate {
-		simDelay, err = simulateDelays(ctx, tree, analyses, vdd)
+		simSpan, sctx := obs.StartSpan(ctx, "simulate")
+		simSpan.SetSections(tree.Len())
+		simDelay, err = simulateDelays(sctx, tree, analyses, vdd)
 		if err != nil {
+			simSpan.EndWith(guard.ClassName(err))
 			return err
 		}
+		simSpan.End()
 	}
 
+	extractSpan, _ := obs.StartSpan(ctx, "metrics.extraction")
 	fmt.Fprintf(w, "%-12s %9s %12s %11s %11s %10s %11s %11s", "node", "zeta", "omega_n", "delay50", "rise", "overshoot", "settle", "elmore50")
 	if simulate {
 		fmt.Fprintf(w, " %11s %8s", "sim50", "err%")
 	}
-	fmt.Fprintln(w)
+	fmt.Fprintf(w, " %s\n", "deg")
 	degraded := map[string]int{}
 	for _, a := range analyses {
 		if only != "" && a.Section.Name() != only {
@@ -177,8 +344,11 @@ func run(ctx context.Context, eng *engine.Engine, w io.Writer, path string, opts
 			zeta = fmt.Sprintf("%.4g", a.Model.Zeta())
 			omega = fmt.Sprintf("%.4g", a.Model.OmegaN())
 		}
+		degMark := "-"
 		if a.Degraded {
 			degraded[a.DegradedReason]++
+			info.degraded++
+			degMark = a.DegradedClass
 		}
 		fmt.Fprintf(w, "%-12s %9s %12s %11s %11s %9.2f%% %11s %11s",
 			a.Section.Name(), zeta, omega,
@@ -191,15 +361,16 @@ func run(ctx context.Context, eng *engine.Engine, w io.Writer, path string, opts
 			}
 			fmt.Fprintf(w, " %11s %7.2f%%", si(d), errPct)
 		}
-		fmt.Fprintln(w)
+		fmt.Fprintf(w, " %s\n", degMark)
 	}
 	for reason, n := range degraded {
 		fmt.Fprintf(w, "note: %d node(s) degraded to the RC (Elmore) model: %s\n", n, reason)
 	}
+	extractSpan.End()
 	return nil
 }
 
-func loadTree(path string, useSpef bool, netName string) (*rlctree.Tree, error) {
+func loadTree(path string, useSpef bool, netName string, lim guard.Limits) (*rlctree.Tree, error) {
 	var r io.Reader
 	if path == "-" {
 		r = os.Stdin
@@ -212,9 +383,9 @@ func loadTree(path string, useSpef bool, netName string) (*rlctree.Tree, error) 
 		r = f
 	}
 	if !useSpef {
-		return rlctree.Parse(r)
+		return rlctree.ParseLimits(r, lim)
 	}
-	file, err := spef.Parse(r)
+	file, err := spef.ParseLimits(r, lim)
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"math"
+	"time"
+
 	"bytes"
 	"context"
+	"eedtree/internal/obs"
 	"fmt"
 	"io"
 	"os"
@@ -69,7 +74,8 @@ func runToString(t *testing.T, path string, opts batchOptions) (string, error) {
 		opts.vdd = 1
 	}
 	var buf bytes.Buffer
-	err := run(context.Background(), engine.New(engine.Options{Workers: 1}), &buf, path, opts)
+	var info inputInfo
+	err := run(context.Background(), engine.New(engine.Options{Workers: 1}), &buf, path, opts, &info)
 	return buf.String(), err
 }
 
@@ -342,5 +348,146 @@ func TestRunBatchParallelCanceled(t *testing.T) {
 	}
 	if got := strings.Count(stderr.String(), "[canceled]"); got != len(paths) {
 		t.Fatalf("%d canceled diagnostics for %d inputs:\n%s", got, len(paths), stderr.String())
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(0, 0, 1); err != nil {
+		t.Errorf("documented defaults must validate: %v", err)
+	}
+	if err := validateFlags(4, time.Second, 1.8); err != nil {
+		t.Errorf("ordinary values must validate: %v", err)
+	}
+	cases := []struct {
+		name    string
+		jobs    int
+		timeout time.Duration
+		vdd     float64
+	}{
+		{"negative-jobs", -1, 0, 1},
+		{"negative-timeout", 0, -time.Second, 1},
+		{"zero-vdd", 0, 0, 0},
+		{"negative-vdd", 0, 0, -1},
+		{"nan-vdd", 0, 0, math.NaN()},
+		{"inf-vdd", 0, 0, math.Inf(1)},
+	}
+	for _, c := range cases {
+		if err := validateFlags(c.jobs, c.timeout, c.vdd); err == nil {
+			t.Errorf("%s: expected a usage error", c.name)
+		}
+	}
+}
+
+// TestBatchSummaryLine: batch mode ends with a stderr summary carrying the
+// input/failure totals, degraded counts, cache hit rate and latency
+// percentiles — and the summary stays off stdout, which must remain
+// byte-identical between serial and parallel runs.
+func TestBatchSummaryLine(t *testing.T) {
+	paths := writeScaledTrees(t, 4)
+	// Same file twice: the second analysis must be a cache hit.
+	paths = append(paths, paths[0])
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("not a tree"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	paths = append(paths, bad)
+	var stderr bytes.Buffer
+	out, _ := capture(t, func() error {
+		runBatch(context.Background(), paths, batchOptions{vdd: 1, jobs: 2}, &stderr)
+		return nil
+	})
+	msg := stderr.String()
+	for _, want := range []string{
+		"rlcdelay: batch: 6 input(s), 1 failed",
+		"parse:1",
+		"cache 1/5 hits (20.0%)",
+		"latency p50=",
+		"p99=",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("summary missing %q:\n%s", want, msg)
+		}
+	}
+	if strings.Contains(out, "batch:") {
+		t.Errorf("summary leaked onto stdout:\n%s", out)
+	}
+}
+
+// collectSpans flattens a span-JSON tree into name -> dur_ns.
+func collectSpans(t *testing.T, node map[string]any, into map[string]float64) {
+	t.Helper()
+	name, _ := node["name"].(string)
+	dur, _ := node["dur_ns"].(float64)
+	into[name] = dur
+	children, _ := node["children"].([]any)
+	for _, c := range children {
+		collectSpans(t, c.(map[string]any), into)
+	}
+}
+
+// TestTraceCoversPipelineStages: with a trace attached, one -sim input
+// produces spans for every pipeline stage — limits, parse, cache lookup,
+// sums, sweep, simulate, metrics extraction — each with a non-zero
+// duration.
+func TestTraceCoversPipelineStages(t *testing.T) {
+	path := writeTree(t)
+	trace := obs.NewTrace("rlcdelay")
+	ctx := obs.WithTrace(context.Background(), trace)
+	var stderr bytes.Buffer
+	var code int
+	capture(t, func() error {
+		code = runBatch(ctx, []string{path}, batchOptions{vdd: 1, sim: true}, &stderr)
+		return nil
+	})
+	if code != 0 {
+		t.Fatalf("exit code = %d:\n%s", code, stderr.String())
+	}
+	trace.Finish()
+	var sb strings.Builder
+	if err := trace.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var root map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &root); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, sb.String())
+	}
+	spans := map[string]float64{}
+	collectSpans(t, root, spans)
+	for _, stage := range []string{
+		"rlcdelay", "input", "limits", "parse", "cache.lookup",
+		"sums", "sweep", "simulate", "metrics.extraction",
+	} {
+		dur, ok := spans[stage]
+		if !ok {
+			t.Errorf("trace missing stage %q; have %v", stage, spans)
+			continue
+		}
+		if dur <= 0 {
+			t.Errorf("stage %q has non-positive duration %v", stage, dur)
+		}
+	}
+}
+
+// TestDegColumn: the report carries a `deg` column — `-` for genuine
+// second-order nodes, the degradation class for RC fallbacks.
+func TestDegColumn(t *testing.T) {
+	path := writeTree(t)
+	out, err := runToString(t, path, batchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "deg") || !strings.Contains(out, " -\n") {
+		t.Fatalf("deg column missing for healthy tree:\n%s", out)
+	}
+	rc := filepath.Join(t.TempDir(), "rc.txt")
+	if err := os.WriteFile(rc, []byte("s1 - 25 0 50f\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runToString(t, rc, batchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "zero-inductance") {
+		t.Fatalf("deg column missing degradation class:\n%s", out)
 	}
 }

@@ -24,24 +24,35 @@ import (
 	"eedtree/internal/circuit"
 	"eedtree/internal/guard"
 	"eedtree/internal/mna"
+	"eedtree/internal/obs"
 	"eedtree/internal/transim"
 	"eedtree/internal/unit"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain is main with an exit code instead of os.Exit, so deferred
+// cleanup (pprof shutdown, trace/metrics dumps) runs before the process
+// ends.
+func realMain() int {
 	var (
-		stepFlag  = flag.String("step", "", "time step (e.g. 1p); defaults to the deck's .tran")
-		stopFlag  = flag.String("stop", "", "stop time (e.g. 10n); defaults to the deck's .tran")
-		method    = flag.String("method", "trap", "integration method: trap or be")
-		nodesFlag = flag.String("nodes", "", "comma-separated node names to output (default: all non-ground nodes)")
-		stride    = flag.Int("stride", 1, "output every Nth time point")
-		acFlag    = flag.Bool("ac", false, "frequency sweep instead of transient")
-		fstart    = flag.Float64("fstart", 1e6, "with -ac: sweep start frequency [Hz]")
-		fstop     = flag.Float64("fstop", 1e11, "with -ac: sweep stop frequency [Hz]")
-		points    = flag.Int("points", 50, "with -ac: number of log-spaced frequency points")
-		adaptive  = flag.Bool("adaptive", false, "error-controlled time stepping (trapezoidal; -step ignored)")
-		tol       = flag.Float64("tol", 1e-4, "with -adaptive: relative local-truncation-error tolerance")
-		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+		stepFlag   = flag.String("step", "", "time step (e.g. 1p); defaults to the deck's .tran")
+		stopFlag   = flag.String("stop", "", "stop time (e.g. 10n); defaults to the deck's .tran")
+		method     = flag.String("method", "trap", "integration method: trap or be")
+		nodesFlag  = flag.String("nodes", "", "comma-separated node names to output (default: all non-ground nodes)")
+		stride     = flag.Int("stride", 1, "output every Nth time point")
+		acFlag     = flag.Bool("ac", false, "frequency sweep instead of transient")
+		fstart     = flag.Float64("fstart", 1e6, "with -ac: sweep start frequency [Hz]")
+		fstop      = flag.Float64("fstop", 1e11, "with -ac: sweep stop frequency [Hz]")
+		points     = flag.Int("points", 50, "with -ac: number of log-spaced frequency points")
+		adaptive   = flag.Bool("adaptive", false, "error-controlled time stepping (trapezoidal; -step ignored)")
+		tol        = flag.Float64("tol", 1e-4, "with -adaptive: relative local-truncation-error tolerance")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+		metricsOut = flag.String("metrics", "", `write the metrics exposition to this file at exit ("-" = stdout, *.json = JSON form)`)
+		traceOut   = flag.String("trace", "", `write the pipeline span tree as JSON to this file at exit ("-" = stdout)`)
+		pprofAddr  = flag.String("pprof", "", `serve net/http/pprof on this address (e.g. "localhost:6060"; empty = no listener)`)
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: rlcsim [flags] <deck-file|->\n")
@@ -50,13 +61,32 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+	if *timeout < 0 {
+		fmt.Fprintf(os.Stderr, "rlcsim: -timeout must be >= 0 (0 = no limit), got %v\n", *timeout)
+		flag.Usage()
+		return 2
+	}
+	if *pprofAddr != "" {
+		stop, addr, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rlcsim: %v\n", err)
+			return 2
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "rlcsim: pprof listening on http://%s/debug/pprof/\n", addr)
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	var trace *obs.Trace
+	if *traceOut != "" {
+		trace = obs.NewTrace("rlcsim")
+		ctx = obs.WithTrace(ctx, trace)
 	}
 	// guard.Run honors -timeout and converts an internal fault into a
 	// classed error instead of a crash.
@@ -70,10 +100,22 @@ func main() {
 			return run(ctx, flag.Arg(0), *stepFlag, *stopFlag, *method, *nodesFlag, *stride)
 		}
 	})
+	if trace != nil {
+		trace.Finish()
+		if derr := trace.DumpJSON(*traceOut); derr != nil {
+			fmt.Fprintf(os.Stderr, "rlcsim: -trace: %v\n", derr)
+		}
+	}
+	if *metricsOut != "" {
+		if derr := obs.Default().DumpPrometheus(*metricsOut); derr != nil {
+			fmt.Fprintf(os.Stderr, "rlcsim: -metrics: %v\n", derr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rlcsim: [%s] %v\n", guard.ClassName(err), err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func runAC(ctx context.Context, path string, fstart, fstop float64, points int, nodeList string) error {
@@ -120,10 +162,14 @@ func runAC(ctx context.Context, path string, fstart, fstop float64, points int, 
 }
 
 func runAdaptive(ctx context.Context, path, stopStr string, tol float64, nodeList string) error {
+	parseSpan, _ := obs.StartSpan(ctx, "parse")
 	deck, err := loadDeck(path)
 	if err != nil {
+		parseSpan.EndWith(guard.ClassName(err))
 		return err
 	}
+	parseSpan.SetSections(len(deck.Elements))
+	parseSpan.End()
 	stop := 0.0
 	if stopStr != "" {
 		if stop, err = unit.Parse(stopStr); err != nil {
@@ -132,10 +178,14 @@ func runAdaptive(ctx context.Context, path, stopStr string, tol float64, nodeLis
 	} else if deck.Tran != nil {
 		stop = deck.Tran.Stop
 	}
+	simSpan, ctx := obs.StartSpan(ctx, "simulate")
 	res, stats, err := transim.SimulateAdaptiveCtx(ctx, deck, transim.AdaptiveOptions{Stop: stop, Tol: tol})
 	if err != nil {
+		simSpan.EndWith(guard.ClassName(err))
 		return err
 	}
+	simSpan.SetSections(len(res.Time))
+	simSpan.End()
 	nodes, _, err := selectNodes(deck, nodeList)
 	if err != nil {
 		return err
@@ -199,10 +249,14 @@ func selectNodes(deck *circuit.Deck, nodeList string) ([]string, []circuit.NodeI
 }
 
 func run(ctx context.Context, path, stepStr, stopStr, method, nodeList string, stride int) error {
+	parseSpan, _ := obs.StartSpan(ctx, "parse")
 	deck, err := loadDeck(path)
 	if err != nil {
+		parseSpan.EndWith(guard.ClassName(err))
 		return err
 	}
+	parseSpan.SetSections(len(deck.Elements))
+	parseSpan.End()
 	opt := transim.Options{}
 	switch method {
 	case "trap":
@@ -230,10 +284,14 @@ func run(ctx context.Context, path, stepStr, stopStr, method, nodeList string, s
 		return fmt.Errorf("-stride must be ≥ 1")
 	}
 
+	simSpan, ctx := obs.StartSpan(ctx, "simulate")
 	res, err := transim.SimulateCtx(ctx, deck, opt)
 	if err != nil {
+		simSpan.EndWith(guard.ClassName(err))
 		return err
 	}
+	simSpan.SetSections(len(res.Time))
+	simSpan.End()
 
 	var nodes []string
 	if nodeList != "" {

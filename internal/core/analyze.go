@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"math"
+	"time"
 
 	"eedtree/internal/guard"
+	"eedtree/internal/obs"
 	"eedtree/internal/rlctree"
 )
 
@@ -30,9 +32,11 @@ type NodeAnalysis struct {
 	// Degraded is set when Model is an RC (Wyatt) fallback rather than a
 	// genuine second-order characterization; DegradedReason says why
 	// (zero path inductance, or a non-physical summation that degraded
-	// gracefully). See SecondOrder.Degraded.
+	// gracefully) and DegradedClass is the matching stable short label
+	// (one of the Degraded* constants). See SecondOrder.Degraded.
 	Degraded       bool
 	DegradedReason string
+	DegradedClass  string
 }
 
 // SettlingBand is the ±fraction of the final value used for the settling
@@ -59,26 +63,57 @@ const analyzeCheckEvery = 256
 // guard.ErrCanceled-classed error. Per-node model failures carry the
 // guard taxonomy with the offending node's name.
 func AnalyzeTreeCtx(ctx context.Context, t *rlctree.Tree) ([]NodeAnalysis, error) {
-	if t.Len() == 0 {
+	n := t.Len()
+	if n == 0 {
 		return nil, guard.Newf(guard.ErrTopology, "core", "empty tree")
 	}
 	if err := guard.Check(ctx); err != nil {
 		return nil, err
 	}
+	// Instrumentation is per-sweep, never per-node: two clock reads and a
+	// couple of histogram records for the whole tree, so the closed-form
+	// kernel stays as fast as the uninstrumented baseline.
+	track := obs.On()
+	var t0 time.Time
+	sumsSpan, _ := obs.StartSpan(ctx, "sums")
+	sumsSpan.SetSections(n)
+	if track {
+		t0 = time.Now()
+	}
 	sums := t.ElmoreSums()
-	out := make([]NodeAnalysis, t.Len())
+	if track {
+		mSumsLatency.ObserveSince(t0)
+	}
+	sumsSpan.End()
+	sweepSpan, _ := obs.StartSpan(ctx, "sweep")
+	sweepSpan.SetSections(n)
+	sweepSpan.SetWorkers(1)
+	if track {
+		t0 = time.Now()
+	}
+	out := make([]NodeAnalysis, n)
 	for i, s := range t.Sections() {
 		if i%analyzeCheckEvery == 0 {
 			if err := guard.Check(ctx); err != nil {
+				sweepSpan.EndWith(guard.ClassName(err))
 				return nil, err
 			}
 		}
 		na, err := AnalyzeNodeSums(sums, s)
 		if err != nil {
+			sweepSpan.EndWith(guard.ClassName(err))
 			return nil, err
 		}
 		out[i] = na
 	}
+	outcome := "ok"
+	if track {
+		mKernelLatency.ObserveSince(t0)
+		if RecordDegraded(out) > 0 {
+			outcome = "degraded"
+		}
+	}
+	sweepSpan.EndWith(outcome)
 	return out, nil
 }
 
@@ -116,6 +151,7 @@ func AnalyzeNodeSums(sums rlctree.Sums, s *rlctree.Section) (NodeAnalysis, error
 		ElmoreRiseTime: m.ElmoreRiseTime(),
 		Degraded:       m.Degraded(),
 		DegradedReason: m.DegradedReason(),
+		DegradedClass:  m.DegradedClass(),
 	}
 	if ts, err := m.SettlingTime(SettlingBand); err == nil {
 		na.SettlingTime = ts

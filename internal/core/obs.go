@@ -1,0 +1,60 @@
+package core
+
+import "eedtree/internal/obs"
+
+// Registry metrics for the analysis kernels. The engine's parallel sweep
+// records into the same two latency histograms by name (the default
+// registry deduplicates), so "sums pass vs per-node kernel" timing covers
+// both execution paths.
+var (
+	mSumsLatency = obs.Default().Histogram("eed_core_sums_latency_ns",
+		"Wall time of the two O(n) Elmore summation passes, nanoseconds.",
+		obs.DefaultLatencyBuckets)
+	mKernelLatency = obs.Default().Histogram("eed_core_kernel_latency_ns",
+		"Wall time of the per-node closed-form kernel loop over one tree, nanoseconds.",
+		obs.DefaultLatencyBuckets)
+
+	mDegradedZeroL = obs.Default().Counter(
+		obs.Label("eed_core_degraded_total", "reason", DegradedZeroInductance),
+		"Nodes degraded to the RC (Elmore) model, by reason.")
+	mDegradedNonPhysical = obs.Default().Counter(
+		obs.Label("eed_core_degraded_total", "reason", DegradedNonPhysical),
+		"Nodes degraded to the RC (Elmore) model, by reason.")
+	mDegradedDegenerate = obs.Default().Counter(
+		obs.Label("eed_core_degraded_total", "reason", DegradedDegenerate),
+		"Nodes degraded to the RC (Elmore) model, by reason.")
+)
+
+// countDegraded tallies the degraded nodes of one completed sweep by
+// class without touching the registry.
+func countDegraded(out []NodeAnalysis) (zeroL, nonPhys, degen int) {
+	for i := range out {
+		switch out[i].DegradedClass {
+		case DegradedZeroInductance:
+			zeroL++
+		case DegradedNonPhysical:
+			nonPhys++
+		case DegradedDegenerate:
+			degen++
+		}
+	}
+	return
+}
+
+// RecordDegraded bumps the degraded-to-RC counters for one completed
+// sweep and returns the total number of degraded nodes. Both the serial
+// sweep and the engine's parallel sweep call it once per analysis, so the
+// per-node tallying stays out of the hot kernel.
+func RecordDegraded(out []NodeAnalysis) int {
+	zeroL, nonPhys, degen := countDegraded(out)
+	if zeroL > 0 {
+		mDegradedZeroL.Add(uint64(zeroL))
+	}
+	if nonPhys > 0 {
+		mDegradedNonPhysical.Add(uint64(nonPhys))
+	}
+	if degen > 0 {
+		mDegradedDegenerate.Add(uint64(degen))
+	}
+	return zeroL + nonPhys + degen
+}

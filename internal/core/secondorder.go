@@ -41,9 +41,27 @@ type SecondOrder struct {
 	// used and the model fell back to the first-order RC (Wyatt)
 	// characterization — either the exact collapse (Σ C·L = 0, the
 	// paper's own limit as inductance vanishes) or a defensive fallback
-	// from a non-physical summation. See Degraded.
+	// from a non-physical summation. See Degraded. degradedClass is the
+	// matching stable short label (one of the Degraded* constants) used
+	// for metric labels and compact CLI output.
 	degradedReason string
+	degradedClass  string
 }
+
+// Stable short labels for the RC-degradation reasons, used as metric
+// labels (eed_core_degraded_total{reason=...}) and in compact CLI output.
+// DegradedReason carries the full human-readable explanation.
+const (
+	// DegradedZeroInductance: Σ C·L was exactly zero — the paper's own
+	// limit as inductance vanishes; the RC collapse is exact.
+	DegradedZeroInductance = "zero-inductance"
+	// DegradedNonPhysical: Σ C·L was NaN, ±Inf or negative; the model
+	// fell back defensively.
+	DegradedNonPhysical = "non-physical"
+	// DegradedDegenerate: the summations overflowed or underflowed so
+	// the second-order form was numerically meaningless.
+	DegradedDegenerate = "degenerate"
+)
 
 // FromSums builds the model from the two tree summations at a node:
 // sr = Σ_k C_k·R_ik and sl = Σ_k C_k·L_ik (see rlctree.ElmoreSums).
@@ -63,10 +81,12 @@ func FromSums(sr, sl float64) (SecondOrder, error) {
 	rc := SecondOrder{zeta: math.Inf(1), omegaN: math.Inf(1), tauRC: sr, rcOnly: true}
 	if sl == 0 {
 		rc.degradedReason = "no inductance on path (Σ C·L = 0): exact collapse to RC Elmore"
+		rc.degradedClass = DegradedZeroInductance
 		return rc, nil
 	}
 	if math.IsNaN(sl) || math.IsInf(sl, 0) || sl < 0 {
 		rc.degradedReason = fmt.Sprintf("non-physical inductance summation Σ C·L = %g: falling back to RC Elmore", sl)
+		rc.degradedClass = DegradedNonPhysical
 		return rc, nil
 	}
 	root := math.Sqrt(sl)
@@ -75,6 +95,7 @@ func FromSums(sr, sl float64) (SecondOrder, error) {
 		// Overflow/underflow of the summations (denormal or enormous
 		// Σ C·L): the second-order form is numerically meaningless.
 		rc.degradedReason = fmt.Sprintf("degenerate second-order model (Σ C·L = %g): falling back to RC Elmore", sl)
+		rc.degradedClass = DegradedDegenerate
 		return rc, nil
 	}
 	return SecondOrder{zeta: zeta, omegaN: omegaN, tauRC: sr}, nil
@@ -133,6 +154,11 @@ func (m SecondOrder) Degraded() bool { return m.degradedReason != "" }
 // DegradedReason returns a human-readable explanation of why the model
 // fell back to the RC characterization, or "" when it did not.
 func (m SecondOrder) DegradedReason() string { return m.degradedReason }
+
+// DegradedClass returns the stable short label for the degradation
+// reason (one of the Degraded* constants), or "" when the model is a
+// genuine second-order characterization.
+func (m SecondOrder) DegradedClass() string { return m.degradedClass }
 
 // Underdamped reports whether the response is non-monotone (ζ < 1), the
 // case the classical Elmore delay cannot represent.

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"eedtree/internal/guard"
+	"eedtree/internal/obs"
 )
 
 // defaultWorkers is the pool width used when a caller passes workers <= 0.
@@ -37,10 +38,25 @@ func Batch(ctx context.Context, n, workers int, fn func(ctx context.Context, i i
 		workers = n
 	}
 	errs := make([]error, n)
+	// Queue-depth accounting: every task starts queued; a task moves from
+	// queued to in-flight when it begins executing. One gauge add up
+	// front, two gauge moves per task — nothing on the per-node hot path.
+	track := obs.On()
+	if track {
+		mBatchQueued.Add(int64(n))
+	}
+	runOne := func(ctx context.Context, i int) error {
+		if track {
+			mBatchQueued.Dec()
+			mBatchInflight.Inc()
+			mBatchTasks.Inc()
+			defer mBatchInflight.Dec()
+		}
+		return guard.Run(ctx, func(ctx context.Context) error { return fn(ctx, i) })
+	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			i := i
-			errs[i] = guard.Run(ctx, func(ctx context.Context) error { return fn(ctx, i) })
+			errs[i] = runOne(ctx, i)
 		}
 		return errs
 	}
@@ -51,7 +67,7 @@ func Batch(ctx context.Context, n, workers int, fn func(ctx context.Context, i i
 		wg.Add(1)
 		go func(i int) {
 			defer func() { <-sem; wg.Done() }()
-			errs[i] = guard.Run(ctx, func(ctx context.Context) error { return fn(ctx, i) })
+			errs[i] = runOne(ctx, i)
 		}(i)
 	}
 	wg.Wait()

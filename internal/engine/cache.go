@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"eedtree/internal/core"
+	"eedtree/internal/obs"
 	"eedtree/internal/rlctree"
 )
 
@@ -41,9 +42,15 @@ func (c *cache) get(key rlctree.Fingerprint) ([]core.NodeAnalysis, bool) {
 	el, ok := c.byKey[key]
 	if !ok {
 		c.misses++
+		if obs.On() {
+			mCacheMisses.Inc()
+		}
 		return nil, false
 	}
 	c.hits++
+	if obs.On() {
+		mCacheHits.Inc()
+	}
 	c.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).val, true
 }
@@ -64,6 +71,12 @@ func (c *cache) put(key rlctree.Fingerprint, val []core.NodeAnalysis) {
 		c.order.Remove(oldest)
 		delete(c.byKey, oldest.Value.(*cacheEntry).key)
 		c.evictions++
+		if obs.On() {
+			mCacheEvictions.Inc()
+		}
+	}
+	if obs.On() {
+		mCacheEntries.Set(int64(c.order.Len()))
 	}
 }
 

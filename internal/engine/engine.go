@@ -23,6 +23,7 @@ import (
 
 	"eedtree/internal/core"
 	"eedtree/internal/guard"
+	"eedtree/internal/obs"
 	"eedtree/internal/rlctree"
 )
 
@@ -82,10 +83,14 @@ func (e *Engine) AnalyzeTree(ctx context.Context, t *rlctree.Tree) ([]core.NodeA
 	}
 	var fp rlctree.Fingerprint
 	if e.cache != nil {
+		lookup, _ := obs.StartSpan(ctx, "cache.lookup")
+		lookup.SetSections(t.Len())
 		fp = t.Fingerprint()
 		if hit, ok := e.cache.get(fp); ok {
+			lookup.EndWith("hit")
 			return rebind(hit, t), nil
 		}
+		lookup.EndWith("miss")
 	}
 	out, err := AnalyzeTreeParallel(ctx, t, e.workers)
 	if err != nil {

@@ -1,0 +1,40 @@
+package engine
+
+import "eedtree/internal/obs"
+
+// Registry metrics for the execution layer. The cache counters mirror the
+// bespoke CacheStats struct exactly (both are bumped at the same sites
+// under the cache mutex), so an exposition dump and Engine.CacheStats
+// always agree within one process when instrumentation is enabled.
+var (
+	mCacheHits = obs.Default().Counter("eed_engine_cache_hits_total",
+		"Result-cache lookups served from the cache.")
+	mCacheMisses = obs.Default().Counter("eed_engine_cache_misses_total",
+		"Result-cache lookups that fell through to a fresh analysis.")
+	mCacheEvictions = obs.Default().Counter("eed_engine_cache_evictions_total",
+		"Result-cache entries displaced by the capacity bound.")
+	mCacheEntries = obs.Default().Gauge("eed_engine_cache_entries",
+		"Result-cache entries currently resident.")
+	mSweepLatency = obs.Default().Histogram("eed_engine_sweep_latency_ns",
+		"Wall time of one whole-tree analysis sweep through the engine, nanoseconds.",
+		obs.DefaultLatencyBuckets)
+	mSweepWorkers = obs.Default().Histogram("eed_engine_sweep_workers",
+		"Worker-pool width used per analysis sweep.", obs.WorkerBuckets)
+	mBatchQueued = obs.Default().Gauge("eed_engine_batch_queued",
+		"Batch tasks submitted but not yet running.")
+	mBatchInflight = obs.Default().Gauge("eed_engine_batch_inflight",
+		"Batch tasks currently executing.")
+	mBatchTasks = obs.Default().Counter("eed_engine_batch_tasks_total",
+		"Batch tasks executed.")
+
+	// The parallel path performs the same sums pass and per-node kernel
+	// loop as internal/core's serial sweep, so it records into the same
+	// core-owned histograms (same names resolve to the same metrics in
+	// the default registry).
+	mCoreSumsLatency = obs.Default().Histogram("eed_core_sums_latency_ns",
+		"Wall time of the two O(n) Elmore summation passes, nanoseconds.",
+		obs.DefaultLatencyBuckets)
+	mCoreKernelLatency = obs.Default().Histogram("eed_core_kernel_latency_ns",
+		"Wall time of the per-node closed-form kernel loop over one tree, nanoseconds.",
+		obs.DefaultLatencyBuckets)
+)

@@ -3,9 +3,11 @@ package engine
 import (
 	"context"
 	"sync"
+	"time"
 
 	"eedtree/internal/core"
 	"eedtree/internal/guard"
+	"eedtree/internal/obs"
 	"eedtree/internal/rlctree"
 )
 
@@ -48,11 +50,42 @@ func AnalyzeTreeParallel(ctx context.Context, t *rlctree.Tree, workers int) ([]c
 	if workers > n {
 		workers = n
 	}
+	// Instrumentation is per-sweep (a few clock reads and histogram
+	// records amortized over the whole tree), never per-node, so the
+	// kernel loop below runs exactly as fast as the uninstrumented
+	// baseline — the invariant `make obs-check` enforces.
+	track := obs.On()
+	var t0 time.Time
+	if track {
+		t0 = time.Now()
+	}
 	if workers == 1 || n < parallelThreshold {
-		return core.AnalyzeTreeCtx(ctx, t)
+		out, err := core.AnalyzeTreeCtx(ctx, t)
+		if track && err == nil {
+			mSweepWorkers.Observe(1)
+			mSweepLatency.ObserveSince(t0)
+		}
+		return out, err
 	}
 
+	sumsSpan, _ := obs.StartSpan(ctx, "sums")
+	sumsSpan.SetSections(n)
+	var tSums time.Time
+	if track {
+		tSums = time.Now()
+	}
 	sums := t.ElmoreSums()
+	if track {
+		mCoreSumsLatency.ObserveSince(tSums)
+	}
+	sumsSpan.End()
+	sweepSpan, _ := obs.StartSpan(ctx, "sweep")
+	sweepSpan.SetSections(n)
+	sweepSpan.SetWorkers(workers)
+	var tKernel time.Time
+	if track {
+		tKernel = time.Now()
+	}
 	secs := t.Sections()
 	out := make([]core.NodeAnalysis, n)
 
@@ -105,7 +138,18 @@ func AnalyzeTreeParallel(ctx context.Context, t *rlctree.Tree, workers int) ([]c
 		}
 	}
 	if first >= 0 {
+		sweepSpan.EndWith(guard.ClassName(errs[first]))
 		return nil, errs[first]
 	}
+	outcome := "ok"
+	if track {
+		mCoreKernelLatency.ObserveSince(tKernel)
+		mSweepWorkers.Observe(int64(workers))
+		mSweepLatency.ObserveSince(t0)
+		if core.RecordDegraded(out) > 0 {
+			outcome = "degraded"
+		}
+	}
+	sweepSpan.EndWith(outcome)
 	return out, nil
 }

@@ -99,12 +99,13 @@ func (e *Error) Is(target error) bool { return target == e.Class }
 
 // New wraps cause as a typed error of the given class.
 func New(class error, op string, cause error) *Error {
+	countError(class)
 	return &Error{Class: class, Op: op, Err: cause}
 }
 
 // Newf is New with a formatted cause.
 func Newf(class error, op, format string, args ...any) *Error {
-	return &Error{Class: class, Op: op, Err: fmt.Errorf(format, args...)}
+	return New(class, op, fmt.Errorf(format, args...))
 }
 
 // WithLine returns a copy of the error annotated with a 1-based input

@@ -91,6 +91,7 @@ func (l Limits) ScanError(op string, line int, err error) error {
 		return nil
 	}
 	if errors.Is(err, bufio.ErrTooLong) {
+		countLimitTrip("line-bytes")
 		return Newf(ErrLimit, op, "input line longer than %d bytes", l.WithDefaults().MaxLineBytes).WithLine(line + 1)
 	}
 	return New(ErrParse, op, fmt.Errorf("read: %w", err))
@@ -100,6 +101,7 @@ func (l Limits) ScanError(op string, line int, err error) error {
 // what to name the bounded quantity ("elements", "nodes", …).
 func CheckCount(op, what string, n, max int) error {
 	if n > max {
+		countLimitTrip(what)
 		return Newf(ErrLimit, op, "%s count %d exceeds limit %d", what, n, max)
 	}
 	return nil

@@ -70,5 +70,6 @@ func fromPanic(v any) *Error {
 	default:
 		e.Err = fmt.Errorf("panic: %v", v)
 	}
+	countError(e.Class)
 	return e
 }

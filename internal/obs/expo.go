@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4): `# HELP` / `# TYPE` headers per
+// metric family, counters and gauges as single samples, histograms as
+// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`. Output
+// is sorted by metric name, so it is stable across runs and usable in
+// golden tests.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, name := range r.sortedNames() {
+		m, ok := r.metrics.Load(name)
+		if !ok {
+			continue
+		}
+		family := familyOf(name)
+		switch m := m.(type) {
+		case *Counter:
+			if family != lastFamily {
+				fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n", family, m.help, family)
+			}
+			fmt.Fprintf(bw, "%s %d\n", name, m.Value())
+		case *Gauge:
+			if family != lastFamily {
+				fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s gauge\n", family, m.help, family)
+			}
+			fmt.Fprintf(bw, "%s %d\n", name, m.Value())
+		case *Histogram:
+			s := m.snapshot()
+			fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s histogram\n", family, m.help, family)
+			cum := uint64(0)
+			for i, b := range s.bounds {
+				cum += s.counts[i]
+				fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", family, b, cum)
+			}
+			cum += s.counts[len(s.bounds)]
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", family, cum)
+			fmt.Fprintf(bw, "%s_sum %d\n", family, s.sum)
+			fmt.Fprintf(bw, "%s_count %d\n", family, s.count)
+		}
+		lastFamily = family
+	}
+	return bw.Flush()
+}
+
+// jsonHistogram is the JSON form of a histogram snapshot.
+type jsonHistogram struct {
+	Buckets []jsonBucket `json:"buckets"`
+	Sum     int64        `json:"sum"`
+	Count   uint64       `json:"count"`
+}
+
+type jsonBucket struct {
+	LE    string `json:"le"` // upper bound; "+Inf" for the overflow bucket
+	Count uint64 `json:"count"`
+}
+
+// jsonDump is the JSON exposition schema: metric kind -> name -> value.
+type jsonDump struct {
+	Counters   map[string]uint64        `json:"counters"`
+	Gauges     map[string]int64         `json:"gauges"`
+	Histograms map[string]jsonHistogram `json:"histograms"`
+}
+
+// WriteJSON writes every registered metric as one JSON object with
+// deterministic key order (encoding/json sorts map keys).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	d := jsonDump{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]jsonHistogram{},
+	}
+	r.metrics.Range(func(k, v any) bool {
+		switch m := v.(type) {
+		case *Counter:
+			d.Counters[k.(string)] = m.Value()
+		case *Gauge:
+			d.Gauges[k.(string)] = m.Value()
+		case *Histogram:
+			s := m.snapshot()
+			jh := jsonHistogram{Sum: s.sum, Count: s.count}
+			cum := uint64(0)
+			for i, b := range s.bounds {
+				cum += s.counts[i]
+				jh.Buckets = append(jh.Buckets, jsonBucket{LE: fmt.Sprint(b), Count: cum})
+			}
+			cum += s.counts[len(s.bounds)]
+			jh.Buckets = append(jh.Buckets, jsonBucket{LE: "+Inf", Count: cum})
+			d.Histograms[k.(string)] = jh
+		}
+		return true
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// DumpPrometheus writes the exposition dump to path ("-" means stdout).
+// A path ending in .json gets the JSON form instead of the text
+// exposition.
+func (r *Registry) DumpPrometheus(path string) error {
+	write := r.WritePrometheus
+	if strings.HasSuffix(path, ".json") {
+		write = r.WriteJSON
+	}
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

@@ -1,0 +1,56 @@
+// Package obs is the pipeline-wide observability layer: a metrics
+// registry of lock-free counters, gauges and fixed-bucket histograms, a
+// lightweight tracing-span tree over the analysis pipeline stages, and
+// exporters (Prometheus text exposition and JSON). It is dependency-free
+// (standard library only) so every other package — guard, core, engine,
+// transim, the CLIs — can instrument itself without import cycles.
+//
+// Design constraints, in order:
+//
+//   - The hot path must stay hot. Recording a counter or histogram sample
+//     is a single atomic add (plus one for the histogram running sum) —
+//     no locks, no allocation. Registration (get-or-create by name) is
+//     the only synchronized operation and is meant to be done once, in
+//     package variables.
+//   - Everything is optional. With no Trace in the context, StartSpan
+//     returns a nil *Span whose methods are no-ops; with the global
+//     Enabled switch off, instrumentation sites skip their time.Now calls
+//     and metric writes entirely, so the uninstrumented baseline remains
+//     measurable (see `make obs-check`).
+//   - Exposition never blocks recording. Readers snapshot atomics; a
+//     concurrent exposition dump observes a consistent-enough point-in-
+//     time view without stalling workers.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// enabled is the global instrumentation switch. It defaults to on; the
+// overhead benchmark (BenchmarkAnalyzeTreeParallelBaseline) turns it off
+// to measure the uninstrumented hot path.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// On reports whether instrumentation is enabled. Hot-path call sites gate
+// their metric writes (and time.Now calls) on it; the check itself is a
+// single atomic load.
+func On() bool { return enabled.Load() }
+
+// SetEnabled flips the global instrumentation switch. Off means
+// instrumentation sites record nothing; metrics already registered keep
+// their values.
+func SetEnabled(v bool) { enabled.Store(v) }
+
+// now is the clock used for spans and timed sections, swappable in tests
+// for deterministic trace output.
+var now = time.Now
+
+// defaultRegistry is the process-wide registry all instrumented packages
+// share; CLIs dump it at exit.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// pprofListeners counts live pprof HTTP listeners, so tests can assert
+// that "flag off" really means zero listeners and zero background work.
+var pprofListeners atomic.Int32
+
+// PprofListeners returns the number of live pprof listeners started by
+// StartPprof. It is zero unless a CLI was launched with -pprof.
+func PprofListeners() int { return int(pprofListeners.Load()) }
+
+// StartPprof serves net/http/pprof on addr (e.g. "localhost:6060").
+// An empty addr is the documented off state: no listener is opened, no
+// goroutine started, and the returned shutdown func is nil. Handlers are
+// mounted on a private mux, not http.DefaultServeMux, so the process
+// exposes nothing else. It returns the bound address (useful with ":0")
+// and a shutdown func that closes the listener.
+func StartPprof(addr string) (shutdown func() error, boundAddr string, err error) {
+	if addr == "" {
+		return nil, "", nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: pprof listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	pprofListeners.Add(1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer pprofListeners.Add(-1)
+		srv.Serve(ln) // returns on shutdown; error is expected then
+	}()
+	shutdown = func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		<-done
+		return err
+	}
+	return shutdown, ln.Addr().String(), nil
+}

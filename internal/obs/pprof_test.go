@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestPprofOffIsFree: the documented off state (empty address) opens no
+// listener and starts no goroutine.
+func TestPprofOffIsFree(t *testing.T) {
+	if n := PprofListeners(); n != 0 {
+		t.Fatalf("pre-existing pprof listeners: %d", n)
+	}
+	stop, addr, err := StartPprof("")
+	if err != nil || stop != nil || addr != "" {
+		t.Fatalf("StartPprof(\"\") = (stop!=nil:%v, %q, %v), want (nil, \"\", nil)", stop != nil, addr, err)
+	}
+	if n := PprofListeners(); n != 0 {
+		t.Fatalf("pprof listeners after off start: %d, want 0", n)
+	}
+}
+
+func TestPprofServesAndShutsDown(t *testing.T) {
+	stop, addr, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := PprofListeners(); n != 1 {
+		t.Fatalf("listeners while serving = %d, want 1", n)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ = %d", resp.StatusCode)
+	}
+	if len(body) == 0 {
+		t.Fatal("empty pprof index")
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if n := PprofListeners(); n != 0 {
+		t.Fatalf("listeners after shutdown = %d, want 0", n)
+	}
+}
+
+func TestPprofBadAddress(t *testing.T) {
+	if _, _, err := StartPprof("256.256.256.256:99999"); err == nil {
+		t.Fatal("nonsense address must fail")
+	}
+	if n := PprofListeners(); n != 0 {
+		t.Fatalf("failed start leaked a listener count: %d", n)
+	}
+}

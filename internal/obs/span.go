@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Trace is a tree of Spans covering one pipeline run (one CLI invocation,
+// one request). Create it with NewTrace, attach it to a context with
+// WithTrace, and let the pipeline stages open child spans with StartSpan.
+// Tracing is strictly opt-in: without a Trace in the context StartSpan
+// returns a nil *Span, and every *Span method is nil-safe, so instrumented
+// code pays one context lookup per stage and nothing else.
+type Trace struct {
+	root *Span
+}
+
+// Span is one timed pipeline stage. Fields are recorded via the setters
+// (nil-safe) and serialized by Trace.WriteJSON.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	label    string // free-form identifier, e.g. the input path
+	outcome  string // "ok", "degraded", "hit", "miss", or a guard class
+	sections int64  // tree sections this stage worked on, when known
+	workers  int64  // worker-pool width, when relevant
+	start    time.Time
+	dur      time.Duration
+	children []*Span
+}
+
+type spanKey struct{}
+
+// NewTrace starts a trace whose root span is named name.
+func NewTrace(name string) *Trace {
+	return &Trace{root: &Span{name: name, start: now()}}
+}
+
+// Root returns the root span.
+func (t *Trace) Root() *Span { return t.root }
+
+// Finish ends the root span; call it once the pipeline is done, before
+// WriteJSON.
+func (t *Trace) Finish() { t.root.End() }
+
+// WithTrace returns a context carrying the trace; spans started from it
+// attach under the root.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, t.root)
+}
+
+// StartSpan opens a child span under the span carried by ctx and returns
+// it along with a derived context for the stage's own children. With no
+// span in ctx it returns (nil, ctx): the nil span's methods are no-ops,
+// so call sites need no conditionals.
+func StartSpan(ctx context.Context, name string) (*Span, context.Context) {
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	if parent == nil {
+		return nil, ctx
+	}
+	s := &Span{name: name, start: now()}
+	parent.mu.Lock()
+	parent.children = append(parent.children, s)
+	parent.mu.Unlock()
+	return s, context.WithValue(ctx, spanKey{}, s)
+}
+
+// SetLabel attaches a free-form identifier (e.g. the input path).
+func (s *Span) SetLabel(label string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.label = label
+	s.mu.Unlock()
+}
+
+// SetSections records how many tree sections the stage worked on.
+func (s *Span) SetSections(n int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sections = int64(n)
+	s.mu.Unlock()
+}
+
+// SetWorkers records the worker-pool width the stage used.
+func (s *Span) SetWorkers(n int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.workers = int64(n)
+	s.mu.Unlock()
+}
+
+// SetOutcome records the stage outcome without ending the span.
+func (s *Span) SetOutcome(outcome string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.outcome = outcome
+	s.mu.Unlock()
+}
+
+// End closes the span with outcome "ok" unless one was already set. The
+// recorded duration is clamped to ≥ 1 ns so even instantaneous stages
+// are visibly non-zero in the trace.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.dur == 0 {
+		if s.dur = now().Sub(s.start); s.dur < time.Nanosecond {
+			s.dur = time.Nanosecond
+		}
+	}
+	if s.outcome == "" {
+		s.outcome = "ok"
+	}
+	s.mu.Unlock()
+}
+
+// EndWith sets the outcome and closes the span.
+func (s *Span) EndWith(outcome string) {
+	s.SetOutcome(outcome)
+	s.End()
+}
+
+// spanJSON is the serialized form of a span. Start offsets are relative
+// to the root span's start so traces are comparable across runs.
+type spanJSON struct {
+	Name     string     `json:"name"`
+	Label    string     `json:"label,omitempty"`
+	Outcome  string     `json:"outcome"`
+	Sections int64      `json:"sections,omitempty"`
+	Workers  int64      `json:"workers,omitempty"`
+	StartNS  int64      `json:"start_ns"`
+	DurNS    int64      `json:"dur_ns"`
+	Children []spanJSON `json:"children,omitempty"`
+}
+
+func (s *Span) toJSON(origin time.Time) spanJSON {
+	s.mu.Lock()
+	j := spanJSON{
+		Name:     s.name,
+		Label:    s.label,
+		Outcome:  s.outcome,
+		Sections: s.sections,
+		Workers:  s.workers,
+		StartNS:  int64(s.start.Sub(origin)),
+		DurNS:    int64(s.dur),
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		j.Children = append(j.Children, c.toJSON(origin))
+	}
+	return j
+}
+
+// WriteJSON writes the span tree as indented JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.root.toJSON(t.root.start))
+}
+
+// DumpJSON writes the span tree to path ("-" means stdout).
+func (t *Trace) DumpJSON(path string) error {
+	if path == "-" {
+		return t.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

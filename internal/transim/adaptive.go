@@ -7,6 +7,7 @@ import (
 
 	"eedtree/internal/circuit"
 	"eedtree/internal/guard"
+	"eedtree/internal/obs"
 )
 
 // AdaptiveOptions configures an error-controlled transient run. The
@@ -79,6 +80,14 @@ func SimulateAdaptiveCtx(ctx context.Context, d *circuit.Deck, opt AdaptiveOptio
 	}
 	res := newResult(d, e, 4096)
 	stats := &AdaptiveStats{MinStepUsed: math.Inf(1)}
+	defer func() {
+		// Counted once per run from the controller stats — the trial-step
+		// loop itself carries no instrumentation.
+		if obs.On() {
+			mAdaptiveAccepted.Add(uint64(stats.Accepted))
+			mAdaptiveRejected.Add(uint64(stats.Rejected))
+		}
+	}()
 	h := opt.InitialStep
 	xFull := make([]float64, e.sys.Size())
 	for e.t < opt.Stop {

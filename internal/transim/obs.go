@@ -1,0 +1,16 @@
+package transim
+
+import "eedtree/internal/obs"
+
+// Registry metrics for the transient simulator. Steps are counted once
+// per run (the executed total, including partial runs that were canceled
+// mid-way), not per step, so the integrator loop carries no per-step
+// instrumentation cost.
+var (
+	mSteps = obs.Default().Counter("eed_transim_steps_total",
+		"Fixed-step integrator time steps executed.")
+	mAdaptiveAccepted = obs.Default().Counter("eed_transim_adaptive_accepted_total",
+		"Adaptive-integrator trial steps accepted.")
+	mAdaptiveRejected = obs.Default().Counter("eed_transim_adaptive_rejected_total",
+		"Adaptive-integrator trial steps rejected and retried with a smaller step.")
+)

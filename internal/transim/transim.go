@@ -23,6 +23,7 @@ import (
 	"eedtree/internal/guard"
 	"eedtree/internal/lina"
 	"eedtree/internal/mna"
+	"eedtree/internal/obs"
 	"eedtree/internal/waveform"
 )
 
@@ -410,11 +411,18 @@ func SimulateCtx(ctx context.Context, d *circuit.Deck, opt Options) (*Result, er
 		return nil, err
 	}
 	res := newResult(d, e, steps+1)
+	executed := 0
+	defer func() {
+		if obs.On() {
+			mSteps.Add(uint64(executed))
+		}
+	}()
 	for k := 1; k <= steps; k++ {
 		if err := guard.Check(ctx); err != nil {
 			return nil, err
 		}
 		e.step()
+		executed++
 		res.record(e)
 	}
 	return res, nil
