@@ -9,7 +9,7 @@ BENCHCOUNT ?= 6
 OBSCOUNT ?= 5
 OBSMAX ?= 2
 
-.PHONY: all build test check vet race fuzz-smoke bench bench-json obs-check
+.PHONY: all build test check vet race fuzz-smoke bench bench-json bench-save obs-check
 
 all: build
 
@@ -33,6 +33,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzParseDeck -fuzztime=$(FUZZTIME) ./internal/circuit/
 	$(GO) test -run=NONE -fuzz=FuzzParseSource -fuzztime=$(FUZZTIME) ./internal/circuit/
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/rlctree/
+	$(GO) test -run=NONE -fuzz=FuzzEditJournal -fuzztime=$(FUZZTIME) ./internal/rlctree/
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/spef/
 
 # bench: quick interactive benchmark run (BENCH selects a pattern).
@@ -49,6 +50,15 @@ bench-json:
 	$(GO) test -run=NONE -bench=$(BENCH) -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -benchmem -json . > bench-baseline.json
 	$(GO) run ./cmd/bench2text < bench-baseline.json > bench-baseline.txt
 	@echo "wrote bench-baseline.json and bench-baseline.txt"
+
+# bench-save: record the incremental-vs-rebuild optimizer benchmark pair
+# (the PR 5 headline numbers) as BENCH_PR5.json (raw test2json events) and
+# BENCH_PR5.txt (benchstat-comparable: `benchstat BENCH_PR5.txt <new>.txt`).
+bench-save:
+	$(GO) test -run=NONE -bench='BenchmarkOptimizeWidthsIncremental$$|BenchmarkOptimizeWidthsRebuild$$' \
+		-benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -benchmem -json ./internal/opt/ > BENCH_PR5.json
+	$(GO) run ./cmd/bench2text < BENCH_PR5.json > BENCH_PR5.txt
+	@echo "wrote BENCH_PR5.json and BENCH_PR5.txt"
 
 # obs-check: the observability overhead gate (GUIDE.md §10). Runs the
 # instrumented hot-path benchmark and its uninstrumented twin back to back

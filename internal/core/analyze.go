@@ -134,7 +134,17 @@ func AnalyzeNodeSums(sums rlctree.Sums, s *rlctree.Section) (NodeAnalysis, error
 		return NodeAnalysis{}, guard.Newf(guard.ErrTopology, "core",
 			"sums cover %d sections but node %q has index %d (stale sums?)", len(sums.SR), s.Name(), i)
 	}
-	m, err := FromSums(sums.SR[i], sums.SL[i])
+	return AnalyzeNodeFromSums(sums.SR[i], sums.SL[i], s)
+}
+
+// AnalyzeNodeFromSums builds the characterization of one node directly
+// from its two path summations sr = Σ C·R_ik and sl = Σ C·L_ik, without a
+// whole-tree Sums value. This is the kernel the incremental session
+// (internal/engine.Session) feeds with O(depth)-maintained summations from
+// internal/incr; AnalyzeNodeSums is the same kernel indexed into a
+// whole-tree sums slice.
+func AnalyzeNodeFromSums(sr, sl float64, s *rlctree.Section) (NodeAnalysis, error) {
+	m, err := FromSums(sr, sl)
 	if err != nil {
 		if ge := new(guard.Error); errors.As(err, &ge) {
 			return NodeAnalysis{}, ge.WithNode(s.Name())

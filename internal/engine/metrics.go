@@ -27,6 +27,25 @@ var (
 	mBatchTasks = obs.Default().Counter("eed_engine_batch_tasks_total",
 		"Batch tasks executed.")
 
+	// Incremental-session metrics (session.go). The query/full latency
+	// pair is the observable form of the incremental design's bet: single
+	// -sink queries under edits should sit orders of magnitude below the
+	// whole-tree sweep latency.
+	mIncrSessions = obs.Default().Counter("eed_incr_sessions_total",
+		"Incremental analysis sessions created.")
+	mIncrEdits = obs.Default().Counter("eed_incr_edits_total",
+		"Element edits folded into incremental session state.")
+	mIncrResyncs = obs.Default().Counter("eed_incr_resyncs_total",
+		"Full state rebuilds forced by structural changes or journal trims.")
+	mIncrQueries = obs.Default().Counter("eed_incr_queries_total",
+		"Single-sink incremental sum queries served.")
+	mIncrQueryLatency = obs.Default().Histogram("eed_incr_query_latency_ns",
+		"Latency of one single-sink incremental sums query (catch-up included), nanoseconds.",
+		obs.DefaultLatencyBuckets)
+	mIncrFullLatency = obs.Default().Histogram("eed_incr_full_latency_ns",
+		"Latency of a whole-tree analysis issued through an incremental session, nanoseconds.",
+		obs.DefaultLatencyBuckets)
+
 	// The parallel path performs the same sums pass and per-node kernel
 	// loop as internal/core's serial sweep, so it records into the same
 	// core-owned histograms (same names resolve to the same metrics in

@@ -1,0 +1,281 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"eedtree/internal/core"
+	"eedtree/internal/guard"
+	"eedtree/internal/incr"
+	"eedtree/internal/obs"
+	"eedtree/internal/rlctree"
+)
+
+// Session is a mutable analysis session over one RLC tree: it keeps the
+// paper's summations live across element edits (internal/incr) instead of
+// recomputing them from zero, so repeated-evaluation workloads — the inner
+// loop of a sizing or repeater-insertion optimizer — pay O(depth) per
+// candidate rather than an O(n) rebuild-and-resweep.
+//
+// Edits may go through the session (SetR/SetL/SetC, EditAndAnalyze) or
+// directly through the tree's own edit API; before every query the session
+// catches up by replaying the tree's edit journal since its last
+// synchronized generation. A structural change (AddSection) or a trimmed
+// journal forces a full resynchronization, counted in
+// eed_incr_resyncs_total.
+//
+// Query tiers, cheapest first:
+//
+//   - DelayAt / SumsAt / AnalyzeAt: single-sink, incremental — O(depth)
+//     after a capacitance edit, O(1) otherwise.
+//   - Analyze: whole-tree — delegates to the engine's cached parallel
+//     path (a content-hash lookup when the tree is unchanged, a full O(n)
+//     sweep otherwise).
+//
+// Results are bit-identical to a from-scratch core analysis of the same
+// tree after any edit sequence (the internal/incr contract).
+//
+// A Session is not safe for concurrent use; it is the per-goroutine
+// companion of the process-wide Engine.
+type Session struct {
+	eng  *Engine // nil for a standalone session (no result cache)
+	tree *rlctree.Tree
+	st   *incr.State
+	gen  uint64 // tree generation st reflects
+}
+
+// NewSession returns a standalone incremental session over t. Whole-tree
+// Analyze calls run on the default worker pool without a result cache; use
+// Engine.NewSession to couple the session to an engine's cache.
+func NewSession(t *rlctree.Tree) (*Session, error) { return newSession(nil, t) }
+
+// NewSession returns an incremental session over t whose whole-tree
+// Analyze calls go through the engine's result cache and worker pool.
+func (e *Engine) NewSession(t *rlctree.Tree) (*Session, error) { return newSession(e, t) }
+
+func newSession(e *Engine, t *rlctree.Tree) (*Session, error) {
+	if t == nil {
+		return nil, guard.Newf(guard.ErrTopology, "engine", "nil tree")
+	}
+	st, err := incr.New(t)
+	if err != nil {
+		return nil, err
+	}
+	if obs.On() {
+		mIncrSessions.Inc()
+	}
+	return &Session{eng: e, tree: t, st: st, gen: t.Gen()}, nil
+}
+
+// Tree returns the tree the session analyzes. Mutating it through the
+// edit API is allowed (the session catches up on the next query);
+// structural changes force a full state rebuild.
+func (s *Session) Tree() *rlctree.Tree { return s.tree }
+
+// Stats returns the incremental kernel's work counters.
+func (s *Session) Stats() incr.Stats { return s.st.Stats() }
+
+// catchUp synchronizes the incremental state with the tree by replaying
+// the edit journal since the session's generation, falling back to a full
+// rebuild when the history is not replayable (structural change or
+// trimmed journal).
+func (s *Session) catchUp() error {
+	if s.gen == s.tree.Gen() {
+		return nil
+	}
+	track := obs.On()
+	edits, ok := s.tree.EditsSince(s.gen)
+	if ok {
+		for _, e := range edits {
+			if err := s.st.Apply(e); err != nil {
+				// Values in the journal were validated by the tree, so
+				// this is unreachable in practice; resync defensively.
+				ok = false
+				break
+			}
+		}
+		if ok {
+			if track {
+				mIncrEdits.Add(uint64(len(edits)))
+			}
+			s.gen = s.tree.Gen()
+			return nil
+		}
+	}
+	st, err := incr.New(s.tree)
+	if err != nil {
+		return err
+	}
+	s.st = st
+	s.gen = s.tree.Gen()
+	if track {
+		mIncrResyncs.Inc()
+	}
+	return nil
+}
+
+func (s *Session) checkSection(sec *rlctree.Section) error {
+	if sec == nil || sec.Tree() != s.tree {
+		return guard.Newf(guard.ErrTopology, "engine", "section does not belong to the session's tree")
+	}
+	return nil
+}
+
+// SetR edits the series resistance of sec through the session. The edit is
+// journaled on the tree and folded into the incremental state on the next
+// query.
+func (s *Session) SetR(sec *rlctree.Section, v float64) error {
+	if err := s.checkSection(sec); err != nil {
+		return err
+	}
+	return sec.SetR(v)
+}
+
+// SetL edits the series inductance of sec; same contract as SetR.
+func (s *Session) SetL(sec *rlctree.Section, v float64) error {
+	if err := s.checkSection(sec); err != nil {
+		return err
+	}
+	return sec.SetL(v)
+}
+
+// SetC edits the node capacitance of sec; same contract as SetR.
+func (s *Session) SetC(sec *rlctree.Section, v float64) error {
+	if err := s.checkSection(sec); err != nil {
+		return err
+	}
+	return sec.SetC(v)
+}
+
+// SumsAt returns the node's two path summations S_R(i), S_L(i) and its
+// downstream capacitance, incrementally maintained — the raw quantities of
+// the paper's Appendix at O(depth) cost under edits.
+func (s *Session) SumsAt(sink *rlctree.Section) (sr, sl, ctot float64, err error) {
+	if err := s.checkSection(sink); err != nil {
+		return 0, 0, 0, err
+	}
+	track := obs.On()
+	var t0 time.Time
+	if track {
+		t0 = time.Now()
+	}
+	if err := s.catchUp(); err != nil {
+		return 0, 0, 0, err
+	}
+	sr, sl, ctot, err = s.st.SumsAt(sink.Index())
+	if track && err == nil {
+		mIncrQueries.Inc()
+		mIncrQueryLatency.ObserveSince(t0)
+	}
+	return sr, sl, ctot, err
+}
+
+// DelayAt returns the equivalent-Elmore 50% delay at sink, O(depth) under
+// edits. This is the optimizer inner-loop query: edit a few elements, ask
+// for one sink's delay, repeat.
+func (s *Session) DelayAt(sink *rlctree.Section) (float64, error) {
+	sr, sl, _, err := s.SumsAt(sink)
+	if err != nil {
+		return 0, err
+	}
+	m, err := core.FromSums(sr, sl)
+	if err != nil {
+		if ge := new(guard.Error); errors.As(err, &ge) {
+			return 0, ge.WithNode(sink.Name())
+		}
+		return 0, err
+	}
+	return m.Delay50(), nil
+}
+
+// AnalyzeAt returns the full closed-form characterization of one sink from
+// the incrementally maintained summations, without touching the rest of
+// the tree.
+func (s *Session) AnalyzeAt(sink *rlctree.Section) (core.NodeAnalysis, error) {
+	sr, sl, _, err := s.SumsAt(sink)
+	if err != nil {
+		return core.NodeAnalysis{}, err
+	}
+	return core.AnalyzeNodeFromSums(sr, sl, sink)
+}
+
+// SectionEdit is one element edit addressed by section, the unit of
+// EditAndAnalyze.
+type SectionEdit struct {
+	Section *rlctree.Section
+	Elem    rlctree.Elem
+	Value   float64
+}
+
+// EditAndAnalyze applies a batch of element edits and returns the analysis
+// at sink — the one-call form of the edit→query cycle, traced as an
+// "incr.edit_analyze" span. Edits are applied in order; on an invalid edit
+// the earlier edits of the batch remain applied (they are journaled on the
+// tree like any other edit) and the error is returned.
+func (s *Session) EditAndAnalyze(ctx context.Context, edits []SectionEdit, sink *rlctree.Section) (core.NodeAnalysis, error) {
+	span, _ := obs.StartSpan(ctx, "incr.edit_analyze")
+	span.SetSections(len(edits))
+	if err := guard.Check(ctx); err != nil {
+		span.EndWith(guard.ClassName(err))
+		return core.NodeAnalysis{}, err
+	}
+	for _, e := range edits {
+		if err := s.checkSection(e.Section); err != nil {
+			span.EndWith(guard.ClassName(err))
+			return core.NodeAnalysis{}, err
+		}
+		var err error
+		switch e.Elem {
+		case rlctree.ElemR:
+			err = e.Section.SetR(e.Value)
+		case rlctree.ElemL:
+			err = e.Section.SetL(e.Value)
+		case rlctree.ElemC:
+			err = e.Section.SetC(e.Value)
+		default:
+			err = guard.Newf(guard.ErrInternal, "engine", "unknown edit element %d", e.Elem)
+		}
+		if err != nil {
+			span.EndWith("guard")
+			return core.NodeAnalysis{}, err
+		}
+	}
+	na, err := s.AnalyzeAt(sink)
+	if err != nil {
+		span.EndWith(guard.ClassName(err))
+		return core.NodeAnalysis{}, err
+	}
+	span.EndWith("ok")
+	return na, nil
+}
+
+// Analyze returns the whole-tree characterization. The session first
+// catches the incremental state up (so subsequent single-sink queries stay
+// cheap), then delegates to the engine's cached parallel path when the
+// session was created from an Engine — the tree's fingerprint is cached
+// against its generation, so an unchanged tree costs a hash-table lookup —
+// or to the plain parallel sweep otherwise. Whole-tree latency lands in
+// eed_incr_full_latency_ns; compare against eed_incr_query_latency_ns for
+// the full-vs-incremental cost split.
+func (s *Session) Analyze(ctx context.Context) ([]core.NodeAnalysis, error) {
+	if err := s.catchUp(); err != nil {
+		return nil, err
+	}
+	track := obs.On()
+	var t0 time.Time
+	if track {
+		t0 = time.Now()
+	}
+	var out []core.NodeAnalysis
+	var err error
+	if s.eng != nil {
+		out, err = s.eng.AnalyzeTree(ctx, s.tree)
+	} else {
+		out, err = AnalyzeTreeParallel(ctx, s.tree, 0)
+	}
+	if track && err == nil {
+		mIncrFullLatency.ObserveSince(t0)
+	}
+	return out, err
+}

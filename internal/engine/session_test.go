@@ -1,0 +1,248 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"eedtree/internal/core"
+	"eedtree/internal/rlctree"
+)
+
+func sessionTestTree(t *testing.T) *rlctree.Tree {
+	t.Helper()
+	tree, err := rlctree.Line("w", 16, rlctree.SectionValues{R: 10, L: 1e-9, C: 50e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestSessionDelayAtMatchesFromScratch(t *testing.T) {
+	tree := sessionTestTree(t)
+	sess, err := NewSession(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := tree.Sections()[tree.Len()-1]
+	rng := rand.New(rand.NewSource(3))
+	for step := 0; step < 100; step++ {
+		sec := tree.Sections()[rng.Intn(tree.Len())]
+		var serr error
+		v := rng.Float64() * 20
+		switch rng.Intn(3) {
+		case 0:
+			serr = sess.SetR(sec, v)
+		case 1:
+			serr = sess.SetL(sec, v*1e-10)
+		default:
+			serr = sess.SetC(sec, v*1e-14)
+		}
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		got, err := sess.DelayAt(sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := core.AtNode(sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := m.Delay50(); got != want {
+			t.Fatalf("step %d: incremental delay %x != from-scratch %x",
+				step, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+	if st := sess.Stats(); st.EditsR+st.EditsL+st.EditsC == 0 {
+		t.Fatal("session saw no edits")
+	}
+}
+
+func TestSessionDirectTreeEditsCatchUp(t *testing.T) {
+	tree := sessionTestTree(t)
+	sess, err := NewSession(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := tree.Sections()[tree.Len()-1]
+	before, err := sess.DelayAt(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edit the tree directly, bypassing the session.
+	if err := tree.Sections()[0].SetR(500); err != nil {
+		t.Fatal(err)
+	}
+	after, err := sess.DelayAt(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= before {
+		t.Fatalf("raising the driver resistance must raise the delay: %g -> %g", before, after)
+	}
+	m, err := core.AtNode(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != m.Delay50() {
+		t.Fatal("catch-up result differs from from-scratch analysis")
+	}
+}
+
+func TestSessionStructuralChangeResyncs(t *testing.T) {
+	tree := sessionTestTree(t)
+	sess, err := NewSession(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := tree.Sections()[tree.Len()-1]
+	added := tree.MustAddSection("extra", leaf, 1, 0, 10e-15)
+	got, err := sess.DelayAt(added)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.AtNode(added)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m.Delay50() {
+		t.Fatal("post-structural-change delay differs from from-scratch analysis")
+	}
+}
+
+func TestSessionAnalyzeAtMatchesAnalyzeNode(t *testing.T) {
+	tree := sessionTestTree(t)
+	sess, err := NewSession(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := tree.Sections()[7]
+	if err := sess.SetC(mid, 80e-15); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.AnalyzeAt(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.AnalyzeNode(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Delay50 != want.Delay50 || got.RiseTime != want.RiseTime || got.Model != want.Model {
+		t.Fatalf("AnalyzeAt mismatch: got %+v want %+v", got, want)
+	}
+}
+
+func TestSessionEditAndAnalyze(t *testing.T) {
+	tree := sessionTestTree(t)
+	sess, err := NewSession(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := tree.Sections()[tree.Len()-1]
+	na, err := sess.EditAndAnalyze(context.Background(), []SectionEdit{
+		{Section: tree.Sections()[0], Elem: rlctree.ElemR, Value: 100},
+		{Section: sink, Elem: rlctree.ElemC, Value: 120e-15},
+	}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Sections()[0].R() != 100 || sink.C() != 120e-15 {
+		t.Fatal("edits not applied to the tree")
+	}
+	want, err := core.AnalyzeNode(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na.Delay50 != want.Delay50 {
+		t.Fatal("EditAndAnalyze result differs from from-scratch analysis")
+	}
+	// Invalid edit is rejected with the session intact.
+	if _, err := sess.EditAndAnalyze(context.Background(), []SectionEdit{
+		{Section: sink, Elem: rlctree.ElemC, Value: -1},
+	}, sink); err == nil {
+		t.Fatal("invalid edit must fail")
+	}
+	if _, err := sess.DelayAt(sink); err != nil {
+		t.Fatalf("session unusable after rejected edit: %v", err)
+	}
+}
+
+func TestSessionAnalyzeFullTreeAndCacheCoherence(t *testing.T) {
+	tree := sessionTestTree(t)
+	eng := New(Options{Workers: 2, CacheEntries: 8})
+	sess, err := eng.NewSession(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	out1, err := sess.Analyze(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.AnalyzeTree(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if out1[i].Delay50 != want[i].Delay50 {
+			t.Fatalf("node %d: full analyze mismatch", i)
+		}
+	}
+	// Unchanged tree: second analyze must hit the cache.
+	if _, err := sess.Analyze(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.CacheStats(); st.Hits != 1 {
+		t.Fatalf("expected 1 cache hit, got %+v", st)
+	}
+	// An edit must change the fingerprint and miss the cache (coherence:
+	// stale results are never served after an edit).
+	if err := sess.SetR(tree.Sections()[3], 99); err != nil {
+		t.Fatal(err)
+	}
+	out2, err := sess.Analyze(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.CacheStats(); st.Misses != 2 {
+		t.Fatalf("expected 2 cache misses after edit, got %+v", st)
+	}
+	want2, err := core.AnalyzeTree(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkIdx := tree.Len() - 1
+	if out2[sinkIdx].Delay50 != want2[sinkIdx].Delay50 {
+		t.Fatal("post-edit full analyze differs from from-scratch")
+	}
+	if out2[sinkIdx].Delay50 == out1[sinkIdx].Delay50 {
+		t.Fatal("edit had no effect on the analysis")
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	if _, err := NewSession(nil); err == nil {
+		t.Fatal("nil tree must fail")
+	}
+	if _, err := NewSession(rlctree.New()); err == nil {
+		t.Fatal("empty tree must fail")
+	}
+	tree := sessionTestTree(t)
+	other := sessionTestTree(t)
+	sess, err := NewSession(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SetR(other.Sections()[0], 1); err == nil {
+		t.Fatal("foreign section must fail")
+	}
+	if _, err := sess.DelayAt(other.Sections()[0]); err == nil {
+		t.Fatal("foreign sink must fail")
+	}
+	if _, err := sess.DelayAt(nil); err == nil {
+		t.Fatal("nil sink must fail")
+	}
+}

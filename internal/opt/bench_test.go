@@ -1,0 +1,85 @@
+package opt
+
+import (
+	"testing"
+	"time"
+)
+
+// sizing64 is the benchmark sizing problem from the ISSUE acceptance
+// criteria: a 64-segment line, the scale at which the incremental inner
+// loop must beat the rebuild-per-candidate loop by an order of magnitude.
+func sizing64() SizingProblem {
+	p := testSizing
+	p.Segments = 64
+	return p
+}
+
+// benchSweeps bounds both twins to the same deterministic amount of
+// coordinate-descent work so their ns/op are directly comparable (the
+// descent paths are bit-identical, so both run exactly this many sweeps).
+const benchSweeps = 3
+
+// BenchmarkOptimizeWidthsIncremental solves the 64-segment sizing problem
+// on the incremental session: each candidate is two element edits plus an
+// O(depth) path re-derivation.
+func BenchmarkOptimizeWidthsIncremental(b *testing.B) {
+	p := sizing64()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimizeWidths(p, 0, benchSweeps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeWidthsRebuild solves the identical problem with the
+// pre-incremental cost model: every candidate rebuilds the tree and runs
+// the full O(n) summation passes. The Incremental/Rebuild ratio is the
+// headline speedup of the incremental engine.
+func BenchmarkOptimizeWidthsRebuild(b *testing.B) {
+	p := sizing64()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := optimizeWidthsRebuild(p, 0, benchSweeps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestIncrementalOptimizerSpeedup is the CI perf gate: on the 64-segment
+// sizing problem the incremental optimizer must beat the
+// rebuild-per-candidate twin by at least 5× (the ISSUE floor; ≥10× is
+// typical on idle hardware — the gate leaves headroom for noisy CI
+// runners). Both twins do bit-identical descent work, so the ratio
+// isolates the evaluation mechanism.
+func TestIncrementalOptimizerSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("timing gate skipped under the race detector")
+	}
+	p := sizing64()
+	const sweeps = 2
+	run := func(f func() (SizingResult, error)) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for trial := 0; trial < 3; trial++ {
+			t0 := time.Now()
+			if _, err := f(); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	incr := run(func() (SizingResult, error) { return OptimizeWidths(p, 0, sweeps) })
+	rebuild := run(func() (SizingResult, error) { return optimizeWidthsRebuild(p, 0, sweeps) })
+	speedup := float64(rebuild) / float64(incr)
+	t.Logf("incremental %v, rebuild %v, speedup %.1f×", incr, rebuild, speedup)
+	if speedup < 5 {
+		t.Fatalf("incremental optimizer only %.1f× faster than rebuild (need ≥ 5×): %v vs %v",
+			speedup, incr, rebuild)
+	}
+}

@@ -16,8 +16,12 @@ import (
 )
 
 // goldenSection minimizes a unimodal scalar function on [lo, hi] to the
-// given relative tolerance and returns the minimizing argument.
-func goldenSection(f func(float64) float64, lo, hi, tol float64) float64 {
+// given relative tolerance and returns the best evaluated argument
+// together with its function value, so callers never need to re-evaluate
+// the objective after the line search (one saved evaluation per search —
+// which, inside a coordinate-descent sweep, is one saved delay evaluation
+// per segment per sweep).
+func goldenSection(f func(float64) float64, lo, hi, tol float64) (x, fx float64) {
 	const invPhi = 0.6180339887498949
 	a, b := lo, hi
 	c := b - invPhi*(b-a)
@@ -34,7 +38,10 @@ func goldenSection(f func(float64) float64, lo, hi, tol float64) float64 {
 			fd = f(d)
 		}
 	}
-	return 0.5 * (a + b)
+	if fc <= fd {
+		return c, fc
+	}
+	return d, fd
 }
 
 // Repeater characterizes a repeater (buffer) at unit size: output
@@ -132,6 +139,24 @@ func StageDelay(line LineSpec, rep Repeater, k int, size float64) (float64, erro
 	return m.Delay50() + rep.TIntrinsic, nil
 }
 
+// stageObjective returns the golden-section objective over repeater size
+// for a k-stage split of the line, evaluated on a live incremental session
+// (two element edits and one O(depth) query per candidate instead of a
+// tree rebuild and full resweep).
+func stageObjective(line LineSpec, rep Repeater, k int, sizeMin float64) (func(float64) float64, error) {
+	ev, err := newStageEval(line, rep, k, sizeMin)
+	if err != nil {
+		return nil, err
+	}
+	return func(size float64) float64 {
+		d, err := ev.delay(size)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return d
+	}, nil
+}
+
 // RepeaterPlan is the result of repeater-insertion optimization.
 type RepeaterPlan struct {
 	K          int     // number of repeater stages (1 = no intermediate repeaters)
@@ -162,15 +187,11 @@ func InsertRepeaters(line LineSpec, rep Repeater, maxK int, sizeMin, sizeMax flo
 	}
 	best := RepeaterPlan{TotalDelay: math.Inf(1)}
 	for k := 1; k <= maxK; k++ {
-		stage := func(size float64) float64 {
-			d, err := StageDelay(line, rep, k, size)
-			if err != nil {
-				return math.Inf(1)
-			}
-			return d
+		stage, err := stageObjective(line, rep, k, sizeMin)
+		if err != nil {
+			return RepeaterPlan{}, err
 		}
-		size := goldenSection(stage, sizeMin, sizeMax, 1e-6)
-		sd := stage(size)
+		size, sd := goldenSection(stage, sizeMin, sizeMax, 1e-6)
 		total := float64(k) * sd
 		if total < best.TotalDelay {
 			best = RepeaterPlan{K: k, Size: size, StageDelay: sd, TotalDelay: total}
@@ -230,42 +251,24 @@ func (p SizingProblem) validate() error {
 type SizingResult struct {
 	Widths []float64
 	Delay  float64 // equivalent-Elmore 50% delay at the load [s]
-	Sweeps int     // coordinate-descent sweeps performed
+	// Sweeps is the number of full coordinate-descent sweeps executed,
+	// counting the final sweep that established convergence. It is ≥ 1
+	// whenever the optimizer ran and ≤ the maxSweeps bound.
+	Sweeps int
+	// Converged is true when the run stopped because a full sweep improved
+	// the delay by less than relTol, false when it hit the maxSweeps bound.
+	Converged bool
 }
 
-// Delay evaluates the sizing objective for an explicit width vector.
+// Delay evaluates the sizing objective for an explicit width vector,
+// building the tree from scratch — the one-shot form. Optimizer loops use
+// an incremental session instead (see OptimizeWidths) and agree with this
+// bit for bit.
 func (p SizingProblem) Delay(widths []float64) (float64, error) {
 	if err := p.validate(); err != nil {
 		return 0, err
 	}
-	if len(widths) != p.Segments {
-		return 0, fmt.Errorf("opt: got %d widths for %d segments", len(widths), p.Segments)
-	}
-	t := rlctree.New()
-	parent, err := t.AddSection("drv", nil, p.RDriver, 0, 0)
-	if err != nil {
-		return 0, err
-	}
-	for i, w := range widths {
-		if w < p.WMin || w > p.WMax || math.IsNaN(w) {
-			return 0, fmt.Errorf("opt: width %d = %g outside [%g, %g]", i, w, p.WMin, p.WMax)
-		}
-		v := p.Model.Values(w)
-		s, err := t.AddSection(fmt.Sprintf("w%d", i+1), parent, v.R, v.L, v.C)
-		if err != nil {
-			return 0, err
-		}
-		parent = s
-	}
-	sink, err := t.AddSection("load", parent, 0, 0, p.CLoad)
-	if err != nil {
-		return 0, err
-	}
-	m, err := core.AtNode(sink)
-	if err != nil {
-		return 0, err
-	}
-	return m.Delay50(), nil
+	return delayRebuild(p, widths)
 }
 
 // OptimizeWidths minimizes the sizing objective by cyclic coordinate
@@ -273,48 +276,21 @@ func (p SizingProblem) Delay(widths []float64) (float64, error) {
 // smooth, quasi-convex objective — starting from uniform mid-range widths.
 // It stops when a full sweep improves the delay by less than relTol
 // (default 1e-9 when zero) or after maxSweeps (default 50 when zero).
+//
+// The inner loop runs on an incremental analysis session: each candidate
+// width edits one segment's R and C in place and re-derives the load's
+// summations in O(depth), instead of rebuilding the tree and re-running
+// the O(n) sweeps. Results are bit-identical to the rebuild-per-candidate
+// evaluation (see optimizeWidthsRebuild) at a fraction of the cost.
 func OptimizeWidths(p SizingProblem, relTol float64, maxSweeps int) (SizingResult, error) {
+	relTol, maxSweeps = sizingDefaults(relTol, maxSweeps)
 	if err := p.validate(); err != nil {
 		return SizingResult{}, err
 	}
-	if relTol <= 0 {
-		relTol = 1e-9
-	}
-	if maxSweeps <= 0 {
-		maxSweeps = 50
-	}
-	widths := make([]float64, p.Segments)
-	for i := range widths {
-		widths[i] = math.Sqrt(p.WMin * p.WMax)
-	}
-	cur, err := p.Delay(widths)
+	widths := initialWidths(p)
+	ev, err := newSizingEval(p, widths)
 	if err != nil {
 		return SizingResult{}, err
 	}
-	sweeps := 0
-	for ; sweeps < maxSweeps; sweeps++ {
-		prev := cur
-		for i := range widths {
-			orig := widths[i]
-			obj := func(w float64) float64 {
-				widths[i] = w
-				d, err := p.Delay(widths)
-				if err != nil {
-					return math.Inf(1)
-				}
-				return d
-			}
-			w := goldenSection(obj, p.WMin, p.WMax, 1e-7)
-			if d := obj(w); d <= cur {
-				widths[i], cur = w, d
-			} else {
-				widths[i] = orig
-			}
-		}
-		if prev-cur <= relTol*prev {
-			sweeps++
-			break
-		}
-	}
-	return SizingResult{Widths: widths, Delay: cur, Sweeps: sweeps}, nil
+	return optimizeWidths(p, relTol, maxSweeps, ev, widths)
 }

@@ -13,9 +13,15 @@ var testLine = LineSpec{R: 260, L: 5e-9, C: 2e-12, Sections: 12}
 var testRep = Repeater{ROut: 3000, CIn: 5e-15, TIntrinsic: 5e-12}
 
 func TestGoldenSection(t *testing.T) {
-	min := goldenSection(func(x float64) float64 { return (x - 2.5) * (x - 2.5) }, 0, 10, 1e-10)
+	f := func(x float64) float64 { return (x - 2.5) * (x - 2.5) }
+	min, fmin := goldenSection(f, 0, 10, 1e-10)
 	if math.Abs(min-2.5) > 1e-6 {
 		t.Fatalf("golden section found %g, want 2.5", min)
+	}
+	// The returned value must be the objective at the returned argument —
+	// the contract that lets callers skip re-evaluation.
+	if fmin != f(min) {
+		t.Fatalf("returned value %g is not f(x) = %g", fmin, f(min))
 	}
 }
 

@@ -1,9 +1,6 @@
 package opt
 
-import (
-	"fmt"
-	"math"
-)
+import "fmt"
 
 // Delay/energy trade-off for repeater insertion. The authors' follow-on
 // work on RLC repeater insertion emphasizes that inductance shifts the
@@ -49,18 +46,15 @@ func RepeaterPareto(line LineSpec, rep Repeater, maxK int, sizeMin, sizeMax, vdd
 	}
 	points := make([]RepeaterPoint, 0, maxK)
 	for k := 1; k <= maxK; k++ {
-		stage := func(size float64) float64 {
-			d, err := StageDelay(line, rep, k, size)
-			if err != nil {
-				return math.Inf(1)
-			}
-			return d
+		stage, err := stageObjective(line, rep, k, sizeMin)
+		if err != nil {
+			return nil, err
 		}
-		size := goldenSection(stage, sizeMin, sizeMax, 1e-6)
+		size, sd := goldenSection(stage, sizeMin, sizeMax, 1e-6)
 		points = append(points, RepeaterPoint{
 			K:          k,
 			Size:       size,
-			TotalDelay: float64(k) * stage(size),
+			TotalDelay: float64(k) * sd,
 			Energy:     SwitchingEnergy(line, rep, k, size, vdd),
 		})
 	}

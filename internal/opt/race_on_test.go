@@ -1,0 +1,8 @@
+//go:build race
+
+package opt
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// gates skip under race because instrumentation distorts both sides of a
+// speedup ratio unevenly.
+const raceEnabled = true

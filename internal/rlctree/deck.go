@@ -35,20 +35,20 @@ func (t *Tree) ToDeck(src sources.Source) (*circuit.Deck, error) {
 		}
 		to := s.name
 		switch {
-		case s.r > 0 && s.l > 0:
+		case s.R() > 0 && s.L() > 0:
 			mid := s.name + "__rl"
-			if _, err := d.AddResistor("R"+s.name, from, mid, s.r); err != nil {
+			if _, err := d.AddResistor("R"+s.name, from, mid, s.R()); err != nil {
 				return nil, err
 			}
-			if _, err := d.AddInductor("L"+s.name, mid, to, s.l); err != nil {
+			if _, err := d.AddInductor("L"+s.name, mid, to, s.L()); err != nil {
 				return nil, err
 			}
-		case s.r > 0:
-			if _, err := d.AddResistor("R"+s.name, from, to, s.r); err != nil {
+		case s.R() > 0:
+			if _, err := d.AddResistor("R"+s.name, from, to, s.R()); err != nil {
 				return nil, err
 			}
-		case s.l > 0:
-			if _, err := d.AddInductor("L"+s.name, from, to, s.l); err != nil {
+		case s.L() > 0:
+			if _, err := d.AddInductor("L"+s.name, from, to, s.L()); err != nil {
 				return nil, err
 			}
 		default:
@@ -57,8 +57,8 @@ func (t *Tree) ToDeck(src sources.Source) (*circuit.Deck, error) {
 				return nil, err
 			}
 		}
-		if s.c > 0 {
-			if _, err := d.AddCapacitor("C"+s.name, to, "0", s.c); err != nil {
+		if s.C() > 0 {
+			if _, err := d.AddCapacitor("C"+s.name, to, "0", s.C()); err != nil {
 				return nil, err
 			}
 		}

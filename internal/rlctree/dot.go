@@ -24,8 +24,8 @@ func (t *Tree) WriteDOT(w io.Writer, title string) error {
 	b.WriteString("  \"in\" [shape=cds, label=\"input\"];\n")
 	for _, s := range t.sections {
 		label := s.name
-		if s.c > 0 {
-			label = fmt.Sprintf("%s\\nC=%sF", s.name, unit.Format(s.c))
+		if s.C() > 0 {
+			label = fmt.Sprintf("%s\\nC=%sF", s.name, unit.Format(s.C()))
 		}
 		shape := ""
 		if s.IsLeaf() {
@@ -39,11 +39,11 @@ func (t *Tree) WriteDOT(w io.Writer, title string) error {
 			from = s.parent.name
 		}
 		var parts []string
-		if s.r > 0 {
-			parts = append(parts, fmt.Sprintf("R=%s", unit.Format(s.r)))
+		if s.R() > 0 {
+			parts = append(parts, fmt.Sprintf("R=%s", unit.Format(s.R())))
 		}
-		if s.l > 0 {
-			parts = append(parts, fmt.Sprintf("L=%sH", unit.Format(s.l)))
+		if s.L() > 0 {
+			parts = append(parts, fmt.Sprintf("L=%sH", unit.Format(s.L())))
 		}
 		if len(parts) == 0 {
 			parts = append(parts, "short")

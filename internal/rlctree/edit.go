@@ -1,0 +1,148 @@
+package rlctree
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the mutation API of a tree: in-place element edits with
+// generation counting and a bounded edit journal. The paper's whole point
+// is that the summations S_R and S_L are recursively maintainable, so a
+// synthesis loop that perturbs a few element values should not rebuild the
+// tree (or re-run the full two-pass sums) per candidate. The journal is
+// what lets a consumer that snapshotted the tree at generation g — e.g. an
+// engine.Session holding an incr.State — catch up by replaying exactly the
+// edits in (g, Gen()] instead of resynchronizing from scratch.
+
+// Elem identifies which element value of a section an Edit changed.
+type Elem uint8
+
+const (
+	// ElemR is the series resistance of a section.
+	ElemR Elem = iota
+	// ElemL is the series inductance of a section.
+	ElemL
+	// ElemC is the node-to-ground capacitance of a section.
+	ElemC
+)
+
+// String returns "R", "L" or "C".
+func (e Elem) String() string {
+	switch e {
+	case ElemR:
+		return "R"
+	case ElemL:
+		return "L"
+	case ElemC:
+		return "C"
+	}
+	return fmt.Sprintf("Elem(%d)", uint8(e))
+}
+
+// Edit records one element-value change: section Index had Elem changed
+// from Old to New. Edits are replayable: applying New to the element
+// reproduces the post-edit tree exactly (values are never transformed).
+type Edit struct {
+	Index int
+	Elem  Elem
+	Old   float64
+	New   float64
+}
+
+// journalCap bounds the retained edit journal. When the journal grows past
+// the cap its oldest half is dropped; consumers whose snapshot predates the
+// retained window fall back to a full resynchronization (EditsSince
+// reports !ok). The cap comfortably covers an optimizer's inner-loop burst
+// between queries while bounding memory on very long edit streams.
+const journalCap = 4096
+
+// Gen returns the tree's generation: a counter bumped by every mutation,
+// structural (AddSection) or element edit (SetR/SetL/SetC). Two calls
+// returning the same value bracket an unchanged tree, which is also the
+// condition under which the cached Fingerprint is reused.
+func (t *Tree) Gen() uint64 { return t.gen }
+
+// bumpStructural records a structural mutation: the journal is cleared
+// (element edits cannot express topology changes, so snapshots older than
+// this point can never catch up by replay) and the fingerprint cache is
+// invalidated.
+func (t *Tree) bumpStructural() {
+	t.gen++
+	t.journal = t.journal[:0]
+	t.journalBase = t.gen
+	t.invalidateFingerprint()
+}
+
+// recordEdit appends an element edit to the journal, trimming the oldest
+// half when the cap is exceeded.
+func (t *Tree) recordEdit(e Edit) {
+	t.gen++
+	if len(t.journal) >= journalCap {
+		drop := len(t.journal) / 2
+		n := copy(t.journal, t.journal[drop:])
+		t.journal = t.journal[:n]
+		t.journalBase += uint64(drop)
+	}
+	t.journal = append(t.journal, e)
+	t.invalidateFingerprint()
+}
+
+// EditsSince returns the element edits applied after generation gen, in
+// order, and ok=true when that history is complete — i.e. replaying the
+// returned edits onto a snapshot taken at gen reproduces the tree's
+// current element values exactly. ok=false means the history is not
+// replayable (a structural change happened after gen, or the journal
+// trimmed that far back) and the consumer must resynchronize from the tree
+// itself. The returned slice aliases the journal: it is valid until the
+// next mutation and must not be modified.
+func (t *Tree) EditsSince(gen uint64) ([]Edit, bool) {
+	if gen == t.gen {
+		return nil, true
+	}
+	if gen > t.gen || gen < t.journalBase {
+		return nil, false
+	}
+	return t.journal[gen-t.journalBase:], true
+}
+
+// setElem validates and applies one element edit. A write of the value
+// already stored (== comparison, so writing -0 over +0 is a no-op and the
+// stored bits never change silently) does not bump the generation.
+func (s *Section) setElem(elem Elem, arr []float64, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return fmt.Errorf("rlctree: section %q: invalid %s = %g", s.name, elem, v)
+	}
+	old := arr[s.index]
+	if v == old {
+		return nil
+	}
+	arr[s.index] = v
+	s.tree.recordEdit(Edit{Index: s.index, Elem: elem, Old: old, New: v})
+	return nil
+}
+
+// SetR changes the section's series resistance in place. The value must be
+// non-negative and finite. The edit bumps the tree's generation, is
+// recorded in the edit journal, and invalidates the cached fingerprint.
+func (s *Section) SetR(v float64) error { return s.setElem(ElemR, s.tree.r, v) }
+
+// SetL changes the section's series inductance in place; same contract as
+// SetR.
+func (s *Section) SetL(v float64) error { return s.setElem(ElemL, s.tree.l, v) }
+
+// SetC changes the section's node capacitance in place; same contract as
+// SetR.
+func (s *Section) SetC(v float64) error { return s.setElem(ElemC, s.tree.c, v) }
+
+// Arrays returns copies of the tree's flat structure-of-arrays layout:
+// element values r, l, c and parent indices (-1 for sections attached to
+// the input node), all indexed by section index. Ascending index order is
+// a valid top-down topological order. This is the snapshot the incremental
+// sums kernel (internal/incr) is built from.
+func (t *Tree) Arrays() (r, l, c []float64, parent []int32) {
+	r = append([]float64(nil), t.r...)
+	l = append([]float64(nil), t.l...)
+	c = append([]float64(nil), t.c...)
+	parent = append([]int32(nil), t.parentIdx...)
+	return r, l, c, parent
+}

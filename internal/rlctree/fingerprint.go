@@ -15,11 +15,21 @@ import (
 // content-addressed result cache in internal/engine.
 type Fingerprint [sha256.Size]byte
 
-// Fingerprint computes the tree's content hash in one O(n) pass. Any
-// structural mutation — adding a section, grafting a subtree, resegmenting
-// — and any element-value change (including sign-preserving rescales)
-// yields a different fingerprint; Clone preserves it.
+// Fingerprint returns the tree's content hash. The hash is computed in one
+// O(n) pass and cached against the tree's generation counter, so repeated
+// calls on an unchanged tree are a mutex acquire and a copy; any mutation
+// — adding a section, an element edit through SetR/SetL/SetC, grafting,
+// resegmenting — bumps the generation and forces a recompute on the next
+// call (fingerprint-delta invalidation). Clone preserves the fingerprint.
+//
+// The cache makes Fingerprint safe for concurrent readers of an otherwise
+// unmodified tree, matching the engine result cache's access pattern.
 func (t *Tree) Fingerprint() Fingerprint {
+	t.fpMu.Lock()
+	defer t.fpMu.Unlock()
+	if t.fpValid && t.fpGen == t.gen {
+		return t.fp
+	}
 	h := sha256.New()
 	var buf [8]byte
 	putU64 := func(v uint64) {
@@ -27,22 +37,30 @@ func (t *Tree) Fingerprint() Fingerprint {
 		h.Write(buf[:])
 	}
 	putU64(uint64(len(t.sections)))
-	for _, s := range t.sections {
+	for i, s := range t.sections {
 		// Parent index, with ^0 marking attachment to the input node.
 		pi := ^uint64(0)
-		if s.parent != nil {
-			pi = uint64(s.parent.index)
+		if p := t.parentIdx[i]; p >= 0 {
+			pi = uint64(p)
 		}
 		putU64(pi)
 		// Length-prefixed name keeps the encoding injective across
 		// adjacent-name boundaries ("ab"+"c" vs "a"+"bc").
 		putU64(uint64(len(s.name)))
 		h.Write([]byte(s.name))
-		putU64(math.Float64bits(s.r))
-		putU64(math.Float64bits(s.l))
-		putU64(math.Float64bits(s.c))
+		putU64(math.Float64bits(t.r[i]))
+		putU64(math.Float64bits(t.l[i]))
+		putU64(math.Float64bits(t.c[i]))
 	}
-	var fp Fingerprint
-	h.Sum(fp[:0])
-	return fp
+	h.Sum(t.fp[:0])
+	t.fpGen, t.fpValid = t.gen, true
+	return t.fp
+}
+
+// invalidateFingerprint drops the cached fingerprint; called by every
+// mutation under the tree's single-writer discipline.
+func (t *Tree) invalidateFingerprint() {
+	t.fpMu.Lock()
+	t.fpValid = false
+	t.fpMu.Unlock()
 }

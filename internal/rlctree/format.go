@@ -95,7 +95,7 @@ func (t *Tree) WriteTo(w io.Writer) (int64, error) {
 			parent = s.parent.name
 		}
 		c, err := fmt.Fprintf(w, "%s %s %s %s %s\n",
-			s.name, parent, unit.Format(s.r), unit.Format(s.l), unit.Format(s.c))
+			s.name, parent, unit.Format(s.R()), unit.Format(s.L()), unit.Format(s.C()))
 		n += int64(c)
 		if err != nil {
 			return n, err

@@ -2,6 +2,7 @@ package rlctree
 
 import (
 	"context"
+	"math"
 	"strconv"
 	"strings"
 	"testing"
@@ -41,6 +42,110 @@ func FuzzParse(f *testing.F) {
 		}
 		if back.Len() != tr.Len() {
 			t.Fatalf("round trip changed section count %d → %d", tr.Len(), back.Len())
+		}
+	})
+}
+
+// FuzzEditJournal drives the element-edit API with arbitrary edit streams
+// decoded from raw bytes (10 bytes per op: section index, element, raw
+// float64 bits — so NaN, ±Inf, negatives, -0 and subnormals all occur).
+// Invariants: a rejected edit changes neither the value nor the
+// generation; an accepted edit of a new value bumps the generation by
+// exactly one; and replaying the journal onto a pristine clone reproduces
+// the edited tree bit for bit (the catch-up contract engine.Session
+// relies on).
+func FuzzEditJournal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0x24, 0x40}) // s0.R = 10
+	f.Add([]byte{3, 2, 0, 0, 0, 0, 0, 0, 0xf0, 0x3f}) // s3.C = 1
+	f.Add([]byte{7, 1, 0, 0, 0, 0, 0, 0, 0xf0, 0xbf}) // s7.L = -1 (rejected)
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0xf8, 0x7f}) // s1.R = NaN (rejected)
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0, 0x24, 0x40,
+		2, 0, 0, 0, 0, 0, 0, 0, 0x24, 0x40}) // repeat write: second is a no-op
+	f.Fuzz(func(t *testing.T, input []byte) {
+		tr, err := ParseString(chainSeed(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pristine := tr.Clone()
+		gen0 := tr.Gen()
+		for len(input) >= 10 {
+			op, rest := input[:10], input[10:]
+			input = rest
+			sec := tr.Sections()[int(op[0])%tr.Len()]
+			elem := Elem(op[1] % 3)
+			var bits uint64
+			for i, b := range op[2:10] {
+				bits |= uint64(b) << (8 * i)
+			}
+			v := math.Float64frombits(bits)
+			var arr []float64
+			switch elem {
+			case ElemR:
+				arr = tr.r
+			case ElemL:
+				arr = tr.l
+			default:
+				arr = tr.c
+			}
+			old := arr[sec.Index()]
+			gen := tr.Gen()
+			var serr error
+			switch elem {
+			case ElemR:
+				serr = sec.SetR(v)
+			case ElemL:
+				serr = sec.SetL(v)
+			default:
+				serr = sec.SetC(v)
+			}
+			switch {
+			case serr != nil:
+				if got := arr[sec.Index()]; math.Float64bits(got) != math.Float64bits(old) {
+					t.Fatalf("rejected edit changed the value: %g → %g", old, got)
+				}
+				if tr.Gen() != gen {
+					t.Fatal("rejected edit bumped the generation")
+				}
+			case v == old:
+				if tr.Gen() != gen {
+					t.Fatal("no-op edit bumped the generation")
+				}
+			default:
+				if arr[sec.Index()] != v {
+					t.Fatalf("accepted edit did not store %g", v)
+				}
+				if tr.Gen() != gen+1 {
+					t.Fatalf("accepted edit moved generation %d → %d", gen, tr.Gen())
+				}
+			}
+		}
+		edits, ok := tr.EditsSince(gen0)
+		if !ok {
+			// Only a journal trim can make the history unreplayable here
+			// (no structural changes happened).
+			if tr.Gen()-gen0 < journalCap {
+				t.Fatalf("short history (%d edits) reported unreplayable", tr.Gen()-gen0)
+			}
+			return
+		}
+		for _, e := range edits {
+			s := pristine.Sections()[e.Index]
+			var rerr error
+			switch e.Elem {
+			case ElemR:
+				rerr = s.SetR(e.New)
+			case ElemL:
+				rerr = s.SetL(e.New)
+			default:
+				rerr = s.SetC(e.New)
+			}
+			if rerr != nil {
+				t.Fatalf("journaled edit %+v failed to replay: %v", e, rerr)
+			}
+		}
+		if pristine.Fingerprint() != tr.Fingerprint() {
+			t.Fatal("journal replay does not reproduce the edited tree")
 		}
 	})
 }

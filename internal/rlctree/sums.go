@@ -23,14 +23,21 @@ package rlctree
 
 // DownstreamCaps returns, for every section index, the total capacitance
 // C_tot hanging at or below that section's node (the Appendix Fig. 17
-// quantity). Runs in O(n) with no multiplications.
+// quantity). Runs in O(n) with no multiplications, sweeping the tree's
+// flat parent-index array with no pointer chasing.
+//
+// The floating-point accumulation order at each node — children in
+// descending index order, the node's own C last — is part of this
+// function's contract: the incremental kernel (internal/incr) refolds the
+// same order when a capacitance edit dirties a path, which is what makes
+// incrementally maintained sums bit-identical to a from-scratch pass.
 func (t *Tree) DownstreamCaps() []float64 {
 	ctot := make([]float64, len(t.sections))
-	for i := len(t.sections) - 1; i >= 0; i-- {
-		s := t.sections[i]
-		ctot[i] += s.c
-		if s.parent != nil {
-			ctot[s.parent.index] += ctot[i]
+	parent, c := t.parentIdx, t.c
+	for i := len(ctot) - 1; i >= 0; i-- {
+		ctot[i] += c[i]
+		if p := parent[i]; p >= 0 {
+			ctot[p] += ctot[i]
 		}
 	}
 	return ctot
@@ -59,14 +66,15 @@ func (t *Tree) ElmoreSums() Sums {
 		SL:   make([]float64, n),
 		Ctot: t.DownstreamCaps(),
 	}
-	for i, s := range t.sections {
+	parent, r, l := t.parentIdx, t.r, t.l
+	for i := 0; i < n; i++ {
 		var baseR, baseL float64
-		if s.parent != nil {
-			baseR = sums.SR[s.parent.index]
-			baseL = sums.SL[s.parent.index]
+		if p := parent[i]; p >= 0 {
+			baseR = sums.SR[p]
+			baseL = sums.SL[p]
 		}
-		sums.SR[i] = baseR + s.r*sums.Ctot[i]
-		sums.SL[i] = baseL + s.l*sums.Ctot[i]
+		sums.SR[i] = baseR + r[i]*sums.Ctot[i]
+		sums.SL[i] = baseL + l[i]*sums.Ctot[i]
 	}
 	return sums
 }
@@ -83,8 +91,8 @@ func CommonPath(a, b *Section) (r, l float64) {
 	}
 	for p := b; p != nil; p = p.parent {
 		if onPathA[p] {
-			r += p.r
-			l += p.l
+			r += p.R()
+			l += p.L()
 		}
 	}
 	return r, l
@@ -104,8 +112,8 @@ func (t *Tree) ElmoreSumsBrute() Sums {
 	for i, si := range t.sections {
 		for _, sk := range t.sections {
 			r, l := CommonPath(si, sk)
-			sums.SR[i] += sk.c * r
-			sums.SL[i] += sk.c * l
+			sums.SR[i] += sk.C() * r
+			sums.SL[i] += sk.C() * l
 		}
 	}
 	return sums

@@ -15,14 +15,16 @@ package rlctree
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Section is one RLC segment of a tree. Sections are created with
-// Tree.AddSection and are immutable afterwards except through Scale
-// helpers; the identity of a Section is its tree plus name.
+// Tree.AddSection; their topology (name, parent, index) is immutable
+// afterwards, while the element values R, L and C live in the owning
+// tree's flat arrays and may be changed through SetR/SetL/SetC (see
+// edit.go). The identity of a Section is its tree plus name.
 type Section struct {
 	name     string
-	r, l, c  float64
 	index    int
 	parent   *Section // nil when driven directly by the input node
 	children []*Section
@@ -33,13 +35,13 @@ type Section struct {
 func (s *Section) Name() string { return s.name }
 
 // R returns the series resistance of the section in ohms.
-func (s *Section) R() float64 { return s.r }
+func (s *Section) R() float64 { return s.tree.r[s.index] }
 
 // L returns the series inductance of the section in henries.
-func (s *Section) L() float64 { return s.l }
+func (s *Section) L() float64 { return s.tree.l[s.index] }
 
 // C returns the capacitance from the section's node to ground in farads.
-func (s *Section) C() float64 { return s.c }
+func (s *Section) C() float64 { return s.tree.c[s.index] }
 
 // Index returns the section's stable index within the tree, in insertion
 // order. Because a parent must exist before its children can be added,
@@ -89,14 +91,41 @@ func (s *Section) String() string {
 	if s.parent != nil {
 		parent = s.parent.name
 	}
-	return fmt.Sprintf("%s(parent=%s R=%g L=%g C=%g)", s.name, parent, s.r, s.l, s.c)
+	return fmt.Sprintf("%s(parent=%s R=%g L=%g C=%g)", s.name, parent, s.R(), s.L(), s.C())
 }
 
 // Tree is an RLC tree driven at a single input node. The zero value is not
 // usable; create trees with New.
+//
+// Element values are stored in flat structure-of-arrays form (r, l, c,
+// parentIdx indexed by section index) rather than on the Section structs:
+// the O(n) summation sweeps of sums.go and the incremental kernel of
+// internal/incr walk these arrays directly with no pointer chasing, and
+// Section accessors read through them, so there is a single source of
+// truth for every element value.
+//
+// A Tree is safe for concurrent readers, but mutation (AddSection,
+// SetR/SetL/SetC) must not race with any other access.
 type Tree struct {
 	sections []*Section
 	byName   map[string]*Section
+
+	// Flat SoA element arrays, indexed by section index. parentIdx is -1
+	// for sections attached to the input node.
+	r, l, c   []float64
+	parentIdx []int32
+
+	// gen counts every mutation (structural or element edit). journal
+	// holds the element edits since the last structural change, with
+	// journalBase the generation just before its first entry; see
+	// EditsSince. fp caches the content fingerprint of generation fpGen.
+	gen         uint64
+	journal     []Edit
+	journalBase uint64
+	fpMu        sync.Mutex
+	fp          Fingerprint
+	fpGen       uint64
+	fpValid     bool
 }
 
 // New returns an empty tree.
@@ -127,12 +156,21 @@ func (t *Tree) AddSection(name string, parent *Section, r, l, c float64) (*Secti
 			return nil, fmt.Errorf("rlctree: section %q has invalid %s = %g", name, v.label, v.val)
 		}
 	}
-	s := &Section{name: name, r: r, l: l, c: c, index: len(t.sections), parent: parent, tree: t}
+	s := &Section{name: name, index: len(t.sections), parent: parent, tree: t}
+	pi := int32(-1)
+	if parent != nil {
+		pi = int32(parent.index)
+	}
 	t.sections = append(t.sections, s)
 	t.byName[name] = s
+	t.r = append(t.r, r)
+	t.l = append(t.l, l)
+	t.c = append(t.c, c)
+	t.parentIdx = append(t.parentIdx, pi)
 	if parent != nil {
 		parent.children = append(parent.children, s)
 	}
+	t.bumpStructural()
 	return s, nil
 }
 
@@ -198,8 +236,8 @@ func (t *Tree) Depth() int {
 // TotalCap returns the total capacitance of the tree.
 func (t *Tree) TotalCap() float64 {
 	var sum float64
-	for _, s := range t.sections {
-		sum += s.c
+	for _, c := range t.c {
+		sum += c
 	}
 	return sum
 }
@@ -208,8 +246,8 @@ func (t *Tree) TotalCap() float64 {
 // Pure RC trees (L = 0 everywhere) degenerate the second-order model to
 // the classical Elmore/Wyatt first-order form.
 func (t *Tree) HasInductance() bool {
-	for _, s := range t.sections {
-		if s.l != 0 {
+	for _, l := range t.l {
+		if l != 0 {
 			return true
 		}
 	}
