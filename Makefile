@@ -9,7 +9,7 @@ BENCHCOUNT ?= 6
 OBSCOUNT ?= 5
 OBSMAX ?= 2
 
-.PHONY: all build test check vet race fuzz-smoke bench bench-json bench-save obs-check
+.PHONY: all build test check vet race fuzz-smoke bench bench-json bench-save service-bench obs-check
 
 all: build
 
@@ -35,6 +35,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/rlctree/
 	$(GO) test -run=NONE -fuzz=FuzzEditJournal -fuzztime=$(FUZZTIME) ./internal/rlctree/
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/spef/
+	$(GO) test -run=NONE -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME) ./internal/eedsrv/
 
 # bench: quick interactive benchmark run (BENCH selects a pattern).
 bench:
@@ -59,6 +60,18 @@ bench-save:
 		-benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -benchmem -json ./internal/opt/ > BENCH_PR5.json
 	$(GO) run ./cmd/bench2text < BENCH_PR5.json > BENCH_PR5.txt
 	@echo "wrote BENCH_PR5.json and BENCH_PR5.txt"
+
+# service-bench: record the delay-service load benchmark (the PR 6
+# headline numbers) as BENCH_PR6.json and BENCH_PR6.txt: per-operation
+# latency percentiles and total throughput of an in-process eedd under a
+# mixed point-query / sweep / edit stream, with the warm point-query p50
+# asserted under 1ms on the 64-segment example net.
+LOADTIME ?= 30s
+LOADCONC ?= 8
+service-bench:
+	$(GO) run ./cmd/eedload -net examples/nets/line64.tree -d $(LOADTIME) -c $(LOADCONC) \
+		-mix delay=90,analyze=4,edit=4,batch=2 -out BENCH_PR6 -assert-warm-p50 1ms
+	@echo "wrote BENCH_PR6.json and BENCH_PR6.txt"
 
 # obs-check: the observability overhead gate (GUIDE.md §10). Runs the
 # instrumented hot-path benchmark and its uninstrumented twin back to back

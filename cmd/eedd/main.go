@@ -1,0 +1,120 @@
+// Command eedd is the delay-as-a-service daemon: it holds parsed RLC
+// trees and warm incremental analysis sessions resident in memory and
+// answers delay queries over HTTP/JSON, so callers in an optimizer inner
+// loop pay an O(depth) memory-speed query instead of a process start, a
+// parse and two O(n) sweeps per probe.
+//
+// Endpoints (see internal/eedsrv for the wire contract):
+//
+//	POST /v1/nets     register a tree and warm its session
+//	POST /v1/delay    one sink's characterization
+//	POST /v1/analyze  whole-tree sweep
+//	POST /v1/batch    many independent items under a worker bound
+//	POST /v1/edit     apply element edits, requery in O(depth)
+//	GET  /v1/nets     resident nets and registry counters
+//	GET  /healthz     liveness; 503 while draining
+//	GET  /metrics     Prometheus text exposition (?format=json)
+//
+// SIGINT/SIGTERM starts a graceful drain: /healthz flips to 503, new
+// analysis requests are rejected with class "draining", requests already
+// executing finish (bounded by -drain-timeout), then the process exits 0.
+//
+// Usage:
+//
+//	eedd [-addr host:port] [flags]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"eedtree/internal/eedsrv"
+	"eedtree/internal/engine"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+// realMain is main with an exit code instead of os.Exit, so deferred
+// cleanup runs and the e2e tests can re-exec the binary.
+func realMain() int {
+	addr := flag.String("addr", "127.0.0.1:7447", "listen address (use :0 for an ephemeral port)")
+	registry := flag.Int("registry", 0, "resident nets kept warm, LRU-evicted (0 = default)")
+	inflight := flag.Int("inflight", 0, "concurrently executing analysis requests; excess queue (0 = default)")
+	workers := flag.Int("workers", 0, "engine worker goroutines for whole-tree sweeps (0 = one per CPU)")
+	timeout := flag.Duration("timeout", 0, "per-request wall-time bound (0 = default, negative = none)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests at shutdown")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the service mux")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: eedd [flags]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		return 2
+	}
+	if *registry < 0 || *inflight < 0 || *workers < 0 || *drainTimeout < 0 {
+		fmt.Fprintf(os.Stderr, "eedd: -registry, -inflight, -workers and -drain-timeout must be >= 0\n")
+		flag.Usage()
+		return 2
+	}
+
+	srv := eedsrv.New(eedsrv.Options{
+		Engine:          engine.New(engine.Options{Workers: *workers}),
+		RegistryEntries: *registry,
+		MaxInflight:     *inflight,
+		RequestTimeout:  *timeout,
+		MountPprof:      *pprofFlag,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "eedd: %v\n", err)
+		return 1
+	}
+	// The listen line is the startup handshake: scripts (and the e2e
+	// tests) read the bound address from it, which matters with :0.
+	fmt.Fprintf(os.Stderr, "eedd: listening on http://%s/\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "eedd: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+
+	// Graceful drain: reject new analysis work immediately, let what is
+	// executing finish, then close the listener and idle connections.
+	fmt.Fprintf(os.Stderr, "eedd: draining (%d in flight)\n", srv.Inflight())
+	srv.Drain()
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "eedd: shutdown: %v\n", err)
+		return 1
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "eedd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "eedd: drained, bye")
+	return 0
+}

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain turns the test binary into eedd when re-exec'd, so the e2e
+// tests below exercise the real daemon lifecycle: flags, listen
+// handshake, serving, signal-driven drain and exit codes.
+func TestMain(m *testing.M) {
+	if os.Getenv("EEDD_E2E") == "1" {
+		os.Exit(realMain())
+	}
+	os.Exit(m.Run())
+}
+
+func eeddCommand(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "EEDD_E2E=1")
+	return cmd
+}
+
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("not an exit error: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+func TestUsageErrorsExit2(t *testing.T) {
+	for _, args := range [][]string{
+		{"stray-positional-arg"},
+		{"-registry", "-5"},
+		{"-inflight", "-1"},
+	} {
+		out, err := eeddCommand(t, args...).CombinedOutput()
+		if code := exitCode(t, err); code != 2 {
+			t.Fatalf("args %v: exit %d, want 2\n%s", args, code, out)
+		}
+		if !strings.Contains(string(out), "usage: eedd") {
+			t.Fatalf("args %v: no usage text:\n%s", args, out)
+		}
+	}
+}
+
+func TestListenFailureExits1(t *testing.T) {
+	out, err := eeddCommand(t, "-addr", "256.256.256.256:1").CombinedOutput()
+	if code := exitCode(t, err); code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out)
+	}
+}
+
+var listenRe = regexp.MustCompile(`listening on (http://[^/\s]+)/`)
+
+// startDaemon launches eedd on an ephemeral port and returns its base
+// URL plus the running command.
+func startDaemon(t *testing.T, extraArgs ...string) (*exec.Cmd, string, *bytes.Buffer) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := eeddCommand(t, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rest := &bytes.Buffer{}
+	sc := bufio.NewScanner(stderr)
+	var base string
+	for sc.Scan() {
+		if m := listenRe.FindStringSubmatch(sc.Text()); m != nil {
+			base = m[1]
+			break
+		}
+	}
+	if base == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("daemon never printed its listen address")
+	}
+	// Keep draining stderr so the child never blocks on a full pipe.
+	go func() {
+		for sc.Scan() {
+			rest.WriteString(sc.Text() + "\n")
+		}
+	}()
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return cmd, base, rest
+}
+
+func TestServeQueryAndGracefulDrain(t *testing.T) {
+	cmd, base, _ := startDaemon(t)
+
+	// A point query on an inline tree round-trips.
+	body := `{"tree": "a - 25 1n 50f\nb a 25 1n 50f\n", "node": "b"}`
+	resp, err := http.Post(base+"/v1/delay", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delay struct {
+		Net    string `json:"net"`
+		Result struct {
+			Delay50 float64 `json:"delay50"`
+		} `json:"result"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&delay)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("delay: status %d err %v", resp.StatusCode, err)
+	}
+	if delay.Result.Delay50 <= 0 || len(delay.Net) != 64 {
+		t.Fatalf("delay response = %+v", delay)
+	}
+
+	// Healthy before the signal...
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// ...SIGTERM drains and exits 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); exitCode(t, err) != 0 {
+		t.Fatalf("exit %d after SIGTERM, want 0", exitCode(t, err))
+	}
+}
+
+func TestMetricsServed(t *testing.T) {
+	_, base, _ := startDaemon(t)
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := new(strings.Builder)
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		raw.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(raw.String(), "eed_registry_nets") {
+		t.Fatalf("metrics: status %d body:\n%s", resp.StatusCode, raw.String())
+	}
+}
+
+func TestPprofMountedOnRequest(t *testing.T) {
+	_, base, _ := startDaemon(t, "-pprof")
+	resp, err := http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof cmdline: %d", resp.StatusCode)
+	}
+}
+
+func waitHTTP(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("server at %s never answered", url)
+}
+
+func TestDrainRejectsDuringShutdownWindow(t *testing.T) {
+	cmd, base, rest := startDaemon(t, "-drain-timeout", "5s")
+	waitHTTP(t, base+"/healthz")
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); exitCode(t, err) != 0 {
+		t.Fatalf("exit %d, want 0\nstderr: %s", exitCode(t, err), rest.String())
+	}
+	if !strings.Contains(rest.String(), "draining") || !strings.Contains(rest.String(), "drained, bye") {
+		t.Fatalf("drain log lines missing:\n%s", rest.String())
+	}
+}

@@ -1,0 +1,414 @@
+// Command eedload is the load harness for the eedd delay service: it
+// drives a mixed request stream (point queries, whole-tree sweeps,
+// incremental edits, batches) at a server for a fixed duration and
+// records per-operation latency percentiles and total throughput as
+// BENCH_PR6.json (machine-readable) and BENCH_PR6.txt (human-readable).
+//
+// With -addr it targets a running daemon; without it the harness starts
+// an in-process server on a loopback listener, so the numbers still
+// include the full HTTP/JSON wire cost but need no separate process.
+//
+// The stream runs over one registered net (-net, the rlctree text
+// format). Point queries and sweeps share the warm resident; each
+// edit-mix worker owns a private variant of the net — edits change the
+// content fingerprint, so a shared net would be re-keyed out from under
+// the readers (see internal/eedsrv).
+//
+// Usage:
+//
+//	eedload -net examples/nets/line64.tree [-d 30s] [-c 8] \
+//	        [-mix delay=90,analyze=5,edit=5] [-out BENCH_PR6]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"eedtree/internal/eedsrv"
+	"eedtree/internal/engine"
+	"eedtree/internal/guard"
+	"eedtree/internal/rlctree"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+var opNames = []string{"delay", "analyze", "edit", "batch"}
+
+type opStats struct {
+	CountN    int     `json:"count"`
+	Errors    int     `json:"errors"`
+	P50us     float64 `json:"p50_us"`
+	P90us     float64 `json:"p90_us"`
+	P99us     float64 `json:"p99_us"`
+	Maxus     float64 `json:"max_us"`
+	MeanUs    float64 `json:"mean_us"`
+	Throughpt float64 `json:"rps"`
+}
+
+type benchReport struct {
+	Net           string             `json:"net"`
+	Sections      int                `json:"sections"`
+	Addr          string             `json:"addr"`
+	InProcess     bool               `json:"in_process"`
+	DurationS     float64            `json:"duration_s"`
+	Concurrency   int                `json:"concurrency"`
+	Mix           map[string]int     `json:"mix"`
+	TotalRequests int                `json:"total_requests"`
+	TotalErrors   int                `json:"total_errors"`
+	Throughput    float64            `json:"throughput_rps"`
+	Ops           map[string]opStats `json:"ops"`
+}
+
+func realMain() int {
+	netFile := flag.String("net", "", "tree file driven at the server (rlctree text format; required)")
+	addr := flag.String("addr", "", "base URL of a running eedd (empty = start an in-process server)")
+	dur := flag.Duration("d", 10*time.Second, "measured load duration")
+	conc := flag.Int("c", 8, "concurrent client workers")
+	mixFlag := flag.String("mix", "delay=90,analyze=5,edit=5", "operation weights: delay,analyze,edit,batch")
+	out := flag.String("out", "BENCH_PR6", `output path prefix; writes <out>.json and <out>.txt ("" = stdout only)`)
+	assertWarmP50 := flag.Duration("assert-warm-p50", 0, "fail (exit 1) if the warm point-query p50 exceeds this (0 = no assertion)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: eedload -net <tree-file> [flags]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 0 || *netFile == "" || *dur <= 0 || *conc <= 0 {
+		flag.Usage()
+		return 2
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "eedload: -mix: %v\n", err)
+		flag.Usage()
+		return 2
+	}
+
+	report, err := run(*netFile, *addr, *dur, *conc, mix)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "eedload: [%s] %v\n", guard.ClassName(err), err)
+		return 1
+	}
+
+	text := renderText(report)
+	fmt.Print(text)
+	if *out != "" {
+		js, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eedload: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*out+".json", append(js, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "eedload: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*out+".txt", []byte(text), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "eedload: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "eedload: wrote %s.json and %s.txt\n", *out, *out)
+	}
+	if *assertWarmP50 > 0 {
+		p50 := time.Duration(report.Ops["delay"].P50us * float64(time.Microsecond))
+		if report.Ops["delay"].CountN == 0 {
+			fmt.Fprintf(os.Stderr, "eedload: -assert-warm-p50: no delay ops in the mix\n")
+			return 1
+		}
+		if p50 > *assertWarmP50 {
+			fmt.Fprintf(os.Stderr, "eedload: warm point-query p50 %v exceeds the %v bound\n", p50, *assertWarmP50)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "eedload: warm point-query p50 %v within the %v bound\n", p50, *assertWarmP50)
+	}
+	return 0
+}
+
+func parseMix(s string) (map[string]int, error) {
+	known := map[string]bool{}
+	for _, n := range opNames {
+		known[n] = true
+	}
+	mix := map[string]int{}
+	total := 0
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		name, valStr, ok := strings.Cut(kv, "=")
+		if !ok || !known[name] {
+			return nil, fmt.Errorf("bad term %q (want op=weight with op in %v)", kv, opNames)
+		}
+		v, err := strconv.Atoi(valStr)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad weight %q", valStr)
+		}
+		mix[name] = v
+		total += v
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mix %q has zero total weight", s)
+	}
+	return mix, nil
+}
+
+// client is one worker's view of the server plus its measurement sink.
+type client struct {
+	base string
+	http *http.Client
+	lat  map[string][]time.Duration
+	errs map[string]int
+}
+
+func (c *client) post(path string, body any) (int, []byte, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, data, err
+}
+
+// op issues one request of the named kind and records its latency.
+func (c *client) op(kind, path string, body any, wantNet bool) string {
+	t0 := time.Now()
+	code, data, err := c.post(path, body)
+	el := time.Since(t0)
+	if err != nil || code != 200 {
+		c.errs[kind]++
+		return ""
+	}
+	c.lat[kind] = append(c.lat[kind], el)
+	if !wantNet {
+		return ""
+	}
+	var withNet struct {
+		Net string `json:"net"`
+	}
+	if json.Unmarshal(data, &withNet) != nil {
+		c.errs[kind]++
+	}
+	return withNet.Net
+}
+
+func run(netFile, addr string, dur time.Duration, conc int, mix map[string]int) (*benchReport, error) {
+	treeText, err := os.ReadFile(netFile)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := rlctree.Parse(bytes.NewReader(treeText))
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, tree.Len())
+	for _, sec := range tree.Sections() {
+		names = append(names, sec.Name())
+	}
+	roots := tree.Roots()
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("net %q has no root section", netFile)
+	}
+	rootName := roots[0].Name()
+
+	base := addr
+	inProc := addr == ""
+	if inProc {
+		srv := eedsrv.New(eedsrv.Options{Engine: engine.New(engine.Options{})})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		base = "http://" + ln.Addr().String()
+	}
+	base = strings.TrimSuffix(base, "/")
+
+	// Register the shared net and warm it before the clock starts.
+	admin := &client{base: base, http: http.DefaultClient,
+		lat: map[string][]time.Duration{}, errs: map[string]int{}}
+	code, data, err := admin.post("/v1/nets", map[string]string{"tree": string(treeText)})
+	if err != nil {
+		return nil, err
+	}
+	if code != 200 {
+		return nil, fmt.Errorf("register %s: status %d: %s", netFile, code, data)
+	}
+	var info struct {
+		Net      string `json:"net"`
+		Sections int    `json:"sections"`
+	}
+	if err := json.Unmarshal(data, &info); err != nil {
+		return nil, err
+	}
+	sink := names[len(names)-1]
+	for i := 0; i < 50; i++ {
+		if code, _, err := admin.post("/v1/delay", map[string]string{"net": info.Net, "node": sink}); err != nil || code != 200 {
+			return nil, fmt.Errorf("warmup query failed (status %d, err %v)", code, err)
+		}
+	}
+
+	// The schedule: a weight-proportional deck each worker shuffles with
+	// its own seed, so the op order differs per worker but the realized
+	// mix is exact.
+	var deck []string
+	for _, name := range opNames {
+		for i := 0; i < mix[name]; i++ {
+			deck = append(deck, name)
+		}
+	}
+
+	clients := make([]*client, conc)
+	var wg sync.WaitGroup
+	stop := time.Now().Add(dur)
+	for w := 0; w < conc; w++ {
+		c := &client{base: base, http: &http.Client{},
+			lat: map[string][]time.Duration{}, errs: map[string]int{}}
+		clients[w] = c
+		wg.Add(1)
+		go func(w int, c *client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			myDeck := append([]string(nil), deck...)
+			rng.Shuffle(len(myDeck), func(i, j int) { myDeck[i], myDeck[j] = myDeck[j], myDeck[i] })
+
+			// The editor's private variant: the shared tree plus one extra
+			// worker-unique stub section hanging off the root, registered
+			// through the API like any client tree would be.
+			editNet := ""
+			editNode := fmt.Sprintf("zz%d", w)
+			if mix["edit"] > 0 {
+				private := string(treeText) + fmt.Sprintf("%s %s %d 1n 10f\n", editNode, rootName, w+1)
+				if net := c.op("edit_setup", "/v1/nets", map[string]string{"tree": private}, true); net != "" {
+					editNet = net
+				}
+			}
+			editVal := 10e-15
+			for i := 0; time.Now().Before(stop); i++ {
+				switch myDeck[i%len(myDeck)] {
+				case "delay":
+					c.op("delay", "/v1/delay", map[string]any{"net": info.Net, "node": names[rng.Intn(len(names))]}, false)
+				case "analyze":
+					c.op("analyze", "/v1/analyze", map[string]any{"net": info.Net}, false)
+				case "edit":
+					if editNet == "" {
+						continue
+					}
+					editVal += 1e-18
+					if net := c.op("edit", "/v1/edit", map[string]any{
+						"net":   editNet,
+						"edits": []map[string]any{{"node": editNode, "elem": "C", "value": editVal}},
+						"node":  editNode,
+					}, true); net != "" {
+						editNet = net
+					}
+				case "batch":
+					items := make([]map[string]any, 8)
+					for j := range items {
+						items[j] = map[string]any{"net": info.Net, "node": names[rng.Intn(len(names))]}
+					}
+					c.op("batch", "/v1/batch", map[string]any{"items": items}, false)
+				}
+			}
+		}(w, c)
+	}
+	wg.Wait()
+
+	report := &benchReport{
+		Net:         netFile,
+		Sections:    info.Sections,
+		Addr:        base,
+		InProcess:   inProc,
+		DurationS:   dur.Seconds(),
+		Concurrency: conc,
+		Mix:         mix,
+		Ops:         map[string]opStats{},
+	}
+	for _, name := range opNames {
+		var all []time.Duration
+		errs := 0
+		for _, c := range clients {
+			all = append(all, c.lat[name]...)
+			errs += c.errs[name]
+		}
+		report.TotalRequests += len(all) + errs
+		report.TotalErrors += errs
+		if len(all)+errs == 0 {
+			continue
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		st := opStats{CountN: len(all), Errors: errs}
+		if len(all) > 0 {
+			var sum time.Duration
+			for _, d := range all {
+				sum += d
+			}
+			st.P50us = us(pct(all, 50))
+			st.P90us = us(pct(all, 90))
+			st.P99us = us(pct(all, 99))
+			st.Maxus = us(all[len(all)-1])
+			st.MeanUs = us(sum / time.Duration(len(all)))
+			st.Throughpt = float64(len(all)) / dur.Seconds()
+		}
+		report.Ops[name] = st
+	}
+	report.Throughput = float64(report.TotalRequests) / dur.Seconds()
+	return report, nil
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// pct returns the p-th percentile of sorted latencies (nearest-rank).
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+func renderText(r *benchReport) string {
+	var b strings.Builder
+	mode := "remote"
+	if r.InProcess {
+		mode = "in-process loopback"
+	}
+	fmt.Fprintf(&b, "eedload: %s (%d sections) against %s (%s)\n", r.Net, r.Sections, r.Addr, mode)
+	fmt.Fprintf(&b, "duration %.1fs, %d workers, mix %v\n", r.DurationS, r.Concurrency, r.Mix)
+	fmt.Fprintf(&b, "total %d requests (%.0f req/s), %d errors\n\n", r.TotalRequests, r.Throughput, r.TotalErrors)
+	fmt.Fprintf(&b, "%-8s %10s %10s %10s %10s %10s %10s\n", "op", "count", "p50[us]", "p90[us]", "p99[us]", "max[us]", "req/s")
+	for _, name := range opNames {
+		st, ok := r.Ops[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %10d %10.1f %10.1f %10.1f %10.1f %10.0f\n",
+			name, st.CountN, st.P50us, st.P90us, st.P99us, st.Maxus, st.Throughpt)
+	}
+	return b.String()
+}

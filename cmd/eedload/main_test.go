@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("delay=90,analyze=5,edit=5")
+	if err != nil || mix["delay"] != 90 || mix["analyze"] != 5 || mix["edit"] != 5 {
+		t.Fatalf("mix=%v err=%v", mix, err)
+	}
+	for _, bad := range []string{"", "delay", "delay=x", "delay=-1", "frobnicate=3", "delay=0,edit=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Fatalf("mix %q should be rejected", bad)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	lat := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := pct(lat, 50); got != 5 {
+		t.Fatalf("p50 = %v, want 5", got)
+	}
+	if got := pct(lat, 99); got != 10 {
+		t.Fatalf("p99 = %v, want 10", got)
+	}
+	if got := pct(lat[:1], 99); got != 1 {
+		t.Fatalf("single-sample p99 = %v, want 1", got)
+	}
+	if got := pct(nil, 50); got != 0 {
+		t.Fatalf("empty p50 = %v, want 0", got)
+	}
+}
+
+// TestShortRunInProcess drives the full harness — in-process server,
+// registration, warmup, mixed load, report files — for a fraction of a
+// second and checks the recorded artifacts.
+func TestShortRunInProcess(t *testing.T) {
+	netFile := filepath.Join("..", "..", "examples", "nets", "line64.tree")
+	mix := map[string]int{"delay": 8, "analyze": 1, "edit": 1, "batch": 1}
+	report, err := run(netFile, "", 300*time.Millisecond, 4, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Sections != 64 || !report.InProcess {
+		t.Fatalf("report header = %+v", report)
+	}
+	if report.TotalErrors != 0 {
+		t.Fatalf("%d errors under clean load", report.TotalErrors)
+	}
+	if report.TotalRequests == 0 || report.Throughput <= 0 {
+		t.Fatalf("no load recorded: %+v", report)
+	}
+	for _, op := range []string{"delay", "analyze", "edit", "batch"} {
+		st, ok := report.Ops[op]
+		if !ok || st.CountN == 0 {
+			t.Fatalf("op %s missing from the report: %+v", op, report.Ops)
+		}
+		if st.P50us <= 0 || st.P99us < st.P50us || st.Maxus < st.P99us {
+			t.Fatalf("op %s: implausible percentiles %+v", op, st)
+		}
+	}
+
+	// The report serializes and round-trips.
+	js, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back benchReport
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalRequests != report.TotalRequests {
+		t.Fatal("report did not round-trip")
+	}
+	if txt := renderText(report); len(txt) == 0 {
+		t.Fatal("empty text report")
+	}
+}
+
+func TestRunRejectsMissingNet(t *testing.T) {
+	if _, err := run(filepath.Join(t.TempDir(), "nope.tree"), "", time.Second, 1, map[string]int{"delay": 1}); err == nil {
+		t.Fatal("missing net file should error")
+	}
+	if _, err := os.Stat("BENCH_PR6.json"); err == nil {
+		t.Fatal("run() must not write artifacts itself")
+	}
+}

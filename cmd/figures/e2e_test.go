@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain turns the test binary into figures when re-exec'd with
+// FIGURES_E2E=1; the e2e tests below pin the process exit-code contract
+// (0 ok, 1 runtime failure, 2 usage) that realMain now shares with the
+// other CLIs.
+func TestMain(m *testing.M) {
+	if os.Getenv("FIGURES_E2E") == "1" {
+		os.Exit(realMain())
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "FIGURES_E2E=1")
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("re-exec failed: %v", err)
+		}
+		code = ee.ExitCode()
+	}
+	return code, stdout.String(), stderr.String()
+}
+
+func TestE2EExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"single_figure_ok", []string{"-fig", "fig6"}, 0},
+		{"csv_ok", []string{"-fig", "fig6", "-format", "csv"}, 0},
+		{"unwritable_outdir", []string{"-fig", "fig6", "-o", "/proc/nonexistent/dir"}, 1},
+		{"unknown_figure", []string{"-fig", "fig99"}, 2},
+		{"unknown_format", []string{"-fig", "fig6", "-format", "xml"}, 2},
+		{"stray_args", []string{"stray"}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, stdout, stderr := runCLI(t, c.args...)
+			if code != c.want {
+				t.Fatalf("exit %d, want %d\nstdout: %.200s\nstderr: %s", code, c.want, stdout, stderr)
+			}
+			if c.want == 0 && len(stdout) == 0 {
+				t.Fatal("success must print the figure table")
+			}
+			if c.want == 2 && !strings.Contains(stderr, "usage: figures") {
+				t.Fatalf("usage errors must print usage:\n%s", stderr)
+			}
+		})
+	}
+}

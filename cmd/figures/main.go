@@ -19,13 +19,37 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain is main with an exit code instead of os.Exit, matching the
+// other CLIs: 0 success, 1 runtime failure, 2 usage error.
+func realMain() int {
 	var (
 		fig     = flag.String("fig", "all", "figure to regenerate, or \"all\"")
 		format  = flag.String("format", "table", "output format: table or csv")
 		outDir  = flag.String("o", "", "also write each figure as <dir>/<id>.csv")
 		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: figures [flags]\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		return 2
+	}
+	if *format != "table" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "figures: unknown format %q (want table or csv)\n", *format)
+		flag.Usage()
+		return 2
+	}
+	if *fig != "all" && experiments.ByID(*fig) == nil {
+		fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *fig)
+		flag.Usage()
+		return 2
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -34,8 +58,9 @@ func main() {
 	}
 	if err := run(ctx, *fig, *format, *outDir); err != nil {
 		fmt.Fprintf(os.Stderr, "figures: [%s] %v\n", guard.ClassName(err), err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func run(ctx context.Context, fig, format, outDir string) error {

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain turns the test binary into pathdelay when re-exec'd with
+// PATHDELAY_E2E=1; the e2e tests below pin the process exit-code
+// contract (0 ok, 1 runtime failure, 2 usage).
+func TestMain(m *testing.M) {
+	if os.Getenv("PATHDELAY_E2E") == "1" {
+		os.Exit(realMain())
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "PATHDELAY_E2E=1")
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("re-exec failed: %v", err)
+		}
+		code = ee.ExitCode()
+	}
+	return code, stdout.String(), stderr.String()
+}
+
+// writeSpecDir lays out a two-stage path spec plus the tree it references
+// in one temp directory (tree paths resolve relative to the spec).
+func writeSpecDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	tree := "w1 - 25 1n 50f\nw2 w1 25 1n 50f\n"
+	if err := os.WriteFile(filepath.Join(dir, "seg.tree"), []byte(tree), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := "inv1 120 8p seg.tree w2 w2=30f\ninv2 90 6p seg.tree w2\n"
+	specPath := filepath.Join(dir, "path.spec")
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return specPath
+}
+
+func TestE2EExitCodes(t *testing.T) {
+	spec := writeSpecDir(t)
+	badSpec := filepath.Join(t.TempDir(), "bad.spec")
+	if err := os.WriteFile(badSpec, []byte("only three fields\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"ok", []string{spec}, 0},
+		{"missing_spec", []string{filepath.Join(t.TempDir(), "nope.spec")}, 1},
+		{"malformed_spec", []string{badSpec}, 1},
+		{"bad_rise", []string{"-rise", "zzz", spec}, 1},
+		{"no_args", nil, 2},
+		{"two_args", []string{spec, spec}, 2},
+		{"negative_timeout", []string{"-timeout", "-1s", spec}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, stdout, stderr := runCLI(t, c.args...)
+			if code != c.want {
+				t.Fatalf("exit %d, want %d\nstdout: %s\nstderr: %s", code, c.want, stdout, stderr)
+			}
+			if c.want == 0 && !strings.Contains(stdout, "path arrival:") {
+				t.Fatalf("success must print the path arrival summary:\n%s", stdout)
+			}
+			if c.want == 2 && !strings.Contains(stderr, "usage: pathdelay") {
+				t.Fatalf("usage errors must print usage:\n%s", stderr)
+			}
+		})
+	}
+}
+
+func TestE2EStageTableFormat(t *testing.T) {
+	spec := writeSpecDir(t)
+	code, stdout, stderr := runCLI(t, spec)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	for _, want := range []string{"stage", "arrival[ps]", "inv1", "inv2"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("stage table missing %q:\n%s", want, stdout)
+		}
+	}
+	if testing.Verbose() {
+		fmt.Print(stdout)
+	}
+}

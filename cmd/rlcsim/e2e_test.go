@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain turns the test binary into rlcsim when re-exec'd with
+// RLCSIM_E2E=1; the e2e tests below pin the process exit-code contract
+// (0 ok, 1 runtime failure, 2 usage).
+func TestMain(m *testing.M) {
+	if os.Getenv("RLCSIM_E2E") == "1" {
+		os.Exit(realMain())
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "RLCSIM_E2E=1")
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("re-exec failed: %v", err)
+		}
+		code = ee.ExitCode()
+	}
+	return code, stdout.String(), stderr.String()
+}
+
+func TestE2EExitCodes(t *testing.T) {
+	deck := writeDeck(t, deckText)
+	noTran := writeDeck(t, "V1 in 0 STEP(0 1 0)\nR1 in out 100\nC1 out 0 1p\n.end\n")
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"ok", []string{deck}, 0},
+		{"missing_deck", []string{filepath.Join(t.TempDir(), "nope.sp")}, 1},
+		{"no_tran_directive", []string{noTran}, 1},
+		{"no_args", nil, 2},
+		{"two_args", []string{deck, deck}, 2},
+		{"negative_timeout", []string{"-timeout", "-1s", deck}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, stdout, stderr := runCLI(t, c.args...)
+			if code != c.want {
+				t.Fatalf("exit %d, want %d\nstdout: %.200s\nstderr: %s", code, c.want, stdout, stderr)
+			}
+			if c.want == 0 && !strings.HasPrefix(stdout, "time,") {
+				t.Fatalf("transient run must emit CSV with a time column:\n%.200s", stdout)
+			}
+			if c.want == 1 && !strings.Contains(stderr, "rlcsim: [") {
+				t.Fatalf("runtime failures must report their guard class:\n%s", stderr)
+			}
+			if c.want == 2 && !strings.Contains(stderr, "usage: rlcsim") {
+				t.Fatalf("usage errors must print usage:\n%s", stderr)
+			}
+		})
+	}
+}

@@ -1,0 +1,557 @@
+package eedsrv
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"eedtree/internal/engine"
+	"eedtree/internal/guard"
+	"eedtree/internal/obs"
+	"eedtree/internal/rlctree"
+)
+
+// Defaults for the zero Options value.
+const (
+	DefaultMaxInflight    = 64
+	DefaultMaxBodyBytes   = 8 << 20 // 8 MiB — a ~100k-section tree in text form
+	DefaultMaxBatchItems  = 1024
+	DefaultMaxEdits       = 1024
+	DefaultRequestTimeout = 30 * time.Second
+)
+
+// Options configures a Server. The zero value is a usable production
+// default.
+type Options struct {
+	// Engine executes whole-tree sweeps; nil means a fresh default engine
+	// (GOMAXPROCS workers, DefaultCacheEntries result cache).
+	Engine *engine.Engine
+	// RegistryEntries bounds the resident-net pool (LRU-evicted).
+	// 0 means engine.DefaultRegistryEntries.
+	RegistryEntries int
+	// MaxInflight bounds concurrently executing analysis requests; excess
+	// requests queue, connection-aware (a caller that disconnects while
+	// queued is dropped without running). 0 means DefaultMaxInflight.
+	MaxInflight int
+	// MaxBodyBytes bounds one request body. 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// MaxBatchItems bounds the items of one /v1/batch request.
+	// 0 means DefaultMaxBatchItems.
+	MaxBatchItems int
+	// MaxEdits bounds the edits of one /v1/edit request. 0 means
+	// DefaultMaxEdits.
+	MaxEdits int
+	// RequestTimeout bounds one request's wall time; past it the analysis
+	// is canceled and the client gets 504. 0 means DefaultRequestTimeout;
+	// negative means no limit.
+	RequestTimeout time.Duration
+	// Limits bounds the inline trees the server parses (zero fields get
+	// guard defaults).
+	Limits guard.Limits
+	// MountPprof exposes net/http/pprof under /debug/pprof/ on the
+	// server's own mux. Off by default.
+	MountPprof bool
+}
+
+// Server is the delay-as-a-service HTTP handler set. It is safe for
+// concurrent use; one Server is meant to serve a whole process.
+type Server struct {
+	opts Options
+	eng  *engine.Engine
+	reg  *engine.Registry
+	sem  chan struct{}
+	mux  *http.ServeMux
+
+	draining atomic.Bool
+	inflight atomic.Int64
+	queued   atomic.Int64
+}
+
+// Server-level metrics. Per-endpoint series share one family via the
+// single-label convention of internal/obs.
+var (
+	mInflight = obs.Default().Gauge("eed_server_inflight",
+		"Analysis requests currently executing.")
+	mQueued = obs.Default().Gauge("eed_server_queued",
+		"Analysis requests waiting for a worker-pool slot.")
+	mRejectedDrain = obs.Default().Counter("eed_server_rejected_draining_total",
+		"Requests rejected because the server is draining.")
+	// One unlabeled histogram for all endpoints: the exposition writer
+	// supports single labels on counters/gauges only (histogram bucket
+	// series would collide across label values).
+	mLatency = obs.Default().Histogram("eed_server_request_latency_ns",
+		"Analysis-request wall time (queue wait included), nanoseconds.",
+		obs.DefaultLatencyBuckets)
+)
+
+func endpointCounter(endpoint string) *obs.Counter {
+	return obs.Default().Counter(obs.Label("eed_server_requests_total", "endpoint", endpoint),
+		"Requests served, by endpoint.")
+}
+
+func endpointErrors(class string) *obs.Counter {
+	return obs.Default().Counter(obs.Label("eed_server_errors_total", "class", class),
+		"Request failures, by error class.")
+}
+
+// New returns a Server with its routes mounted.
+func New(opts Options) *Server {
+	if opts.Engine == nil {
+		opts.Engine = engine.New(engine.Options{})
+	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = DefaultMaxInflight
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if opts.MaxBatchItems <= 0 {
+		opts.MaxBatchItems = DefaultMaxBatchItems
+	}
+	if opts.MaxEdits <= 0 {
+		opts.MaxEdits = DefaultMaxEdits
+	}
+	if opts.RequestTimeout == 0 {
+		opts.RequestTimeout = DefaultRequestTimeout
+	}
+	opts.Limits = opts.Limits.WithDefaults()
+	s := &Server{
+		opts: opts,
+		eng:  opts.Engine,
+		reg:  engine.NewRegistry(opts.Engine, opts.RegistryEntries),
+		sem:  make(chan struct{}, opts.MaxInflight),
+		mux:  http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/nets", s.handleNets)
+	s.mux.HandleFunc("/v1/delay", s.analysis("/v1/delay", s.handleDelay))
+	s.mux.HandleFunc("/v1/analyze", s.analysis("/v1/analyze", s.handleAnalyze))
+	s.mux.HandleFunc("/v1/batch", s.analysis("/v1/batch", s.handleBatch))
+	s.mux.HandleFunc("/v1/edit", s.analysis("/v1/edit", s.handleEdit))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.Handle("/metrics", obs.Default().Handler())
+	if opts.MountPprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s
+}
+
+// Handler returns the server's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the resident-net pool (tests, ops introspection).
+func (s *Server) Registry() *engine.Registry { return s.reg }
+
+// Drain flips the server into drain mode: /healthz answers 503 (so load
+// balancers stop routing here) and new analysis requests are rejected
+// with a draining error, while requests already executing run to
+// completion — pair it with http.Server.Shutdown, which waits for them.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Inflight returns the number of analysis requests currently executing.
+func (s *Server) Inflight() int { return int(s.inflight.Load()) }
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// writeError renders err as the JSON error body with its mapped status.
+func writeError(w http.ResponseWriter, err error) {
+	ae := toAPIError(err)
+	if obs.On() {
+		endpointErrors(ae.Class).Inc()
+	}
+	writeJSON(w, ae.Status, ErrorResponse{Error: ae})
+}
+
+// analysis wraps an analysis handler with the service spine: POST-only,
+// drain rejection, the connection-aware worker-pool bound, the request
+// timeout, body-size cap and per-endpoint metrics. The semaphore is the
+// "connection-aware worker pool": at most MaxInflight requests execute,
+// excess requests wait in line holding no resources, and a queued client
+// that gives up (closed connection, canceled context) leaves the queue
+// without ever running.
+func (s *Server) analysis(endpoint string, h func(ctx context.Context, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		track := obs.On()
+		var t0 time.Time
+		if track {
+			endpointCounter(endpoint).Inc()
+			t0 = time.Now()
+		}
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", "POST")
+			writeError(w, &apiErr{status: http.StatusMethodNotAllowed, class: "method",
+				message: endpoint + " accepts POST only"})
+			return
+		}
+		if s.draining.Load() {
+			if track {
+				mRejectedDrain.Inc()
+			}
+			writeError(w, &apiErr{status: http.StatusServiceUnavailable, class: "draining",
+				message: "server is draining; retry against another instance"})
+			return
+		}
+		ctx := r.Context()
+		if s.opts.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+			defer cancel()
+		}
+		s.queued.Add(1)
+		if track {
+			mQueued.Inc()
+		}
+		select {
+		case s.sem <- struct{}{}:
+			s.queued.Add(-1)
+			if track {
+				mQueued.Dec()
+			}
+		case <-ctx.Done():
+			s.queued.Add(-1)
+			if track {
+				mQueued.Dec()
+			}
+			writeError(w, guard.New(guard.ErrCanceled, "eedsrv", context.Cause(ctx)))
+			return
+		}
+		s.inflight.Add(1)
+		if track {
+			mInflight.Inc()
+		}
+		defer func() {
+			<-s.sem
+			s.inflight.Add(-1)
+			if track {
+				mInflight.Dec()
+				mLatency.ObserveSince(t0)
+			}
+		}()
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+		h(ctx, w, r)
+	}
+}
+
+// resolveNet materializes the net a request names: an inline tree is
+// parsed under the server's limits and registered (warm for the next
+// call), a fingerprint is looked up among the resident nets. Exactly one
+// of the two must be given.
+func (s *Server) resolveNet(treeText, netHex string) (*engine.Resident, error) {
+	switch {
+	case treeText != "" && netHex != "":
+		return nil, guard.Newf(guard.ErrParse, "eedsrv", `request names both "tree" and "net"; give exactly one`)
+	case treeText != "":
+		tree, err := rlctree.ParseLimits(strings.NewReader(treeText), s.opts.Limits)
+		if err != nil {
+			return nil, err
+		}
+		return s.reg.Put(tree)
+	case netHex != "":
+		fp, err := parseFingerprint(netHex)
+		if err != nil {
+			return nil, err
+		}
+		res, ok := s.reg.Lookup(fp)
+		if !ok {
+			return nil, errNotFound("net %s is not resident (never registered, evicted, or re-keyed by edits)", netHex)
+		}
+		return res, nil
+	}
+	return nil, guard.Newf(guard.ErrParse, "eedsrv", `request names no net: give "tree" (inline text) or "net" (fingerprint)`)
+}
+
+// parseFingerprint decodes the 64-hex-digit wire form of a fingerprint.
+func parseFingerprint(s string) (rlctree.Fingerprint, error) {
+	var fp rlctree.Fingerprint
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(fp) {
+		return fp, guard.Newf(guard.ErrParse, "eedsrv", "malformed net fingerprint %q (want %d hex digits)", s, 2*len(fp))
+	}
+	copy(fp[:], b)
+	return fp, nil
+}
+
+// fingerprintHex is the wire form of a fingerprint.
+func fingerprintHex(fp rlctree.Fingerprint) string { return hex.EncodeToString(fp[:]) }
+
+// netInfo snapshots a resident's descriptive fields under its lock.
+func netInfo(res *engine.Resident) NetInfo {
+	var info NetInfo
+	res.Do(func(_ *engine.Session, tr *rlctree.Tree) error {
+		info = NetInfo{Net: fingerprintHex(tr.Fingerprint()), Sections: tr.Len(), Depth: tr.Depth()}
+		return nil
+	})
+	return info
+}
+
+// handleNets serves POST /v1/nets (register) and GET /v1/nets (list).
+func (s *Server) handleNets(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.analysis("/v1/nets", s.handleRegister)(w, r)
+	case http.MethodGet:
+		if obs.On() {
+			endpointCounter("/v1/nets").Inc()
+		}
+		st := s.reg.Stats()
+		resp := RegistryResponse{
+			Capacity:  st.Capacity,
+			Resident:  st.Resident,
+			Hits:      st.Hits,
+			Misses:    st.Misses,
+			Evictions: st.Evictions,
+			Nets:      []NetInfo{},
+		}
+		for _, res := range s.reg.Nets() {
+			resp.Nets = append(resp.Nets, netInfo(res))
+		}
+		writeJSON(w, http.StatusOK, resp)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, &apiErr{status: http.StatusMethodNotAllowed, class: "method",
+			message: "/v1/nets accepts GET and POST"})
+	}
+}
+
+func (s *Server) handleRegister(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := decodeRequest(r.Body, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Tree == "" {
+		writeError(w, guard.Newf(guard.ErrParse, "eedsrv", `"tree" is required`))
+		return
+	}
+	res, err := s.resolveNet(req.Tree, "")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, netInfo(res))
+}
+
+func (s *Server) handleDelay(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	var req DelayRequest
+	if err := decodeRequest(r.Body, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Node == "" {
+		writeError(w, guard.Newf(guard.ErrParse, "eedsrv", `"node" is required`))
+		return
+	}
+	res, err := s.resolveNet(req.Tree, req.Net)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var resp DelayResponse
+	err = res.Do(func(sess *engine.Session, tr *rlctree.Tree) error {
+		sink := tr.Section(req.Node)
+		if sink == nil {
+			return errNotFound("net has no node %q", req.Node)
+		}
+		na, err := sess.AnalyzeAt(sink)
+		if err != nil {
+			return err
+		}
+		resp = DelayResponse{Net: fingerprintHex(tr.Fingerprint()), Result: nodeResult(na)}
+		return nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAnalyze(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := decodeRequest(r.Body, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.resolveNet(req.Tree, req.Net)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var resp AnalyzeResponse
+	err = res.Do(func(sess *engine.Session, tr *rlctree.Tree) error {
+		analyses, err := sess.Analyze(ctx)
+		if err != nil {
+			return err
+		}
+		resp = AnalyzeResponse{Net: fingerprintHex(tr.Fingerprint()), Nodes: make([]NodeResult, 0, len(analyses))}
+		for _, na := range analyses {
+			resp.Nodes = append(resp.Nodes, nodeResult(na))
+		}
+		return nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleEdit(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	var req EditRequest
+	if err := decodeRequest(r.Body, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Node == "" {
+		writeError(w, guard.Newf(guard.ErrParse, "eedsrv", `"node" is required`))
+		return
+	}
+	if len(req.Edits) > s.opts.MaxEdits {
+		writeError(w, guard.Newf(guard.ErrLimit, "eedsrv", "%d edits exceed the per-request limit %d", len(req.Edits), s.opts.MaxEdits))
+		return
+	}
+	// Pre-validate the whole batch: element names and values are checked
+	// before anything is applied, so a malformed request mutates nothing.
+	elems := make([]rlctree.Elem, len(req.Edits))
+	for i, e := range req.Edits {
+		elem, err := parseElem(e.Elem)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		elems[i] = elem
+		if math.IsNaN(e.Value) || math.IsInf(e.Value, 0) || e.Value < 0 {
+			writeError(w, guard.Newf(guard.ErrTopology, "eedsrv", "edit %d: invalid %s = %g (must be non-negative finite)", i, elem, e.Value))
+			return
+		}
+	}
+	res, err := s.resolveNet(req.Tree, req.Net)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var resp EditResponse
+	err = res.Do(func(sess *engine.Session, tr *rlctree.Tree) error {
+		// Whatever happens below, the registry key must track the content:
+		// EditAndAnalyze applies edits in order and keeps the earlier ones
+		// on a mid-batch failure.
+		defer func() { resp.Net = fingerprintHex(s.reg.Rekey(res)) }()
+		edits := make([]engine.SectionEdit, len(req.Edits))
+		for i, e := range req.Edits {
+			sec := tr.Section(e.Node)
+			if sec == nil {
+				return errNotFound("net has no node %q (edit %d)", e.Node, i)
+			}
+			edits[i] = engine.SectionEdit{Section: sec, Elem: elems[i], Value: e.Value}
+		}
+		sink := tr.Section(req.Node)
+		if sink == nil {
+			return errNotFound("net has no node %q", req.Node)
+		}
+		na, err := sess.EditAndAnalyze(ctx, edits, sink)
+		if err != nil {
+			return err
+		}
+		resp.Applied = len(edits)
+		resp.Result = nodeResult(na)
+		return nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeRequest(r.Body, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, guard.Newf(guard.ErrParse, "eedsrv", `"items" must be non-empty`))
+		return
+	}
+	if len(req.Items) > s.opts.MaxBatchItems {
+		writeError(w, guard.Newf(guard.ErrLimit, "eedsrv", "%d items exceed the per-request limit %d", len(req.Items), s.opts.MaxBatchItems))
+		return
+	}
+	results := make([]BatchResult, len(req.Items))
+	errs := engine.Batch(ctx, len(req.Items), req.Workers, func(ctx context.Context, i int) error {
+		item := req.Items[i]
+		res, err := s.resolveNet(item.Tree, item.Net)
+		if err != nil {
+			return err
+		}
+		return res.Do(func(sess *engine.Session, tr *rlctree.Tree) error {
+			results[i].Net = fingerprintHex(tr.Fingerprint())
+			if item.Node == "" {
+				analyses, err := sess.Analyze(ctx)
+				if err != nil {
+					return err
+				}
+				nodes := make([]NodeResult, 0, len(analyses))
+				for _, na := range analyses {
+					nodes = append(nodes, nodeResult(na))
+				}
+				results[i].Nodes = nodes
+				return nil
+			}
+			sink := tr.Section(item.Node)
+			if sink == nil {
+				return errNotFound("net has no node %q", item.Node)
+			}
+			na, err := sess.AnalyzeAt(sink)
+			if err != nil {
+				return err
+			}
+			nr := nodeResult(na)
+			results[i].Result = &nr
+			return nil
+		})
+	})
+	resp := BatchResponse{Results: results}
+	for i, err := range errs {
+		if err != nil {
+			ae := toAPIError(err)
+			results[i] = BatchResult{Error: &ae}
+			resp.Failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeError(w, &apiErr{status: http.StatusMethodNotAllowed, class: "method",
+			message: "/healthz accepts GET and HEAD"})
+		return
+	}
+	resp := HealthResponse{Status: "ok", Inflight: s.Inflight()}
+	status := http.StatusOK
+	if s.draining.Load() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}

@@ -25,13 +25,25 @@ func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // a guard.ErrCanceled-classed error — exactly what the serial loop would
 // have produced for the remaining inputs.
 //
-// workers <= 0 means GOMAXPROCS; workers == 1 degenerates to the serial
-// loop (tasks run in index order on the calling goroutine).
+// workers == 0 means GOMAXPROCS; workers == 1 degenerates to the serial
+// loop (tasks run in index order on the calling goroutine). A negative
+// worker count is rejected inside the engine — every slot gets the same
+// guard.ErrLimit-classed error and fn is never called — so callers that
+// feed the bound from untrusted input (the daemon's /v1/batch, a CLI
+// flag) share one validation site instead of each re-checking.
 func Batch(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) []error {
 	if n <= 0 {
 		return nil
 	}
-	if workers <= 0 {
+	if workers < 0 {
+		err := guard.Newf(guard.ErrLimit, "engine", "negative batch worker count %d (0 = one per CPU)", workers)
+		errs := make([]error, n)
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+	if workers == 0 {
 		workers = defaultWorkers()
 	}
 	if workers > n {

@@ -46,6 +46,19 @@ var (
 		"Latency of a whole-tree analysis issued through an incremental session, nanoseconds.",
 		obs.DefaultLatencyBuckets)
 
+	// Session-registry metrics (registry.go) — the resident-net pool the
+	// daemon serves from. Hits are memory-speed queries; misses pay a
+	// parse + session build; evictions measure pressure on the capacity
+	// bound.
+	mRegistryNets = obs.Default().Gauge("eed_registry_nets",
+		"Nets currently resident in the session registry.")
+	mRegistryHits = obs.Default().Counter("eed_registry_hits_total",
+		"Registry lookups served by a resident warm session.")
+	mRegistryMisses = obs.Default().Counter("eed_registry_misses_total",
+		"Registry lookups that found no resident net.")
+	mRegistryEvictions = obs.Default().Counter("eed_registry_evictions_total",
+		"Resident nets displaced by the capacity bound or a re-key collision.")
+
 	// The parallel path performs the same sums pass and per-node kernel
 	// loop as internal/core's serial sweep, so it records into the same
 	// core-owned histograms (same names resolve to the same metrics in

@@ -37,7 +37,13 @@ import (
 // tree after any edit sequence (the internal/incr contract).
 //
 // A Session is not safe for concurrent use; it is the per-goroutine
-// companion of the process-wide Engine.
+// companion of the process-wide Engine. Neither the session nor the tree
+// it wraps may be touched from two goroutines at once — both mutate
+// shared state (the incremental summations, the edit journal) on what
+// look like read paths. Callers that must share a session across
+// goroutines serialize through a mutex that covers the session AND its
+// tree; Registry gives that discipline a name (Resident.Do), and the
+// race-mode suite (TestRegistryConcurrentSessions) enforces it.
 type Session struct {
 	eng  *Engine // nil for a standalone session (no result cache)
 	tree *rlctree.Tree

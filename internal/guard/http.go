@@ -1,0 +1,44 @@
+package guard
+
+import "net/http"
+
+// HTTPStatus maps an error to the HTTP status code a service should
+// answer with, using the error's guard class. The mapping is the wire
+// form of the taxonomy — the same dispatch the CLIs perform for their
+// exit codes (0/1/2/3), pinned down for the daemon:
+//
+//	nil          → 200 OK                    (the request succeeded)
+//	ErrParse     → 400 Bad Request           (malformed input syntax)
+//	ErrTopology  → 422 Unprocessable Entity  (well-formed, structurally invalid)
+//	ErrNumeric   → 422 Unprocessable Entity  (well-formed, not computable)
+//	ErrLimit     → 413 Content Too Large     (input exceeds a Limits bound)
+//	ErrCanceled  → 504 Gateway Timeout       (deadline or disconnect before completion)
+//	ErrInternal  → 500 Internal Server Error (a bug, not a property of the input)
+//	unclassified → 500 Internal Server Error
+//
+// ErrParse and ErrTopology are deliberately distinct (400 vs 422): a 400
+// means the bytes never became a tree, a 422 means they did but the tree
+// (or the arithmetic on it) cannot be analyzed. Both ErrTopology and
+// ErrNumeric land on 422 — the distinction that matters to a client
+// ("fix the request" vs "retry later") is preserved, and the class name
+// itself travels in the response body.
+func HTTPStatus(err error) int {
+	switch Class(err) {
+	case nil:
+		if err == nil {
+			return http.StatusOK
+		}
+		return http.StatusInternalServerError
+	case ErrParse:
+		return http.StatusBadRequest
+	case ErrTopology, ErrNumeric:
+		return http.StatusUnprocessableEntity
+	case ErrLimit:
+		return http.StatusRequestEntityTooLarge
+	case ErrCanceled:
+		return http.StatusGatewayTimeout
+	case ErrInternal:
+		return http.StatusInternalServerError
+	}
+	return http.StatusInternalServerError
+}

@@ -1,0 +1,56 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+)
+
+// TestHTTPStatusMatrix pins the class→status mapping exhaustively: every
+// guard class, the nil error, and an unclassified error. The daemon's
+// contract tests assert the same pairs over the wire; this is the
+// single-source-of-truth form.
+func TestHTTPStatusMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, http.StatusOK},
+		{"parse", Newf(ErrParse, "t", "bad token"), http.StatusBadRequest},
+		{"topology", Newf(ErrTopology, "t", "unknown parent"), http.StatusUnprocessableEntity},
+		{"numeric", Newf(ErrNumeric, "t", "singular"), http.StatusUnprocessableEntity},
+		{"limit", Newf(ErrLimit, "t", "too big"), http.StatusRequestEntityTooLarge},
+		{"canceled", Newf(ErrCanceled, "t", "deadline"), http.StatusGatewayTimeout},
+		{"internal", Newf(ErrInternal, "t", "bug"), http.StatusInternalServerError},
+		{"unclassified", errors.New("plain"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := HTTPStatus(c.err); got != c.want {
+			t.Errorf("%s: HTTPStatus = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestHTTPStatusWrapped checks the mapping sees the class through
+// wrapping, matching how handler code returns fmt.Errorf-wrapped guard
+// errors.
+func TestHTTPStatusWrapped(t *testing.T) {
+	err := Newf(ErrLimit, "t", "too big")
+	wrapped := errors.Join(errors.New("while decoding"), err)
+	if got := HTTPStatus(wrapped); got != http.StatusRequestEntityTooLarge {
+		t.Fatalf("wrapped limit error: HTTPStatus = %d, want 413", got)
+	}
+}
+
+// TestHTTPStatusContextCancel checks a real canceled context run maps to
+// 504, the path a request deadline takes through guard.Run.
+func TestHTTPStatusContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Run(ctx, func(context.Context) error { return nil })
+	if got := HTTPStatus(err); got != http.StatusGatewayTimeout {
+		t.Fatalf("canceled run: HTTPStatus = %d, want 504", got)
+	}
+}
