@@ -9,7 +9,7 @@ BENCHCOUNT ?= 6
 OBSCOUNT ?= 5
 OBSMAX ?= 2
 
-.PHONY: all build test check vet race fuzz-smoke bench bench-json bench-save service-bench obs-check
+.PHONY: all build test check vet race fuzz-smoke bench bench-json bench-save service-bench obs-check fault-check chaos-soak
 
 all: build
 
@@ -36,6 +36,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzEditJournal -fuzztime=$(FUZZTIME) ./internal/rlctree/
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/spef/
 	$(GO) test -run=NONE -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME) ./internal/eedsrv/
+	$(GO) test -run=NONE -fuzz=FuzzParseFaultSpec -fuzztime=$(FUZZTIME) ./internal/faultinj/
 
 # bench: quick interactive benchmark run (BENCH selects a pattern).
 bench:
@@ -80,3 +81,27 @@ service-bench:
 obs-check:
 	$(GO) test -run=NONE -bench='BenchmarkAnalyzeTreeParallel$$|BenchmarkAnalyzeTreeParallelBaseline$$' \
 		-benchtime=$(BENCHTIME) -count=$(OBSCOUNT) -json . | $(GO) run ./cmd/obscheck -max $(OBSMAX)
+
+# fault-check: the fault-injection overhead gate (GUIDE.md §13). The
+# dormant-armed query benchmark (a plan is Active but every point has
+# p=0) must stay within OBSMAX percent of the unarmed twin, proving the
+# framework's hot-path cost is a couple of atomic loads.
+fault-check:
+	$(GO) test -run=NONE -bench='BenchmarkSessionQuery$$|BenchmarkSessionQueryFaultsArmed$$' \
+		-benchtime=$(BENCHTIME) -count=$(OBSCOUNT) -json ./internal/engine/ | \
+		$(GO) run ./cmd/obscheck -bench BenchmarkSessionQueryFaultsArmed -baseline BenchmarkSessionQuery -max $(OBSMAX)
+
+# chaos-soak: the resilience gate (the PR 7 headline numbers). Builds a
+# real eedd, then drives it through the eedchaos fault schedule — stalls,
+# panics, dropped connections, eviction storms, queue timeouts, numeric
+# faults, and SIGTERM/restart cycles — asserting zero bit-incorrect
+# payloads against direct core analysis, a bounded error budget, and
+# post-fault warm-p50 recovery. Writes BENCH_PR7.json and BENCH_PR7.txt.
+CHAOSTIME ?= 30s
+CHAOSCONC ?= 8
+chaos-soak:
+	$(GO) build -o eedd ./cmd/eedd/
+	$(GO) run ./cmd/eedchaos -eedd ./eedd -net examples/nets/line64.tree \
+		-d $(CHAOSTIME) -c $(CHAOSCONC) -seed 7 -out BENCH_PR7 \
+		-budget 1.0 -p50-gate 5ms -recover-within 5s
+	@echo "wrote BENCH_PR7.json and BENCH_PR7.txt"

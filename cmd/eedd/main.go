@@ -38,6 +38,7 @@ import (
 
 	"eedtree/internal/eedsrv"
 	"eedtree/internal/engine"
+	"eedtree/internal/faultinj"
 )
 
 func main() {
@@ -54,6 +55,8 @@ func realMain() int {
 	timeout := flag.Duration("timeout", 0, "per-request wall-time bound (0 = default, negative = none)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests at shutdown")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the service mux")
+	faults := flag.String("faults", "", "TESTING ONLY: arm a fault-injection plan at startup (internal/faultinj spec)")
+	faultsAdmin := flag.Bool("faults-admin", false, "TESTING ONLY: mount POST /v1/faults to re-arm the fault plan at runtime")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: eedd [flags]\n")
 		flag.PrintDefaults()
@@ -69,12 +72,25 @@ func realMain() int {
 		return 2
 	}
 
+	if *faults != "" {
+		plan, err := faultinj.Parse(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eedd: -faults: %v\n", err)
+			flag.Usage()
+			return 2
+		}
+		faultinj.Activate(plan)
+		// Loud on purpose: a production daemon must never run armed.
+		fmt.Fprintf(os.Stderr, "eedd: WARNING: fault injection armed: %s\n", plan.String())
+	}
+
 	srv := eedsrv.New(eedsrv.Options{
 		Engine:          engine.New(engine.Options{Workers: *workers}),
 		RegistryEntries: *registry,
 		MaxInflight:     *inflight,
 		RequestTimeout:  *timeout,
 		MountPprof:      *pprofFlag,
+		EnableFaults:    *faultsAdmin,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

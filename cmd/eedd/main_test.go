@@ -214,3 +214,84 @@ func TestDrainRejectsDuringShutdownWindow(t *testing.T) {
 		t.Fatalf("drain log lines missing:\n%s", rest.String())
 	}
 }
+
+func TestBadFaultSpecExits2(t *testing.T) {
+	out, err := eeddCommand(t, "-faults", "srv.stall:p=totally").CombinedOutput()
+	if code := exitCode(t, err); code != 2 {
+		t.Fatalf("exit %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "usage: eedd") {
+		t.Fatalf("no usage text:\n%s", out)
+	}
+}
+
+func TestFaultsAdminEndpointMounted(t *testing.T) {
+	cmd, base, _ := startDaemon(t, "-faults-admin")
+	resp, err := http.Post(base+"/v1/faults", "application/json",
+		strings.NewReader(`{"spec":"seed=2;srv.stall:p=0.5,d=1ms"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fr struct {
+		Enabled bool   `json:"enabled"`
+		Spec    string `json:"spec"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&fr)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 200 || !fr.Enabled || !strings.Contains(fr.Spec, "srv.stall") {
+		t.Fatalf("arm: status %d err %v resp %+v", resp.StatusCode, err, fr)
+	}
+	cmd.Process.Signal(syscall.SIGTERM)
+	if err := cmd.Wait(); exitCode(t, err) != 0 {
+		t.Fatalf("exit %d, want 0", exitCode(t, err))
+	}
+}
+
+// TestSigtermDuringActiveLoad pins the drain contract under fire: a
+// request stalled inside its worker slot (via -faults) must complete
+// with a 200 while the daemon drains, and the daemon must still exit 0.
+func TestSigtermDuringActiveLoad(t *testing.T) {
+	cmd, base, rest := startDaemon(t, "-faults", "srv.stall:p=1,n=1,d=400ms")
+
+	type result struct {
+		code int
+		body string
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		body := `{"tree": "a - 25 1n 50f\nb a 25 1n 50f\n", "node": "b"}`
+		resp, err := http.Post(base+"/v1/delay", "application/json", strings.NewReader(body))
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if rerr != nil {
+				break
+			}
+		}
+		done <- result{code: resp.StatusCode, body: sb.String()}
+	}()
+
+	// Let the request reach its 400ms stall, then SIGTERM mid-flight.
+	time.Sleep(150 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("in-flight request died during drain: %v", res.err)
+	}
+	if res.code != 200 || !strings.Contains(res.body, "delay50") {
+		t.Fatalf("in-flight request: status %d body %s", res.code, res.body)
+	}
+	if err := cmd.Wait(); exitCode(t, err) != 0 {
+		t.Fatalf("exit %d after SIGTERM under load, want 0\nstderr:\n%s", exitCode(t, err), rest.String())
+	}
+}

@@ -1,12 +1,19 @@
 // Command eedload is the load harness for the eedd delay service: it
 // drives a mixed request stream (point queries, whole-tree sweeps,
 // incremental edits, batches) at a server for a fixed duration and
-// records per-operation latency percentiles and total throughput as
-// BENCH_PR6.json (machine-readable) and BENCH_PR6.txt (human-readable).
+// records per-operation latency percentiles, total throughput and a
+// per-guard-class error breakdown as BENCH_PR6.json (machine-readable)
+// and BENCH_PR6.txt (human-readable).
 //
 // With -addr it targets a running daemon; without it the harness starts
 // an in-process server on a loopback listener, so the numbers still
 // include the full HTTP/JSON wire cost but need no separate process.
+//
+// Requests go through internal/eedclient, the service's resilient typed
+// client. By default retries and the circuit breaker are OFF (-retries 0)
+// so the measured latencies are single-attempt wire truth; -retries N
+// enables the client's backoff loop (and breaker), which is the right
+// mode when driving a deliberately faulty server.
 //
 // The stream runs over one registered net (-net, the rlctree text
 // format). Point queries and sweeps share the warm resident; each
@@ -17,15 +24,16 @@
 // Usage:
 //
 //	eedload -net examples/nets/line64.tree [-d 30s] [-c 8] \
-//	        [-mix delay=90,analyze=5,edit=5] [-out BENCH_PR6]
+//	        [-mix delay=90,analyze=5,edit=5] [-retries 0] [-out BENCH_PR6]
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"math/rand"
 	"net"
 	"net/http"
@@ -36,6 +44,7 @@ import (
 	"sync"
 	"time"
 
+	"eedtree/internal/eedclient"
 	"eedtree/internal/eedsrv"
 	"eedtree/internal/engine"
 	"eedtree/internal/guard"
@@ -49,14 +58,15 @@ func main() {
 var opNames = []string{"delay", "analyze", "edit", "batch"}
 
 type opStats struct {
-	CountN    int     `json:"count"`
-	Errors    int     `json:"errors"`
-	P50us     float64 `json:"p50_us"`
-	P90us     float64 `json:"p90_us"`
-	P99us     float64 `json:"p99_us"`
-	Maxus     float64 `json:"max_us"`
-	MeanUs    float64 `json:"mean_us"`
-	Throughpt float64 `json:"rps"`
+	CountN        int            `json:"count"`
+	Errors        int            `json:"errors"`
+	ErrorsByClass map[string]int `json:"errors_by_class,omitempty"`
+	P50us         float64        `json:"p50_us"`
+	P90us         float64        `json:"p90_us"`
+	P99us         float64        `json:"p99_us"`
+	Maxus         float64        `json:"max_us"`
+	MeanUs        float64        `json:"mean_us"`
+	Throughpt     float64        `json:"rps"`
 }
 
 type benchReport struct {
@@ -67,8 +77,10 @@ type benchReport struct {
 	DurationS     float64            `json:"duration_s"`
 	Concurrency   int                `json:"concurrency"`
 	Mix           map[string]int     `json:"mix"`
+	MaxRetries    int                `json:"max_retries"`
 	TotalRequests int                `json:"total_requests"`
 	TotalErrors   int                `json:"total_errors"`
+	TotalRetries  uint64             `json:"total_retries,omitempty"`
 	Throughput    float64            `json:"throughput_rps"`
 	Ops           map[string]opStats `json:"ops"`
 }
@@ -79,6 +91,7 @@ func realMain() int {
 	dur := flag.Duration("d", 10*time.Second, "measured load duration")
 	conc := flag.Int("c", 8, "concurrent client workers")
 	mixFlag := flag.String("mix", "delay=90,analyze=5,edit=5", "operation weights: delay,analyze,edit,batch")
+	retries := flag.Int("retries", 0, "client retry budget per request (0 = single attempt, breaker off: pure measurement)")
 	out := flag.String("out", "BENCH_PR6", `output path prefix; writes <out>.json and <out>.txt ("" = stdout only)`)
 	assertWarmP50 := flag.Duration("assert-warm-p50", 0, "fail (exit 1) if the warm point-query p50 exceeds this (0 = no assertion)")
 	flag.Usage = func() {
@@ -86,7 +99,7 @@ func realMain() int {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 0 || *netFile == "" || *dur <= 0 || *conc <= 0 {
+	if flag.NArg() != 0 || *netFile == "" || *dur <= 0 || *conc <= 0 || *retries < 0 {
 		flag.Usage()
 		return 2
 	}
@@ -97,7 +110,7 @@ func realMain() int {
 		return 2
 	}
 
-	report, err := run(*netFile, *addr, *dur, *conc, mix)
+	report, err := run(*netFile, *addr, *dur, *conc, mix, *retries)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "eedload: [%s] %v\n", guard.ClassName(err), err)
 		return 1
@@ -165,51 +178,64 @@ func parseMix(s string) (map[string]int, error) {
 	return mix, nil
 }
 
-// client is one worker's view of the server plus its measurement sink.
-type client struct {
-	base string
-	http *http.Client
-	lat  map[string][]time.Duration
-	errs map[string]int
+// worker is one load generator: a resilient client plus its private
+// measurement sink. Sinks are merged after the run, never shared.
+type worker struct {
+	cl      *eedclient.Client
+	lat     map[string][]time.Duration
+	errs    map[string]int
+	byClass map[string]map[string]int
 }
 
-func (c *client) post(path string, body any) (int, []byte, error) {
-	raw, err := json.Marshal(body)
+func newWorker(base string, seed int64, retries int) (*worker, error) {
+	opts := eedclient.Options{BaseURL: base, Seed: seed, MaxRetries: retries}
+	if retries == 0 {
+		// Pure-measurement mode: one attempt per request, no breaker —
+		// the numbers describe the server, not the client's resilience.
+		opts.MaxRetries = -1
+		opts.BreakerThreshold = -1
+	}
+	cl, err := eedclient.New(opts)
 	if err != nil {
-		return 0, nil, err
+		return nil, err
 	}
-	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(raw))
-	if err != nil {
-		return 0, nil, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	return resp.StatusCode, data, err
+	return &worker{cl: cl,
+		lat:     map[string][]time.Duration{},
+		errs:    map[string]int{},
+		byClass: map[string]map[string]int{},
+	}, nil
 }
 
-// op issues one request of the named kind and records its latency.
-func (c *client) op(kind, path string, body any, wantNet bool) string {
-	t0 := time.Now()
-	code, data, err := c.post(path, body)
-	el := time.Since(t0)
-	if err != nil || code != 200 {
-		c.errs[kind]++
-		return ""
+// record books one finished operation: latency on success, a
+// guard-class-keyed error tally on failure.
+func (w *worker) record(kind string, t0 time.Time, err error) bool {
+	if err == nil {
+		w.lat[kind] = append(w.lat[kind], time.Since(t0))
+		return true
 	}
-	c.lat[kind] = append(c.lat[kind], el)
-	if !wantNet {
-		return ""
+	w.errs[kind]++
+	class := "transport"
+	var ce *eedclient.Error
+	if errors.As(err, &ce) {
+		switch {
+		case errors.Is(ce.Err, eedclient.ErrBreakerOpen):
+			class = "breaker_open"
+		case ce.Class != "":
+			class = ce.Class
+		case ce.Status != 0:
+			class = "http_" + strconv.Itoa(ce.Status)
+		}
 	}
-	var withNet struct {
-		Net string `json:"net"`
+	m := w.byClass[kind]
+	if m == nil {
+		m = map[string]int{}
+		w.byClass[kind] = m
 	}
-	if json.Unmarshal(data, &withNet) != nil {
-		c.errs[kind]++
-	}
-	return withNet.Net
+	m[class]++
+	return false
 }
 
-func run(netFile, addr string, dur time.Duration, conc int, mix map[string]int) (*benchReport, error) {
+func run(netFile, addr string, dur time.Duration, conc int, mix map[string]int, retries int) (*benchReport, error) {
 	treeText, err := os.ReadFile(netFile)
 	if err != nil {
 		return nil, err
@@ -244,26 +270,19 @@ func run(netFile, addr string, dur time.Duration, conc int, mix map[string]int) 
 	base = strings.TrimSuffix(base, "/")
 
 	// Register the shared net and warm it before the clock starts.
-	admin := &client{base: base, http: http.DefaultClient,
-		lat: map[string][]time.Duration{}, errs: map[string]int{}}
-	code, data, err := admin.post("/v1/nets", map[string]string{"tree": string(treeText)})
+	ctx := context.Background()
+	admin, err := eedclient.New(eedclient.Options{BaseURL: base, Seed: 1})
 	if err != nil {
 		return nil, err
 	}
-	if code != 200 {
-		return nil, fmt.Errorf("register %s: status %d: %s", netFile, code, data)
-	}
-	var info struct {
-		Net      string `json:"net"`
-		Sections int    `json:"sections"`
-	}
-	if err := json.Unmarshal(data, &info); err != nil {
-		return nil, err
+	info, err := admin.Register(ctx, string(treeText))
+	if err != nil {
+		return nil, fmt.Errorf("register %s: %w", netFile, err)
 	}
 	sink := names[len(names)-1]
 	for i := 0; i < 50; i++ {
-		if code, _, err := admin.post("/v1/delay", map[string]string{"net": info.Net, "node": sink}); err != nil || code != 200 {
-			return nil, fmt.Errorf("warmup query failed (status %d, err %v)", code, err)
+		if _, err := admin.Delay(ctx, eedclient.DelayRequest{Net: info.Net, Node: sink}); err != nil {
+			return nil, fmt.Errorf("warmup query failed: %w", err)
 		}
 	}
 
@@ -277,15 +296,17 @@ func run(netFile, addr string, dur time.Duration, conc int, mix map[string]int) 
 		}
 	}
 
-	clients := make([]*client, conc)
+	workers := make([]*worker, conc)
 	var wg sync.WaitGroup
 	stop := time.Now().Add(dur)
 	for w := 0; w < conc; w++ {
-		c := &client{base: base, http: &http.Client{},
-			lat: map[string][]time.Duration{}, errs: map[string]int{}}
-		clients[w] = c
+		wk, err := newWorker(base, int64(w)+1, retries)
+		if err != nil {
+			return nil, err
+		}
+		workers[w] = wk
 		wg.Add(1)
-		go func(w int, c *client) {
+		go func(w int, wk *worker) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(w) + 1))
 			myDeck := append([]string(nil), deck...)
@@ -298,38 +319,48 @@ func run(netFile, addr string, dur time.Duration, conc int, mix map[string]int) 
 			editNode := fmt.Sprintf("zz%d", w)
 			if mix["edit"] > 0 {
 				private := string(treeText) + fmt.Sprintf("%s %s %d 1n 10f\n", editNode, rootName, w+1)
-				if net := c.op("edit_setup", "/v1/nets", map[string]string{"tree": private}, true); net != "" {
-					editNet = net
+				t0 := time.Now()
+				pinfo, err := wk.cl.Register(ctx, private)
+				if wk.record("edit_setup", t0, err) {
+					editNet = pinfo.Net
 				}
 			}
 			editVal := 10e-15
 			for i := 0; time.Now().Before(stop); i++ {
 				switch myDeck[i%len(myDeck)] {
 				case "delay":
-					c.op("delay", "/v1/delay", map[string]any{"net": info.Net, "node": names[rng.Intn(len(names))]}, false)
+					t0 := time.Now()
+					_, err := wk.cl.Delay(ctx, eedclient.DelayRequest{Net: info.Net, Node: names[rng.Intn(len(names))]})
+					wk.record("delay", t0, err)
 				case "analyze":
-					c.op("analyze", "/v1/analyze", map[string]any{"net": info.Net}, false)
+					t0 := time.Now()
+					_, err := wk.cl.Analyze(ctx, eedclient.AnalyzeRequest{Net: info.Net})
+					wk.record("analyze", t0, err)
 				case "edit":
 					if editNet == "" {
 						continue
 					}
 					editVal += 1e-18
-					if net := c.op("edit", "/v1/edit", map[string]any{
-						"net":   editNet,
-						"edits": []map[string]any{{"node": editNode, "elem": "C", "value": editVal}},
-						"node":  editNode,
-					}, true); net != "" {
-						editNet = net
+					t0 := time.Now()
+					resp, err := wk.cl.Edit(ctx, eedclient.EditRequest{
+						Net:   editNet,
+						Edits: []eedclient.EditSpec{{Node: editNode, Elem: "C", Value: editVal}},
+						Node:  editNode,
+					})
+					if wk.record("edit", t0, err) {
+						editNet = resp.Net
 					}
 				case "batch":
-					items := make([]map[string]any, 8)
+					items := make([]eedclient.BatchItem, 8)
 					for j := range items {
-						items[j] = map[string]any{"net": info.Net, "node": names[rng.Intn(len(names))]}
+						items[j] = eedclient.BatchItem{Net: info.Net, Node: names[rng.Intn(len(names))]}
 					}
-					c.op("batch", "/v1/batch", map[string]any{"items": items}, false)
+					t0 := time.Now()
+					_, err := wk.cl.Batch(ctx, eedclient.BatchRequest{Items: items})
+					wk.record("batch", t0, err)
 				}
 			}
-		}(w, c)
+		}(w, wk)
 	}
 	wg.Wait()
 
@@ -341,14 +372,22 @@ func run(netFile, addr string, dur time.Duration, conc int, mix map[string]int) 
 		DurationS:   dur.Seconds(),
 		Concurrency: conc,
 		Mix:         mix,
+		MaxRetries:  retries,
 		Ops:         map[string]opStats{},
+	}
+	for _, wk := range workers {
+		report.TotalRetries += wk.cl.Stats().Retries
 	}
 	for _, name := range opNames {
 		var all []time.Duration
 		errs := 0
-		for _, c := range clients {
-			all = append(all, c.lat[name]...)
-			errs += c.errs[name]
+		byClass := map[string]int{}
+		for _, wk := range workers {
+			all = append(all, wk.lat[name]...)
+			errs += wk.errs[name]
+			for cls, n := range wk.byClass[name] {
+				byClass[cls] += n
+			}
 		}
 		report.TotalRequests += len(all) + errs
 		report.TotalErrors += errs
@@ -357,6 +396,9 @@ func run(netFile, addr string, dur time.Duration, conc int, mix map[string]int) 
 		}
 		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 		st := opStats{CountN: len(all), Errors: errs}
+		if errs > 0 {
+			st.ErrorsByClass = byClass
+		}
 		if len(all) > 0 {
 			var sum time.Duration
 			for _, d := range all {
@@ -399,8 +441,12 @@ func renderText(r *benchReport) string {
 		mode = "in-process loopback"
 	}
 	fmt.Fprintf(&b, "eedload: %s (%d sections) against %s (%s)\n", r.Net, r.Sections, r.Addr, mode)
-	fmt.Fprintf(&b, "duration %.1fs, %d workers, mix %v\n", r.DurationS, r.Concurrency, r.Mix)
-	fmt.Fprintf(&b, "total %d requests (%.0f req/s), %d errors\n\n", r.TotalRequests, r.Throughput, r.TotalErrors)
+	fmt.Fprintf(&b, "duration %.1fs, %d workers, mix %v, retries %d\n", r.DurationS, r.Concurrency, r.Mix, r.MaxRetries)
+	fmt.Fprintf(&b, "total %d requests (%.0f req/s), %d errors", r.TotalRequests, r.Throughput, r.TotalErrors)
+	if r.TotalRetries > 0 {
+		fmt.Fprintf(&b, ", %d retries", r.TotalRetries)
+	}
+	b.WriteString("\n\n")
 	fmt.Fprintf(&b, "%-8s %10s %10s %10s %10s %10s %10s\n", "op", "count", "p50[us]", "p90[us]", "p99[us]", "max[us]", "req/s")
 	for _, name := range opNames {
 		st, ok := r.Ops[name]
@@ -409,6 +455,27 @@ func renderText(r *benchReport) string {
 		}
 		fmt.Fprintf(&b, "%-8s %10d %10.1f %10.1f %10.1f %10.1f %10.0f\n",
 			name, st.CountN, st.P50us, st.P90us, st.P99us, st.Maxus, st.Throughpt)
+	}
+	wroteHeader := false
+	for _, name := range opNames {
+		st, ok := r.Ops[name]
+		if !ok || len(st.ErrorsByClass) == 0 {
+			continue
+		}
+		if !wroteHeader {
+			b.WriteString("\nerrors by class:\n")
+			wroteHeader = true
+		}
+		classes := make([]string, 0, len(st.ErrorsByClass))
+		for cls := range st.ErrorsByClass {
+			classes = append(classes, cls)
+		}
+		sort.Strings(classes)
+		fmt.Fprintf(&b, "  %-8s", name)
+		for _, cls := range classes {
+			fmt.Fprintf(&b, " %s=%d", cls, st.ErrorsByClass[cls])
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }

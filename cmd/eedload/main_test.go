@@ -1,6 +1,10 @@
 package main
 
 import (
+	"errors"
+
+	"eedtree/internal/eedclient"
+	"eedtree/internal/faultinj"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -42,7 +46,7 @@ func TestPct(t *testing.T) {
 func TestShortRunInProcess(t *testing.T) {
 	netFile := filepath.Join("..", "..", "examples", "nets", "line64.tree")
 	mix := map[string]int{"delay": 8, "analyze": 1, "edit": 1, "batch": 1}
-	report, err := run(netFile, "", 300*time.Millisecond, 4, mix)
+	report, err := run(netFile, "", 300*time.Millisecond, 4, mix, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,10 +87,63 @@ func TestShortRunInProcess(t *testing.T) {
 }
 
 func TestRunRejectsMissingNet(t *testing.T) {
-	if _, err := run(filepath.Join(t.TempDir(), "nope.tree"), "", time.Second, 1, map[string]int{"delay": 1}); err == nil {
+	if _, err := run(filepath.Join(t.TempDir(), "nope.tree"), "", time.Second, 1, map[string]int{"delay": 1}, 0); err == nil {
 		t.Fatal("missing net file should error")
 	}
 	if _, err := os.Stat("BENCH_PR6.json"); err == nil {
 		t.Fatal("run() must not write artifacts itself")
+	}
+}
+
+// TestErrorClassBreakdown checks the per-guard-class error tally the
+// report satellites expose: classes come from the typed client error.
+func TestErrorClassBreakdown(t *testing.T) {
+	wk, err := newWorker("http://127.0.0.1:0", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	wk.record("delay", t0, nil)
+	wk.record("delay", t0, &eedclient.Error{Op: "delay", Status: 422, Class: "numeric"})
+	wk.record("delay", t0, &eedclient.Error{Op: "delay", Status: 503, Class: "draining"})
+	wk.record("delay", t0, &eedclient.Error{Op: "delay", Status: 502})
+	wk.record("delay", t0, &eedclient.Error{Op: "delay", Err: eedclient.ErrBreakerOpen})
+	wk.record("delay", t0, errors.New("plain transport failure"))
+	if len(wk.lat["delay"]) != 1 || wk.errs["delay"] != 5 {
+		t.Fatalf("lat=%d errs=%d", len(wk.lat["delay"]), wk.errs["delay"])
+	}
+	want := map[string]int{"numeric": 1, "draining": 1, "http_502": 1, "breaker_open": 1, "transport": 1}
+	for cls, n := range want {
+		if wk.byClass["delay"][cls] != n {
+			t.Fatalf("class %s = %d, want %d (all: %v)", cls, wk.byClass["delay"][cls], n, wk.byClass["delay"])
+		}
+	}
+}
+
+// TestShortRunWithRetriesUnderFaults drives the harness in retry mode
+// against an in-process server with a low-rate injected queue timeout:
+// the client's Retry-After-aware loop should absorb every injected
+// rejection, leaving a clean report with a nonzero retry count.
+func TestShortRunWithRetriesUnderFaults(t *testing.T) {
+	plan, err := faultinj.Parse("seed=3;srv.queue_timeout:p=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinj.Activate(plan)
+	t.Cleanup(faultinj.Deactivate)
+	netFile := filepath.Join("..", "..", "examples", "nets", "line64.tree")
+	mix := map[string]int{"delay": 8, "edit": 2}
+	report, err := run(netFile, "", 300*time.Millisecond, 4, mix, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faultinj.Fired(faultinj.SrvQueueTimeout) == 0 {
+		t.Skip("fault never fired in this short run")
+	}
+	if report.TotalRetries == 0 {
+		t.Fatal("faults fired but the client never retried")
+	}
+	if report.TotalErrors != 0 {
+		t.Fatalf("retry loop leaked %d errors: %+v", report.TotalErrors, report.Ops)
 	}
 }

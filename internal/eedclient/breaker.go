@@ -1,0 +1,120 @@
+package eedclient
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a consecutive-failure circuit breaker.
+//
+// State machine:
+//
+//	closed ──(threshold consecutive server faults)──► open
+//	open   ──(cooldown elapsed)──► half-open (one probe allowed)
+//	half-open ──(probe succeeds)──► closed
+//	half-open ──(probe fails)──► open (cooldown restarts)
+//
+// Any success resets the consecutive-failure count. Only server-side
+// faults (transport errors, 5xx, 429) count toward opening — a 400 from
+// a malformed tree means the server is fine.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu          sync.Mutex
+	state       int // breakerClosed / breakerOpen / breakerHalfOpen
+	consecutive int
+	openedAt    time.Time
+	probing     bool // half-open: the single probe slot is taken
+	tripCount   uint64
+}
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	mBreakerState.Set(breakerClosed)
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may proceed, transitioning open →
+// half-open when the cooldown has elapsed (the caller becomes the probe).
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.setState(breakerHalfOpen)
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// record feeds an outcome back. ok means the server answered sanely
+// (any response that is not a 5xx/429/transport failure).
+func (b *breaker) record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.consecutive = 0
+		b.probing = false
+		b.setState(breakerClosed)
+		return
+	}
+	b.consecutive++
+	switch b.state {
+	case breakerHalfOpen:
+		// The probe failed: back to open, cooldown restarts.
+		b.probing = false
+		b.openedAt = time.Now()
+		b.setState(breakerOpen)
+	case breakerClosed:
+		if b.consecutive >= b.threshold {
+			b.openedAt = time.Now()
+			b.tripCount++
+			b.setState(breakerOpen)
+		}
+	}
+}
+
+// setState transitions and mirrors the state into the obs gauge.
+// Callers hold b.mu.
+func (b *breaker) setState(s int) {
+	if b.state != s {
+		b.state = s
+		mBreakerState.Set(int64(s))
+	}
+}
+
+func (b *breaker) stateName() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+func (b *breaker) trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tripCount
+}

@@ -4,14 +4,17 @@ import (
 	"context"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"eedtree/internal/engine"
+	"eedtree/internal/faultinj"
 	"eedtree/internal/guard"
 	"eedtree/internal/obs"
 	"eedtree/internal/rlctree"
@@ -24,6 +27,7 @@ const (
 	DefaultMaxBatchItems  = 1024
 	DefaultMaxEdits       = 1024
 	DefaultRequestTimeout = 30 * time.Second
+	DefaultRetryAfter     = 1 * time.Second
 )
 
 // Options configures a Server. The zero value is a usable production
@@ -54,19 +58,31 @@ type Options struct {
 	// Limits bounds the inline trees the server parses (zero fields get
 	// guard defaults).
 	Limits guard.Limits
+	// RetryAfter is the Retry-After header value attached to responses
+	// that reject a request before executing it (503 draining, 504
+	// queue-timeout) — the server-suggested backoff for well-behaved
+	// clients. 0 means DefaultRetryAfter; sub-second values round up to 1s
+	// (the header speaks whole seconds).
+	RetryAfter time.Duration
 	// MountPprof exposes net/http/pprof under /debug/pprof/ on the
 	// server's own mux. Off by default.
 	MountPprof bool
+	// EnableFaults mounts the test-only /v1/faults admin endpoint, which
+	// arms and disarms internal/faultinj plans at runtime. Never enable it
+	// on a production instance: it lets any caller panic handlers and
+	// flush the registry.
+	EnableFaults bool
 }
 
 // Server is the delay-as-a-service HTTP handler set. It is safe for
 // concurrent use; one Server is meant to serve a whole process.
 type Server struct {
-	opts Options
-	eng  *engine.Engine
-	reg  *engine.Registry
-	sem  chan struct{}
-	mux  *http.ServeMux
+	opts      Options
+	eng       *engine.Engine
+	reg       *engine.Registry
+	sem       chan struct{}
+	mux       *http.ServeMux
+	retrySecs int // Retry-After value for pre-execution rejections
 
 	draining atomic.Bool
 	inflight atomic.Int64
@@ -120,13 +136,17 @@ func New(opts Options) *Server {
 	if opts.RequestTimeout == 0 {
 		opts.RequestTimeout = DefaultRequestTimeout
 	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = DefaultRetryAfter
+	}
 	opts.Limits = opts.Limits.WithDefaults()
 	s := &Server{
-		opts: opts,
-		eng:  opts.Engine,
-		reg:  engine.NewRegistry(opts.Engine, opts.RegistryEntries),
-		sem:  make(chan struct{}, opts.MaxInflight),
-		mux:  http.NewServeMux(),
+		opts:      opts,
+		eng:       opts.Engine,
+		reg:       engine.NewRegistry(opts.Engine, opts.RegistryEntries),
+		sem:       make(chan struct{}, opts.MaxInflight),
+		mux:       http.NewServeMux(),
+		retrySecs: int((opts.RetryAfter + time.Second - 1) / time.Second),
 	}
 	s.mux.HandleFunc("/v1/nets", s.handleNets)
 	s.mux.HandleFunc("/v1/delay", s.analysis("/v1/delay", s.handleDelay))
@@ -135,6 +155,9 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/v1/edit", s.analysis("/v1/edit", s.handleEdit))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.Handle("/metrics", obs.Default().Handler())
+	if opts.EnableFaults {
+		s.mux.HandleFunc("/v1/faults", s.handleFaults)
+	}
 	if opts.MountPprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -172,7 +195,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError renders err as the JSON error body with its mapped status.
+// A daemon-level error carrying a Retry-After hint (drain, queue timeout
+// — rejections issued before the request executed) gets the header, so
+// well-behaved clients back off instead of hammering; its presence is
+// also the client's proof the request never ran, which is what makes
+// retrying a non-idempotent edit safe.
 func writeError(w http.ResponseWriter, err error) {
+	var de *apiErr
+	if errors.As(err, &de) && de.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(de.retryAfter))
+	}
 	ae := toAPIError(err)
 	if obs.On() {
 		endpointErrors(ae.Class).Inc()
@@ -206,7 +238,8 @@ func (s *Server) analysis(endpoint string, h func(ctx context.Context, w http.Re
 				mRejectedDrain.Inc()
 			}
 			writeError(w, &apiErr{status: http.StatusServiceUnavailable, class: "draining",
-				message: "server is draining; retry against another instance"})
+				message:    "server is draining; retry against another instance",
+				retryAfter: s.retrySecs})
 			return
 		}
 		ctx := r.Context()
@@ -230,7 +263,11 @@ func (s *Server) analysis(endpoint string, h func(ctx context.Context, w http.Re
 			if track {
 				mQueued.Dec()
 			}
-			writeError(w, guard.New(guard.ErrCanceled, "eedsrv", context.Cause(ctx)))
+			// The deadline fired while the request was still queued — it
+			// never executed, so the 504 carries Retry-After (edit-safe).
+			writeError(w, &apiErr{status: http.StatusGatewayTimeout, class: "canceled",
+				message:    "request deadline expired while queued for a worker slot: " + context.Cause(ctx).Error(),
+				retryAfter: s.retrySecs})
 			return
 		}
 		s.inflight.Add(1)
@@ -245,6 +282,34 @@ func (s *Server) analysis(endpoint string, h func(ctx context.Context, w http.Re
 				mLatency.ObserveSince(t0)
 			}
 		}()
+		// Fault-injection points, armed only under an active faultinj plan
+		// (one atomic load each otherwise). They run after the slot
+		// acquisition so a stall occupies a worker slot exactly the way a
+		// slow analysis would.
+		if faultinj.On() {
+			if faultinj.Fire(faultinj.SrvPanic) {
+				// net/http closes the connection; the deferred slot release
+				// above still runs.
+				panic("faultinj: injected handler panic (srv.panic)")
+			}
+			if faultinj.Fire(faultinj.SrvConnDrop) {
+				panic(http.ErrAbortHandler)
+			}
+			if faultinj.Fire(faultinj.SrvQueueTimeout) {
+				writeError(w, &apiErr{status: http.StatusGatewayTimeout, class: "canceled",
+					message:    "injected queue timeout (srv.queue_timeout)",
+					retryAfter: s.retrySecs})
+				return
+			}
+			if d, ok := faultinj.Stall(faultinj.SrvStall); ok {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					writeError(w, guard.New(guard.ErrCanceled, "eedsrv", context.Cause(ctx)))
+					return
+				}
+			}
+		}
 		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 		h(ctx, w, r)
 	}
@@ -374,7 +439,7 @@ func (s *Server) handleDelay(ctx context.Context, w http.ResponseWriter, r *http
 		if err != nil {
 			return err
 		}
-		resp = DelayResponse{Net: fingerprintHex(tr.Fingerprint()), Result: nodeResult(na)}
+		resp = DelayResponse{Net: fingerprintHex(tr.Fingerprint()), Result: NodeResultOf(na)}
 		return nil
 	})
 	if err != nil {
@@ -403,7 +468,7 @@ func (s *Server) handleAnalyze(ctx context.Context, w http.ResponseWriter, r *ht
 		}
 		resp = AnalyzeResponse{Net: fingerprintHex(tr.Fingerprint()), Nodes: make([]NodeResult, 0, len(analyses))}
 		for _, na := range analyses {
-			resp.Nodes = append(resp.Nodes, nodeResult(na))
+			resp.Nodes = append(resp.Nodes, NodeResultOf(na))
 		}
 		return nil
 	})
@@ -471,7 +536,7 @@ func (s *Server) handleEdit(ctx context.Context, w http.ResponseWriter, r *http.
 			return err
 		}
 		resp.Applied = len(edits)
-		resp.Result = nodeResult(na)
+		resp.Result = NodeResultOf(na)
 		return nil
 	})
 	if err != nil {
@@ -511,7 +576,7 @@ func (s *Server) handleBatch(ctx context.Context, w http.ResponseWriter, r *http
 				}
 				nodes := make([]NodeResult, 0, len(analyses))
 				for _, na := range analyses {
-					nodes = append(nodes, nodeResult(na))
+					nodes = append(nodes, NodeResultOf(na))
 				}
 				results[i].Nodes = nodes
 				return nil
@@ -524,7 +589,7 @@ func (s *Server) handleBatch(ctx context.Context, w http.ResponseWriter, r *http
 			if err != nil {
 				return err
 			}
-			nr := nodeResult(na)
+			nr := NodeResultOf(na)
 			results[i].Result = &nr
 			return nil
 		})
@@ -547,9 +612,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			message: "/healthz accepts GET and HEAD"})
 		return
 	}
-	resp := HealthResponse{Status: "ok", Inflight: s.Inflight()}
+	resp := HealthResponse{Status: "ok", Inflight: s.Inflight(),
+		ResidentNets: s.reg.Stats().Resident}
 	status := http.StatusOK
 	if s.draining.Load() {
+		// Draining keeps the JSON body: a load balancer (and the chaos
+		// harness) can tell a draining instance from a dead one.
 		resp.Status = "draining"
 		status = http.StatusServiceUnavailable
 	}

@@ -152,10 +152,38 @@ type RegistryResponse struct {
 	Nets      []NetInfo `json:"nets"`
 }
 
-// HealthResponse is the answer to GET /healthz.
+// HealthResponse is the answer to GET /healthz: 200 while serving, 503
+// while draining, always with this body — load balancers and harnesses
+// distinguish "draining" (finite, let it finish) from "dead" (no answer
+// at all) by the body, not just the status.
 type HealthResponse struct {
-	Status   string `json:"status"` // "ok" or "draining"
-	Inflight int    `json:"inflight"`
+	Status       string `json:"status"` // "ok" or "draining"
+	Inflight     int    `json:"inflight"`
+	ResidentNets int    `json:"resident_nets"`
+}
+
+// FaultsRequest is the body of POST /v1/faults (test-only admin): arm the
+// spec's fault plan, or disarm everything when Spec is empty.
+type FaultsRequest struct {
+	Spec string `json:"spec"`
+}
+
+// FaultPointStatus is one armed rule's configuration and live counters.
+type FaultPointStatus struct {
+	Point string  `json:"point"`
+	P     float64 `json:"p"`
+	N     uint64  `json:"n,omitempty"`
+	After uint64  `json:"after,omitempty"`
+	D     string  `json:"d,omitempty"` // stall duration, time.Duration form
+	Calls uint64  `json:"calls"`       // arrivals observed
+	Fired uint64  `json:"fired"`       // faults injected
+}
+
+// FaultsResponse is the answer to GET and POST /v1/faults.
+type FaultsResponse struct {
+	Enabled bool               `json:"enabled"`
+	Spec    string             `json:"spec,omitempty"` // canonical form
+	Points  []FaultPointStatus `json:"points,omitempty"`
 }
 
 // NodeResult is the wire form of core.NodeAnalysis. Seconds throughout.
@@ -176,8 +204,11 @@ type NodeResult struct {
 	DegradedClass string   `json:"degraded_class,omitempty"`
 }
 
-// nodeResult converts one analysis to its wire form.
-func nodeResult(na core.NodeAnalysis) NodeResult {
+// NodeResultOf converts one analysis to its wire form. It is exported for
+// correctness oracles (the chaos harness) that must render a direct
+// core.AnalyzeTreeCtx result exactly the way the server would, so served
+// floats can be compared bit for bit.
+func NodeResultOf(na core.NodeAnalysis) NodeResult {
 	nr := NodeResult{
 		Node:          na.Section.Name(),
 		Delay50:       na.Delay50,
@@ -219,9 +250,10 @@ type ErrorResponse struct {
 // conditions the guard taxonomy does not cover (unknown net, unknown
 // node, wrong method, drain).
 type apiErr struct {
-	status  int
-	class   string
-	message string
+	status     int
+	class      string
+	message    string
+	retryAfter int // Retry-After seconds; 0 = no header (see writeError)
 }
 
 func (e *apiErr) Error() string { return e.message }

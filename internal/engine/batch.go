@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"eedtree/internal/faultinj"
 	"eedtree/internal/guard"
 	"eedtree/internal/obs"
 )
@@ -63,6 +64,12 @@ func Batch(ctx context.Context, n, workers int, fn func(ctx context.Context, i i
 			mBatchInflight.Inc()
 			mBatchTasks.Inc()
 			defer mBatchInflight.Dec()
+		}
+		// Fault injection: one task's injected cancellation must not
+		// disturb its siblings (per-item isolation, pinned by tests).
+		if faultinj.Fire(faultinj.BatchCancel) {
+			return guard.Newf(guard.ErrCanceled, "engine.faultinj",
+				"injected batch-task cancellation (batch.cancel)")
 		}
 		return guard.Run(ctx, func(ctx context.Context) error { return fn(ctx, i) })
 	}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"eedtree/internal/faultinj"
 	"eedtree/internal/guard"
 	"eedtree/internal/obs"
 	"eedtree/internal/rlctree"
@@ -160,6 +161,11 @@ func (r *Registry) Put(t *rlctree.Tree) (*Resident, error) {
 func (r *Registry) Lookup(fp rlctree.Fingerprint) (*Resident, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// Fault injection: an eviction storm empties the pool mid-traffic, so
+	// fingerprint holders see the same 404s a capacity squeeze would cause.
+	if faultinj.Fire(faultinj.RegEvict) {
+		r.flushLocked()
+	}
 	el, ok := r.byKey[fp]
 	if !ok {
 		r.misses++
@@ -220,6 +226,31 @@ func (r *Registry) removeLocked(el *list.Element) {
 	r.order.Remove(el)
 	delete(r.byKey, res.fp)
 	res.elem = nil
+}
+
+// Flush evicts every resident net, returning how many were dropped. This
+// is the ops big-hammer (and the eviction-storm fault): all fingerprints
+// stop resolving and clients must re-register, while residents already
+// held by in-flight requests stay functional until released.
+func (r *Registry) Flush() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flushLocked()
+}
+
+func (r *Registry) flushLocked() int {
+	n := r.order.Len()
+	for r.order.Len() > 0 {
+		r.removeLocked(r.order.Back())
+		r.evictions++
+		if obs.On() {
+			mRegistryEvictions.Inc()
+		}
+	}
+	if n > 0 && obs.On() {
+		mRegistryNets.Set(0)
+	}
+	return n
 }
 
 // evictOverflowLocked removes least-recently-used nets down to capacity.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"eedtree/internal/core"
+	"eedtree/internal/faultinj"
 	"eedtree/internal/guard"
 	"eedtree/internal/incr"
 	"eedtree/internal/obs"
@@ -161,6 +162,12 @@ func (s *Session) SumsAt(sink *rlctree.Section) (sr, sl, ctot float64, err error
 	if err := s.checkSection(sink); err != nil {
 		return 0, 0, 0, err
 	}
+	// Fault injection: a degraded kernel answers with an honest numeric
+	// error — never a wrong float (the chaos harness pins that contract).
+	if faultinj.Fire(faultinj.SessNumeric) {
+		return 0, 0, 0, guard.Newf(guard.ErrNumeric, "engine.faultinj",
+			"injected numeric degradation (sess.numeric)")
+	}
 	track := obs.On()
 	var t0 time.Time
 	if track {
@@ -265,6 +272,10 @@ func (s *Session) EditAndAnalyze(ctx context.Context, edits []SectionEdit, sink 
 // eed_incr_full_latency_ns; compare against eed_incr_query_latency_ns for
 // the full-vs-incremental cost split.
 func (s *Session) Analyze(ctx context.Context) ([]core.NodeAnalysis, error) {
+	if faultinj.Fire(faultinj.SessNumeric) {
+		return nil, guard.Newf(guard.ErrNumeric, "engine.faultinj",
+			"injected numeric degradation (sess.numeric)")
+	}
 	if err := s.catchUp(); err != nil {
 		return nil, err
 	}
