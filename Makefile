@@ -9,7 +9,7 @@ BENCHCOUNT ?= 6
 OBSCOUNT ?= 5
 OBSMAX ?= 2
 
-.PHONY: all build test check vet race fuzz-smoke bench bench-json bench-save service-bench obs-check fault-check chaos-soak
+.PHONY: all build test check vet race fuzz-smoke bench bench-json bench-save service-bench obs-check fault-check chaos-soak chip-bench
 
 all: build
 
@@ -35,6 +35,8 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/rlctree/
 	$(GO) test -run=NONE -fuzz=FuzzEditJournal -fuzztime=$(FUZZTIME) ./internal/rlctree/
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/spef/
+	$(GO) test -run=NONE -fuzz=FuzzStream -fuzztime=$(FUZZTIME) ./internal/spef/
+	$(GO) test -run=NONE -fuzz=FuzzFormatRoundTrip -fuzztime=$(FUZZTIME) ./internal/unit/
 	$(GO) test -run=NONE -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME) ./internal/eedsrv/
 	$(GO) test -run=NONE -fuzz=FuzzParseFaultSpec -fuzztime=$(FUZZTIME) ./internal/faultinj/
 
@@ -105,3 +107,19 @@ chaos-soak:
 		-d $(CHAOSTIME) -c $(CHAOSCONC) -seed 7 -out BENCH_PR7 \
 		-budget 1.0 -p50-gate 5ms -recover-within 5s
 	@echo "wrote BENCH_PR7.json and BENCH_PR7.txt"
+
+# chip-bench: the full-chip streaming gate (the PR 8 headline numbers).
+# Streams a synthetic 1M-net / ~50-sections-per-net design (≈50M
+# sections of SPEF text generated on the fly) through the bounded
+# parse→analyze→aggregate pipeline, verifies every per-net result
+# bit-identical to the serial slow twin, and asserts the flat-RSS and
+# throughput bounds. Writes BENCH_PR8.json and BENCH_PR8.txt.
+CHIPNETS ?= 1000000
+CHIPSECTIONS ?= 50
+CHIPRSSMB ?= 512
+CHIPNPS ?= 1000
+chip-bench:
+	$(GO) run ./cmd/chipflow -synth $(CHIPNETS) -sections $(CHIPSECTIONS) \
+		-seed 1 -topk 10 -verify -out BENCH_PR8 \
+		-assert-rss-mb $(CHIPRSSMB) -assert-nps $(CHIPNPS)
+	@echo "wrote BENCH_PR8.json and BENCH_PR8.txt"

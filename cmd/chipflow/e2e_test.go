@@ -1,0 +1,204 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"eedtree/internal/engine"
+	"eedtree/internal/timing"
+)
+
+// TestMain turns the test binary into chipflow when re-exec'd with
+// CHIPFLOW_E2E=1; the e2e tests pin the exit-code contract (0 ok,
+// 1 runtime or assertion failure, 2 usage) and the -out artifacts.
+func TestMain(m *testing.M) {
+	if os.Getenv("CHIPFLOW_E2E") == "1" {
+		os.Exit(realMain())
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "CHIPFLOW_E2E=1")
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("re-exec failed: %v", err)
+		}
+		code = ee.ExitCode()
+	}
+	return code, stdout.String(), stderr.String()
+}
+
+func TestE2ESynthVerified(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "run")
+	code, stdout, stderr := runCLI(t, "-synth", "500", "-sections", "8", "-j", "4", "-topk", "5",
+		"-verify", "-out", out)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "verify: OK") {
+		t.Fatalf("no verification line in output:\n%s", stdout)
+	}
+	js, err := os.ReadFile(out + ".json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run chipRun
+	if err := json.Unmarshal(js, &run); err != nil {
+		t.Fatal(err)
+	}
+	if run.Stats.Nets != 500 || run.Stats.Failed != 0 || !run.Verified {
+		t.Fatalf("run = %+v", run.Stats)
+	}
+	if run.Report.Nets != 500 || len(run.Report.Critical) != 5 {
+		t.Fatalf("report: %d nets, %d critical", run.Report.Nets, len(run.Report.Critical))
+	}
+	if _, err := os.Stat(out + ".txt"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestE2ESynthDeterministic: same seed, same report — the generator and
+// the pipeline are deterministic end to end, including the verify hash.
+func TestE2ESynthDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	var runs [2]chipRun
+	for i := range runs {
+		out := filepath.Join(dir, "run"+string(rune('a'+i)))
+		code, stdout, stderr := runCLI(t, "-synth", "300", "-sections", "6", "-j", "3",
+			"-seed", "7", "-verify", "-out", out)
+		if code != 0 {
+			t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+		}
+		js, err := os.ReadFile(out + ".json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(js, &runs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := runs[0], runs[1]
+	if a.VerifyHash != b.VerifyHash || a.VerifyHash == "" {
+		t.Fatalf("verify hashes differ: %q vs %q", a.VerifyHash, b.VerifyHash)
+	}
+	ra, _ := json.Marshal(a.Report)
+	rb, _ := json.Marshal(b.Report)
+	if string(ra) != string(rb) {
+		t.Fatalf("reports differ:\n%s\n%s", ra, rb)
+	}
+}
+
+func TestE2EFileInput(t *testing.T) {
+	dir := t.TempDir()
+	spefPath := filepath.Join(dir, "d.spef")
+	f, err := os.Create(spefPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := genDesign(context.Background(), f, 50, 5, 3); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	code, stdout, stderr := runCLI(t, "-verify", spefPath)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "50 nets (0 failed)") {
+		t.Fatalf("output:\n%s", stdout)
+	}
+}
+
+func TestE2EExitCodes(t *testing.T) {
+	// Usage errors.
+	for _, args := range [][]string{
+		{},                        // no input at all
+		{"-synth", "5", "x.spef"}, // both sources
+		{"-sections", "0", "-synth", "5"},
+	} {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Fatalf("args %v: exit %d, want 2", args, code)
+		}
+	}
+	// Runtime failure: unreadable input.
+	if code, _, _ := runCLI(t, filepath.Join(t.TempDir(), "missing.spef")); code != 1 {
+		t.Fatal("missing input must exit 1")
+	}
+	// Assertion failures: impossible throughput and RSS bounds.
+	if code, _, stderr := runCLI(t, "-synth", "50", "-assert-nps", "1e12"); code != 1 {
+		t.Fatalf("throughput assertion: exit %d, stderr %s", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, "-synth", "50", "-assert-rss-mb", "1"); code != 1 {
+		t.Fatalf("RSS assertion: exit %d, stderr %s", code, stderr)
+	}
+	// Limit trip is a classed runtime failure.
+	code, _, stderr := runCLI(t, "-synth", "50", "-max-nets", "10")
+	if code != 1 || !strings.Contains(stderr, "[limit]") {
+		t.Fatalf("limit trip: exit %d, stderr %s", code, stderr)
+	}
+}
+
+// TestSynthGenParses: the generator's output is valid SPEF the pipeline
+// fully accepts, for a spread of sizes including single-section nets.
+func TestSynthGenParses(t *testing.T) {
+	for _, mean := range []int{1, 2, 13} {
+		pr, pw := io.Pipe()
+		go func() { pw.CloseWithError(genDesign(context.Background(), pw, 40, mean, 11)) }()
+		report, stats, err := engine.RunPipeline(context.Background(), pr, engine.PipelineConfig{
+			Workers: 2,
+			Limits:  limitsFor(config{synth: 40, sections: mean}, 0, 0),
+		})
+		if err != nil {
+			t.Fatalf("mean %d: %v", mean, err)
+		}
+		if stats.Failed != 0 || report.Nets != 40 {
+			t.Fatalf("mean %d: %d ok, %d failed", mean, report.Nets, stats.Failed)
+		}
+	}
+}
+
+// TestNetHasherSensitivity: the verification hash must change when any
+// summary field changes by one ulp, and when stream order changes.
+func TestNetHasherSensitivity(t *testing.T) {
+	base := engine.NetResult{Index: 0, Net: "n0", Summary: timing.NetSummary{
+		Net: "n0", Sections: 3, Sinks: 2, MaxDelay: 1e-12, AvgDelay: 0.5e-12,
+		CritSink: "s", Stretch: 1.5, PathLen: 2,
+	}}
+	hash := func(results ...engine.NetResult) uint64 {
+		h := newNetHasher()
+		for _, r := range results {
+			h.observe(r)
+		}
+		return h.sum()
+	}
+	other := base
+	other.Net, other.Summary.Net = "n1", "n1"
+	h0 := hash(base, other)
+	if hash(other, base) == h0 {
+		t.Fatal("hash ignores stream order")
+	}
+	bumped := base
+	bumped.Summary.MaxDelay = nextUlp(base.Summary.MaxDelay)
+	if hash(bumped, other) == h0 {
+		t.Fatal("hash ignores a one-ulp MaxDelay change")
+	}
+}
+
+func nextUlp(v float64) float64 {
+	return math.Float64frombits(math.Float64bits(v) + 1)
+}

@@ -636,15 +636,17 @@ func (s *soak) editor(ctx context.Context, w int, cl *eedclient.Client, rootName
 			if perr != nil {
 				return perr
 			}
+			// Format→Parse is bit-exact (unit.Format verifies every
+			// rendering reproduces math.Float64bits), so the daemon now
+			// holds exactly the replica — anything else is a real
+			// round-trip defect the soak must surface, not paper over.
+			if got, want := fpHex(fresh), fpHex(replica); got != want {
+				s.noteMismatch(fmt.Sprintf("resync round-trip fingerprint: got %s want %s", got, want))
+			}
 			ri, rerr := cl.Register(ctx, text)
 			if rerr != nil {
 				return rerr
 			}
-			// Format→Parse is not bit-exact (unit.Format keeps 10
-			// significant digits), so adopt the re-parsed tree as the
-			// replica: it is exactly what the daemon now holds.
-			replica = fresh
-			val = fresh.Section(stub).C()
 			cur = ri.Net
 			return nil
 		}

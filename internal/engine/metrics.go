@@ -59,6 +59,33 @@ var (
 	mRegistryEvictions = obs.Default().Counter("eed_registry_evictions_total",
 		"Resident nets displaced by the capacity bound or a re-key collision.")
 
+	// Streaming-pipeline metrics (pipeline.go). The two queue gauges plus
+	// the in-flight gauge make backpressure visible: a saturated parse
+	// queue means analysis is the bottleneck, a saturated result queue
+	// means aggregation is; in-flight bounded by 2×depth+workers is the
+	// flat-memory invariant in gauge form.
+	mPipeNetsParsed = obs.Default().Counter("eed_pipe_nets_parsed_total",
+		"Nets yielded by the streaming SPEF parser into the pipeline.")
+	mPipeNetFailures = obs.Default().Counter("eed_pipe_net_failures_total",
+		"Nets whose tree build or analysis failed (isolated, run continues).")
+	mPipeParseQueue = obs.Default().Gauge("eed_pipe_parse_queue",
+		"Parsed nets waiting for an analyze worker.")
+	mPipeResultQueue = obs.Default().Gauge("eed_pipe_result_queue",
+		"Analyzed nets waiting for the aggregator.")
+	mPipeInflight = obs.Default().Gauge("eed_pipe_nets_inflight",
+		"Nets parsed but not yet folded into the chip aggregate.")
+	mPipeParseLatency = obs.Default().Histogram("eed_pipe_parse_latency_ns",
+		"Wall time to stream-parse one *D_NET section, nanoseconds.",
+		obs.DefaultLatencyBuckets)
+	mPipeAnalyzeLatency = obs.Default().Histogram("eed_pipe_analyze_latency_ns",
+		"Wall time of one net's tree build + closed-form analysis + summary, nanoseconds.",
+		obs.DefaultLatencyBuckets)
+	mPipeWall = obs.Default().Histogram("eed_pipe_wall_ns",
+		"Whole-pipeline wall time per RunPipeline call, nanoseconds.",
+		obs.DefaultLatencyBuckets)
+	mPipePeakRSS = obs.Default().Gauge("eed_pipe_peak_rss_bytes",
+		"Process peak RSS (VmHWM) sampled at the end of the last pipeline run.")
+
 	// The parallel path performs the same sums pass and per-node kernel
 	// loop as internal/core's serial sweep, so it records into the same
 	// core-owned histograms (same names resolve to the same metrics in

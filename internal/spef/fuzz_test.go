@@ -2,6 +2,7 @@ package spef
 
 import (
 	"context"
+	"io"
 	"strings"
 	"testing"
 
@@ -49,6 +50,58 @@ func FuzzParse(f *testing.F) {
 			if len(b.Ress) != len(n.Ress) || len(b.Caps) != len(n.Caps) || len(b.Inducs) != len(n.Inducs) {
 				t.Fatalf("round trip changed branch counts for net %q", n.Name)
 			}
+		}
+	})
+}
+
+// FuzzStream: the streaming reader and the whole-file parser run one
+// grammar, so on ANY input they must agree net-for-net (same values in
+// the same order) and on acceptance: Stream fails iff Parse fails.
+func FuzzStream(f *testing.F) {
+	f.Add(sample)
+	f.Add(samplePorts)
+	f.Add("*NAME_MAP\n*1 foo\n*PORTS\n*1 I\n*D_NET *1 1\n*RES\n1 a b 5\n*END\n")
+	f.Add("*D_NET n 1\n*CAP\n1 a 0.5\n*END\n*D_NET m 2\n*END\n")
+	f.Add("*D_NET n 1\n*CAP\n1 a 0.5\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		whole, perr := ParseString(input)
+		s := NewStream(strings.NewReader(input))
+		var serr error
+		var got int
+		for {
+			n, err := s.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				serr = err
+				break
+			}
+			if perr == nil {
+				if got >= len(whole.Nets) {
+					t.Fatalf("stream yielded net %d beyond Parse's %d\ninput: %q", got, len(whole.Nets), input)
+				}
+				if !sameNets(n, whole.Nets[got]) {
+					t.Fatalf("net %d differs\nstream: %+v\nparse:  %+v\ninput: %q", got, n, whole.Nets[got], input)
+				}
+			}
+			got++
+			s.Recycle(n)
+		}
+		if (perr == nil) != (serr == nil) {
+			t.Fatalf("acceptance differs: Parse err=%v, Stream err=%v\ninput: %q", perr, serr, input)
+		}
+		if perr == nil {
+			if got != len(whole.Nets) {
+				t.Fatalf("stream yielded %d nets, Parse %d\ninput: %q", got, len(whole.Nets), input)
+			}
+			if s.Units() != whole.Units {
+				t.Fatalf("units differ: stream %+v parse %+v\ninput: %q", s.Units(), whole.Units, input)
+			}
+		}
+		if serr != nil && guard.Class(serr) == nil {
+			t.Fatalf("stream error %v carries no guard class\ninput: %q", serr, input)
 		}
 	})
 }

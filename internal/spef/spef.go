@@ -61,6 +61,13 @@ type Conn struct {
 	Dir  Direction
 }
 
+// Port is one *PORTS entry: a chip-level port and its direction. Any
+// trailing attributes (*C coordinates, *S slews, *L loads) are ignored.
+type Port struct {
+	Name string
+	Dir  Direction
+}
+
 // Cap is one grounded *CAP entry: capacitance at a net node.
 type Cap struct {
 	Node  string
@@ -87,6 +94,7 @@ type Net struct {
 type File struct {
 	Header map[string]string // directive (without '*') → raw value
 	Units  Units
+	Ports  []Port
 	Nets   []*Net
 
 	nameMap map[string]string // "*1" → mapped name
@@ -110,7 +118,10 @@ type parser struct {
 	line     int
 	file     *File
 	lim      guard.Limits
-	elements int // running count of *CONN/*CAP/*RES/*INDUC entries
+	elements int    // running count of *CONN/*CAP/*RES/*INDUC/*PORTS entries
+	nets     int    // running count of *D_NET sections
+	section  string // "", "NAME_MAP", "PORTS", or a *D_NET subsection label
+	cur      *Net   // the *D_NET being assembled, nil between nets
 }
 
 // errf reports a syntax error at the current line with the
@@ -129,78 +140,164 @@ func Parse(r io.Reader) (*File, error) {
 // ParseLimits is Parse under explicit input limits (zero fields mean the
 // defaults): MaxLineBytes bounds line length, MaxNets the number of
 // *D_NET sections, and MaxElements the total parasitic entry count.
+//
+// Parse is the collecting form of Stream: both run the same grammar, so
+// a file accepted by one is accepted by the other with identical values.
 func ParseLimits(r io.Reader, lim guard.Limits) (*File, error) {
-	f := &File{
-		Header:  map[string]string{},
-		Units:   DefaultUnits,
-		nameMap: map[string]string{},
-	}
-	lim = lim.WithDefaults()
-	p := &parser{sc: lim.NewScanner(r), file: f, lim: lim}
-
-	var section string // "", "NAME_MAP", or a *D_NET subsection label
-	var cur *Net
-	for p.sc.Scan() {
-		p.line++
-		line := strings.TrimSpace(p.sc.Text())
-		if line == "" || strings.HasPrefix(line, "//") {
-			continue
+	s := StreamLimits(r, lim)
+	for {
+		n, err := s.Next()
+		if err == io.EOF {
+			break
 		}
-		fields := strings.Fields(line)
-		key := strings.ToUpper(fields[0])
-		switch {
-		case key == "*NAME_MAP":
-			section, cur = "NAME_MAP", nil
-		case key == "*D_NET":
-			if len(fields) < 3 {
-				return nil, p.errf("*D_NET needs a name and total capacitance")
-			}
-			tc, err := strconv.ParseFloat(fields[2], 64)
-			if err != nil {
-				return nil, p.errf("*D_NET total cap: %v", err)
-			}
-			cur = &Net{Name: p.mapName(fields[1]), TotalCap: tc}
-			f.Nets = append(f.Nets, cur)
-			section = "D_NET"
-			if err := guard.CheckCount(parseOp, "net", len(f.Nets), p.lim.MaxNets); err != nil {
-				return nil, err
-			}
-		case key == "*CONN" || key == "*CAP" || key == "*RES" || key == "*INDUC":
-			if cur == nil {
-				return nil, p.errf("%s outside a *D_NET", key)
-			}
-			section = key[1:]
-		case key == "*END":
-			cur, section = nil, ""
-		case strings.HasPrefix(key, "*") && section == "NAME_MAP":
-			if len(fields) != 2 {
-				return nil, p.errf("name map entry needs an index and a name")
-			}
-			f.nameMap[fields[0]] = fields[1]
-		case strings.HasPrefix(key, "*") && cur == nil:
-			// Header directive: *T_UNIT, *DESIGN, …
-			if err := p.header(key[1:], fields[1:]); err != nil {
-				return nil, err
-			}
-		case cur != nil:
-			if err := p.netLine(cur, section, fields); err != nil {
-				return nil, err
-			}
-		default:
-			return nil, p.errf("unexpected line %q", line)
+		if err != nil {
+			return nil, err
 		}
+		s.p.file.Nets = append(s.p.file.Nets, n)
 	}
-	if err := lim.ScanError(parseOp, p.line, p.sc.Err()); err != nil {
-		return nil, err
-	}
-	if cur != nil {
-		return nil, guard.Newf(guard.ErrParse, parseOp, "unterminated *D_NET %q (missing *END)", cur.Name)
-	}
-	return f, nil
+	return s.p.file, nil
 }
 
 // ParseString is Parse over a string.
 func ParseString(s string) (*File, error) { return Parse(strings.NewReader(s)) }
+
+// newParser builds the shared grammar state over r.
+func newParser(r io.Reader, lim guard.Limits) *parser {
+	lim = lim.WithDefaults()
+	return &parser{
+		sc: lim.NewScanner(r),
+		file: &File{
+			Header:  map[string]string{},
+			Units:   DefaultUnits,
+			nameMap: map[string]string{},
+		},
+		lim: lim,
+	}
+}
+
+// nextNet advances the scan until one *D_NET section completes and
+// returns it. It returns (nil, nil) at a clean end of input. Prologue
+// state — header directives, *NAME_MAP, *PORTS — accumulates on p.file
+// as a side effect.
+func (p *parser) nextNet() (*Net, error) {
+	for p.sc.Scan() {
+		p.line++
+		net, err := p.processLine(p.sc.Text())
+		if err != nil {
+			return nil, err
+		}
+		if net != nil {
+			return net, nil
+		}
+	}
+	if err := p.lim.ScanError(parseOp, p.line, p.sc.Err()); err != nil {
+		return nil, err
+	}
+	if p.cur != nil {
+		return nil, guard.Newf(guard.ErrParse, parseOp, "unterminated *D_NET %q (missing *END)", p.cur.Name)
+	}
+	return nil, nil
+}
+
+// isNameMapIndex reports whether key has the *<integer> shape of a
+// *NAME_MAP entry. Any other directive inside a NAME_MAP section
+// terminates the section instead of being swallowed as a map entry
+// (a real-world *PORTS after *NAME_MAP used to error here).
+func isNameMapIndex(key string) bool {
+	if len(key) < 2 || key[0] != '*' {
+		return false
+	}
+	for i := 1; i < len(key); i++ {
+		if key[i] < '0' || key[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// processLine folds one input line into the parser state, returning the
+// completed net when the line closes a *D_NET section.
+func (p *parser) processLine(raw string) (*Net, error) {
+	line := strings.TrimSpace(raw)
+	if line == "" || strings.HasPrefix(line, "//") {
+		return nil, nil
+	}
+	fields := strings.Fields(line)
+	key := strings.ToUpper(fields[0])
+	switch {
+	case key == "*NAME_MAP":
+		p.section, p.cur = "NAME_MAP", nil
+	case key == "*PORTS":
+		p.section, p.cur = "PORTS", nil
+	case key == "*D_NET":
+		if len(fields) < 3 {
+			return nil, p.errf("*D_NET needs a name and total capacitance")
+		}
+		tc, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, p.errf("*D_NET total cap: %v", err)
+		}
+		p.cur = newNet()
+		p.cur.Name, p.cur.TotalCap = p.mapName(fields[1]), tc
+		p.section = "D_NET"
+		p.nets++
+		if err := guard.CheckCount(parseOp, "net", p.nets, p.lim.MaxNets); err != nil {
+			return nil, err
+		}
+	case key == "*CONN" || key == "*CAP" || key == "*RES" || key == "*INDUC":
+		if p.cur == nil {
+			return nil, p.errf("%s outside a *D_NET", key)
+		}
+		p.section = key[1:]
+	case key == "*END":
+		net := p.cur
+		p.cur, p.section = nil, ""
+		return net, nil
+	case p.section == "NAME_MAP" && isNameMapIndex(key):
+		if len(fields) != 2 {
+			return nil, p.errf("name map entry needs an index and a name")
+		}
+		p.file.nameMap[fields[0]] = fields[1]
+	case strings.HasPrefix(key, "*") && p.cur == nil && p.section != "PORTS":
+		// Header directive: *T_UNIT, *DESIGN, … — also terminates a
+		// NAME_MAP section.
+		p.section = ""
+		if err := p.header(key[1:], fields[1:]); err != nil {
+			return nil, err
+		}
+	case p.section == "PORTS" && p.cur == nil:
+		if err := p.portLine(fields); err != nil {
+			return nil, err
+		}
+	case p.cur != nil:
+		if err := p.netLine(p.cur, p.section, fields); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, p.errf("unexpected line %q", line)
+	}
+	return nil, nil
+}
+
+// portLine records one *PORTS entry: a port name, a direction, and
+// ignored trailing attributes.
+func (p *parser) portLine(fields []string) error {
+	p.elements++
+	if err := guard.CheckCount(parseOp, "parasitic entry", p.elements, p.lim.MaxElements); err != nil {
+		return err
+	}
+	if len(fields) < 2 {
+		return p.errf("*PORTS entry needs a name and a direction")
+	}
+	dir := Direction(strings.ToUpper(fields[1])[0])
+	switch dir {
+	case DirInput, DirOutput, DirBidir:
+	default:
+		return p.errf("unknown port direction %q", fields[1])
+	}
+	p.file.Ports = append(p.file.Ports, Port{Name: p.mapNode(fields[0]), Dir: dir})
+	return nil
+}
 
 func (p *parser) mapName(s string) string {
 	if mapped, ok := p.file.nameMap[s]; ok {

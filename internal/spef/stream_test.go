@@ -1,0 +1,244 @@
+package spef
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"eedtree/internal/guard"
+)
+
+// samplePorts is a real-world-shaped prologue: a *PORTS section directly
+// after *NAME_MAP. The old parser swallowed any *-directive following
+// *NAME_MAP as a map entry and errored on "*PORTS" ("name map entry
+// needs an index and a name"); the grammar now terminates NAME_MAP on
+// any non-*<index> directive.
+const samplePorts = `*SPEF "IEEE 1481-1998"
+*DESIGN "ports"
+*T_UNIT 1 NS
+*C_UNIT 1 PF
+*R_UNIT 1 OHM
+*L_UNIT 1 NH
+
+*NAME_MAP
+*1 in_port
+*2 out_port
+*3 net_a
+
+*PORTS
+*1 I *C 0.0 0.0
+*2 O
+clk B
+
+*D_NET *3 0.1
+*CONN
+*P *1 O
+*I ld:A I
+*CAP
+1 ld:A 0.1
+*RES
+1 *1 ld:A 10
+*END
+`
+
+func TestParsePortsAfterNameMap(t *testing.T) {
+	f, err := ParseString(samplePorts)
+	if err != nil {
+		t.Fatalf("*PORTS after *NAME_MAP must parse: %v", err)
+	}
+	want := []Port{
+		{Name: "in_port", Dir: DirInput},
+		{Name: "out_port", Dir: DirOutput},
+		{Name: "clk", Dir: DirBidir},
+	}
+	if len(f.Ports) != len(want) {
+		t.Fatalf("ports = %+v, want %+v", f.Ports, want)
+	}
+	for i, p := range want {
+		if f.Ports[i] != p {
+			t.Errorf("port %d = %+v, want %+v", i, f.Ports[i], p)
+		}
+	}
+	// The name map must still resolve inside the following net.
+	if f.Net("net_a") == nil {
+		t.Fatal("name map entry lost after *PORTS")
+	}
+	if got := f.Net("net_a").Conns[0].Pin; got != "in_port" {
+		t.Fatalf("port pin = %q, want mapped name", got)
+	}
+}
+
+func TestParsePortsRoundTrip(t *testing.T) {
+	f, err := ParseString(samplePorts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(f.Format())
+	if err != nil {
+		t.Fatalf("formatted file with ports failed to re-parse: %v", err)
+	}
+	if len(back.Ports) != len(f.Ports) {
+		t.Fatalf("round trip changed port count %d → %d", len(f.Ports), len(back.Ports))
+	}
+}
+
+func TestParsePortErrors(t *testing.T) {
+	for _, in := range []string{
+		"*PORTS\nsolo\n",
+		"*PORTS\np1 X\n",
+	} {
+		if _, err := ParseString(in); !errors.Is(err, guard.ErrParse) {
+			t.Errorf("ParseString(%q) = %v, want a parse error", in, err)
+		}
+	}
+}
+
+// sameNets reports deep equality of two nets without reflect.DeepEqual's
+// nil-vs-empty slice distinction (pooled nets reuse non-nil backing
+// arrays).
+func sameNets(a, b *Net) bool {
+	if a.Name != b.Name || a.TotalCap != b.TotalCap ||
+		len(a.Conns) != len(b.Conns) || len(a.Caps) != len(b.Caps) ||
+		len(a.Ress) != len(b.Ress) || len(a.Inducs) != len(b.Inducs) {
+		return false
+	}
+	for i := range a.Conns {
+		if a.Conns[i] != b.Conns[i] {
+			return false
+		}
+	}
+	for i := range a.Caps {
+		if a.Caps[i] != b.Caps[i] {
+			return false
+		}
+	}
+	for i := range a.Ress {
+		if a.Ress[i] != b.Ress[i] {
+			return false
+		}
+	}
+	for i := range a.Inducs {
+		if a.Inducs[i] != b.Inducs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStreamMatchesParse(t *testing.T) {
+	whole, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStream(strings.NewReader(sample))
+	var got int
+	for {
+		n, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got >= len(whole.Nets) {
+			t.Fatalf("stream yielded more than the %d parsed nets", len(whole.Nets))
+		}
+		if !sameNets(n, whole.Nets[got]) {
+			t.Fatalf("net %d differs:\nstream: %+v\nparse:  %+v", got, n, whole.Nets[got])
+		}
+		got++
+		s.Recycle(n)
+	}
+	if got != len(whole.Nets) {
+		t.Fatalf("stream yielded %d nets, Parse %d", got, len(whole.Nets))
+	}
+	if s.Units() != whole.Units {
+		t.Fatalf("stream units %+v, parse units %+v", s.Units(), whole.Units)
+	}
+	if s.Header()["DESIGN"] != whole.Header["DESIGN"] {
+		t.Fatalf("stream header %+v", s.Header())
+	}
+}
+
+func TestStreamStickyEOF(t *testing.T) {
+	s := NewStream(strings.NewReader(sample))
+	for {
+		n, err := s.Next()
+		if err != nil {
+			if err != io.EOF {
+				t.Fatal(err)
+			}
+			break
+		}
+		s.Recycle(n)
+	}
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatalf("Next after EOF = %v, want io.EOF", err)
+	}
+}
+
+func TestStreamStickyError(t *testing.T) {
+	s := NewStream(strings.NewReader("*D_NET n 1\n*CAP\nbogus\n*END\n"))
+	_, err := s.Next()
+	if !errors.Is(err, guard.ErrParse) {
+		t.Fatalf("Next = %v, want a parse error", err)
+	}
+	if _, err2 := s.Next(); err2 != err {
+		t.Fatalf("error must be sticky: second Next = %v", err2)
+	}
+}
+
+func TestStreamUnterminatedNet(t *testing.T) {
+	s := NewStream(strings.NewReader("*D_NET n 1\n*CAP\n1 a 0.5\n"))
+	if _, err := s.Next(); !errors.Is(err, guard.ErrParse) {
+		t.Fatalf("unterminated *D_NET: Next = %v, want a parse error", err)
+	}
+}
+
+func TestStreamLimits(t *testing.T) {
+	many := strings.Repeat("*D_NET n 1\n*CAP\n1 a 0.5\n*END\n", 10)
+	s := StreamLimits(strings.NewReader(many), guard.Limits{MaxNets: 3})
+	var err error
+	for err == nil {
+		var n *Net
+		n, err = s.Next()
+		s.Recycle(n)
+	}
+	if !errors.Is(err, guard.ErrLimit) {
+		t.Fatalf("stream past MaxNets = %v, want a limit error", err)
+	}
+}
+
+// TestStreamPooledReuse drives enough nets through a stream + Recycle
+// loop to make pool reuse observable: the per-net allocation count must
+// not grow with the net's entry slices (strings still allocate).
+func TestStreamPooledReuse(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 64; i++ {
+		b.WriteString("*D_NET n 1\n*CONN\n*I d O\n*I l I\n*CAP\n1 l 0.5\n*RES\n1 d l 10\n*END\n")
+	}
+	s := NewStream(strings.NewReader(b.String()))
+	seen := map[*Net]int{}
+	reused := false
+	for {
+		n, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[n] > 0 {
+			reused = true
+		}
+		seen[n]++
+		s.Recycle(n)
+	}
+	if !reused {
+		t.Log("no pooled Net observed twice (pool may be cleared by GC); not a failure")
+	}
+	if s.Nets() != 64 {
+		t.Fatalf("Nets() = %d, want 64", s.Nets())
+	}
+}

@@ -49,6 +49,16 @@ func (f *File) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 	}
+	if len(f.Ports) > 0 {
+		if err := count(fmt.Fprintln(w, "\n*PORTS")); err != nil {
+			return n, err
+		}
+		for _, p := range f.Ports {
+			if err := count(fmt.Fprintf(w, "%s %c\n", p.Name, p.Dir)); err != nil {
+				return n, err
+			}
+		}
+	}
 	for _, net := range f.Nets {
 		if err := count(fmt.Fprintf(w, "\n*D_NET %s %g\n", net.Name, net.TotalCap)); err != nil {
 			return n, err

@@ -1,0 +1,213 @@
+package timing
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"eedtree/internal/core"
+)
+
+// This file folds per-net analyses into chip-level critical-path
+// reports: full-chip flows stream millions of nets through the engine
+// (internal/engine.RunPipeline) and keep only the aggregate — max/avg
+// sink delay, delay stretch, path length, and the top-K critical nets —
+// the per-pin aggregation shape timing signoff reports use.
+
+// NetSummary condenses one net's equivalent-Elmore analysis to its
+// sink-facing timing facts.
+type NetSummary struct {
+	Net      string  // net name
+	Sections int     // tree sections (parasitic branches)
+	Sinks    int     // leaf nodes observed
+	MaxDelay float64 // worst sink 50% delay [s]
+	AvgDelay float64 // mean sink 50% delay [s]
+	CritSink string  // sink with MaxDelay (lowest index on ties)
+	Stretch  float64 // MaxDelay over its classical Elmore (RC) delay; 0 when undefined
+	PathLen  int     // sections on the input→critical-sink path
+	Degraded int     // sinks whose model fell back to the RC characterization
+}
+
+// SummarizeNet reduces a whole-tree analysis (core.AnalyzeTree order) to
+// the net's sink summary. Only leaves count as sinks — internal nodes
+// exist to route them. The summary is a pure fold over the analysis
+// slice, so streamed and in-memory paths that analyze the same tree
+// produce bit-identical summaries.
+func SummarizeNet(name string, nodes []core.NodeAnalysis) (NetSummary, error) {
+	ns := NetSummary{Net: name, Sections: len(nodes)}
+	var sum float64
+	for i := range nodes {
+		na := &nodes[i]
+		if !na.Section.IsLeaf() {
+			continue
+		}
+		ns.Sinks++
+		sum += na.Delay50
+		if na.Degraded {
+			ns.Degraded++
+		}
+		if na.Delay50 > ns.MaxDelay || ns.CritSink == "" {
+			ns.MaxDelay = na.Delay50
+			ns.CritSink = na.Section.Name()
+			ns.PathLen = na.Section.Level()
+			if na.ElmoreDelay50 > 0 {
+				ns.Stretch = na.Delay50 / na.ElmoreDelay50
+			} else {
+				ns.Stretch = 0
+			}
+		}
+	}
+	if ns.Sinks == 0 {
+		return NetSummary{}, fmt.Errorf("timing: net %q has no sinks", name)
+	}
+	ns.AvgDelay = sum / float64(ns.Sinks)
+	return ns, nil
+}
+
+// critLess orders summaries by criticality: larger MaxDelay first, net
+// name as the deterministic tie-break so reports do not depend on the
+// (parallel) arrival order of Add calls.
+func critLess(a, b *NetSummary) bool {
+	if a.MaxDelay != b.MaxDelay {
+		return a.MaxDelay > b.MaxDelay
+	}
+	return a.Net < b.Net
+}
+
+// critHeap is a min-heap on criticality: the root is the LEAST critical
+// retained net, so exceeding capacity pops the right victim.
+type critHeap []NetSummary
+
+func (h critHeap) Len() int           { return len(h) }
+func (h critHeap) Less(i, j int) bool { return critLess(&h[j], &h[i]) }
+func (h critHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *critHeap) Push(x any)        { *h = append(*h, x.(NetSummary)) }
+func (h *critHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// ChipAggregator folds NetSummary values into a chip-level report in
+// O(log K) per net and O(K) memory, independent of the chip's net count
+// — the property that keeps the streaming pipeline's RSS flat. It is not
+// safe for concurrent use; the pipeline funnels results through one
+// aggregation goroutine.
+type ChipAggregator struct {
+	topK int
+	crit critHeap
+
+	nets, sections, sinks, degraded int
+	sumMax, sumAvgTimesSinks        float64
+	worst                           NetSummary
+	maxStretch                      float64
+}
+
+// NewChipAggregator returns an aggregator retaining the topK most
+// critical nets (topK <= 0 retains none; totals still accumulate).
+func NewChipAggregator(topK int) *ChipAggregator {
+	if topK < 0 {
+		topK = 0
+	}
+	return &ChipAggregator{topK: topK}
+}
+
+// Add folds one net into the aggregate.
+func (a *ChipAggregator) Add(ns NetSummary) {
+	a.nets++
+	a.sections += ns.Sections
+	a.sinks += ns.Sinks
+	a.degraded += ns.Degraded
+	a.sumMax += ns.MaxDelay
+	a.sumAvgTimesSinks += ns.AvgDelay * float64(ns.Sinks)
+	if a.nets == 1 || critLess(&ns, &a.worst) {
+		a.worst = ns
+	}
+	if ns.Stretch > a.maxStretch {
+		a.maxStretch = ns.Stretch
+	}
+	if a.topK == 0 {
+		return
+	}
+	if len(a.crit) < a.topK {
+		heap.Push(&a.crit, ns)
+		return
+	}
+	if critLess(&ns, &a.crit[0]) {
+		a.crit[0] = ns
+		heap.Fix(&a.crit, 0)
+	}
+}
+
+// ChipReport is the chip-level aggregate of every net folded in.
+type ChipReport struct {
+	Nets     int `json:"nets"`
+	Sections int `json:"sections"`
+	Sinks    int `json:"sinks"`
+	Degraded int `json:"degraded_sinks"`
+
+	MaxDelay    float64 `json:"max_delay_s"`   // worst sink delay on the chip
+	CritNet     string  `json:"critical_net"`  // net holding MaxDelay
+	CritSink    string  `json:"critical_sink"` // its worst sink
+	CritPathLen int     `json:"critical_path_len"`
+	AvgMaxDelay float64 `json:"avg_max_delay_s"` // mean over nets of the per-net worst delay
+	AvgDelay    float64 `json:"avg_delay_s"`     // mean over all sinks
+	MaxStretch  float64 `json:"max_stretch"`     // worst RLC-over-RC delay ratio
+
+	Critical []NetSummary `json:"critical_nets"` // top-K by criticality, most critical first
+}
+
+// Report closes the fold. The aggregator remains usable; Report may be
+// called repeatedly as the stream progresses.
+func (a *ChipAggregator) Report() ChipReport {
+	r := ChipReport{
+		Nets:     a.nets,
+		Sections: a.sections,
+		Sinks:    a.sinks,
+		Degraded: a.degraded,
+	}
+	if a.nets == 0 {
+		return r
+	}
+	r.MaxDelay = a.worst.MaxDelay
+	r.CritNet = a.worst.Net
+	r.CritSink = a.worst.CritSink
+	r.CritPathLen = a.worst.PathLen
+	r.AvgMaxDelay = a.sumMax / float64(a.nets)
+	if a.sinks > 0 {
+		r.AvgDelay = a.sumAvgTimesSinks / float64(a.sinks)
+	}
+	r.MaxStretch = a.maxStretch
+	r.Critical = append([]NetSummary(nil), a.crit...)
+	sort.Slice(r.Critical, func(i, j int) bool { return critLess(&r.Critical[i], &r.Critical[j]) })
+	return r
+}
+
+// Merge folds another aggregator's state into a, as if every net Added
+// to b had been Added to a. Averages merge exactly; the top-K set merges
+// to the same contents a single aggregator would retain. NaN-free inputs
+// assumed (the analysis layer rejects non-finite delays).
+func (a *ChipAggregator) Merge(b *ChipAggregator) {
+	if b == nil || b.nets == 0 {
+		return
+	}
+	if a.nets == 0 || critLess(&b.worst, &a.worst) {
+		a.worst = b.worst
+	}
+	a.nets += b.nets
+	a.sections += b.sections
+	a.sinks += b.sinks
+	a.degraded += b.degraded
+	a.sumMax += b.sumMax
+	a.sumAvgTimesSinks += b.sumAvgTimesSinks
+	if b.maxStretch > a.maxStretch {
+		a.maxStretch = b.maxStretch
+	}
+	for _, ns := range b.crit {
+		if a.topK == 0 {
+			break
+		}
+		if len(a.crit) < a.topK {
+			heap.Push(&a.crit, ns)
+		} else if critLess(&ns, &a.crit[0]) {
+			a.crit[0] = ns
+			heap.Fix(&a.crit, 0)
+		}
+	}
+}

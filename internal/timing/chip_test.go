@@ -1,0 +1,220 @@
+package timing
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"eedtree/internal/core"
+	"eedtree/internal/rlctree"
+)
+
+// buildNet makes a small branching tree: drv → (a → a1, b → b1 b2).
+func buildNet(t *testing.T, scale float64) *rlctree.Tree {
+	t.Helper()
+	tr := rlctree.New()
+	add := func(name string, parent *rlctree.Section, r, l, c float64) *rlctree.Section {
+		s, err := tr.AddSection(name, parent, r, l, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	root := add("drv", nil, 10*scale, 1e-9, 20e-15)
+	a := add("a", root, 25, 2e-9, 30e-15)
+	add("a1", a, 40, 1e-9, 50e-15)
+	b := add("b", root, 15, 3e-9, 10e-15)
+	add("b1", b, 60, 2e-9, 80e-15)
+	add("b2", b, 5, 1e-9, 15e-15)
+	return tr
+}
+
+func TestSummarizeNet(t *testing.T) {
+	tr := buildNet(t, 1)
+	nodes, err := core.AnalyzeTree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := SummarizeNet("n0", nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.Sinks != 3 {
+		t.Fatalf("sinks = %d, want 3 (a1, b1, b2)", ns.Sinks)
+	}
+	if ns.Sections != tr.Len() {
+		t.Fatalf("sections = %d, want %d", ns.Sections, tr.Len())
+	}
+	// The critical sink must be the leaf with the largest Delay50, and
+	// the summary fields must match that leaf exactly (bit-for-bit).
+	var worst *core.NodeAnalysis
+	var sum float64
+	sinks := 0
+	for i := range nodes {
+		if !nodes[i].Section.IsLeaf() {
+			continue
+		}
+		sinks++
+		sum += nodes[i].Delay50
+		if worst == nil || nodes[i].Delay50 > worst.Delay50 {
+			worst = &nodes[i]
+		}
+	}
+	if ns.CritSink != worst.Section.Name() || ns.MaxDelay != worst.Delay50 {
+		t.Fatalf("critical sink %q delay %g, want %q delay %g",
+			ns.CritSink, ns.MaxDelay, worst.Section.Name(), worst.Delay50)
+	}
+	if ns.PathLen != worst.Section.Level() {
+		t.Fatalf("path len = %d, want %d", ns.PathLen, worst.Section.Level())
+	}
+	if want := sum / float64(sinks); ns.AvgDelay != want {
+		t.Fatalf("avg delay = %g, want %g", ns.AvgDelay, want)
+	}
+	if worst.ElmoreDelay50 > 0 && ns.Stretch != worst.Delay50/worst.ElmoreDelay50 {
+		t.Fatalf("stretch = %g", ns.Stretch)
+	}
+}
+
+func TestSummarizeNetNoSinks(t *testing.T) {
+	if _, err := SummarizeNet("empty", nil); err == nil {
+		t.Fatal("expected an error for a net without sinks")
+	}
+}
+
+// TestChipAggregatorOrderIndependent: the report must not depend on the
+// order results arrive in (the pipeline completes nets concurrently).
+func TestChipAggregatorOrderIndependent(t *testing.T) {
+	var sums []NetSummary
+	for i := 0; i < 200; i++ {
+		sums = append(sums, NetSummary{
+			Net:      fmt.Sprintf("net%03d", i),
+			Sections: 3,
+			Sinks:    2,
+			MaxDelay: float64(i%50) * 1e-12,
+			AvgDelay: float64(i%50) * 0.6e-12,
+			CritSink: "s",
+			Stretch:  1 + float64(i%7)/10,
+			PathLen:  4,
+		})
+	}
+	agg := NewChipAggregator(10)
+	for _, ns := range sums {
+		agg.Add(ns)
+	}
+	want := agg.Report()
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]NetSummary(nil), sums...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		agg2 := NewChipAggregator(10)
+		for _, ns := range shuffled {
+			agg2.Add(ns)
+		}
+		got := agg2.Report()
+		if got.MaxDelay != want.MaxDelay || got.CritNet != want.CritNet ||
+			got.Nets != want.Nets || got.MaxStretch != want.MaxStretch {
+			t.Fatalf("trial %d: totals differ: got %+v want %+v", trial, got, want)
+		}
+		if len(got.Critical) != len(want.Critical) {
+			t.Fatalf("trial %d: top-K size %d vs %d", trial, len(got.Critical), len(want.Critical))
+		}
+		for i := range got.Critical {
+			if got.Critical[i].Net != want.Critical[i].Net {
+				t.Fatalf("trial %d: top-K[%d] = %q, want %q", trial, i, got.Critical[i].Net, want.Critical[i].Net)
+			}
+		}
+	}
+}
+
+func TestChipAggregatorTopK(t *testing.T) {
+	agg := NewChipAggregator(3)
+	for i := 0; i < 10; i++ {
+		agg.Add(NetSummary{Net: fmt.Sprintf("n%d", i), Sinks: 1, MaxDelay: float64(i) * 1e-12})
+	}
+	r := agg.Report()
+	if len(r.Critical) != 3 {
+		t.Fatalf("top-K = %d entries, want 3", len(r.Critical))
+	}
+	for i, wantNet := range []string{"n9", "n8", "n7"} {
+		if r.Critical[i].Net != wantNet {
+			t.Fatalf("critical[%d] = %q, want %q", i, r.Critical[i].Net, wantNet)
+		}
+	}
+	if r.CritNet != "n9" || r.MaxDelay != 9e-12 {
+		t.Fatalf("worst = %q %g", r.CritNet, r.MaxDelay)
+	}
+}
+
+func TestChipAggregatorMerge(t *testing.T) {
+	var sums []NetSummary
+	for i := 0; i < 100; i++ {
+		sums = append(sums, NetSummary{
+			Net:      fmt.Sprintf("net%03d", i),
+			Sections: 2,
+			Sinks:    1,
+			MaxDelay: float64((i*37)%100) * 1e-12,
+			AvgDelay: float64((i*37)%100) * 1e-12,
+			PathLen:  2,
+		})
+	}
+	whole := NewChipAggregator(5)
+	for _, ns := range sums {
+		whole.Add(ns)
+	}
+	a, b := NewChipAggregator(5), NewChipAggregator(5)
+	for i, ns := range sums {
+		if i%2 == 0 {
+			a.Add(ns)
+		} else {
+			b.Add(ns)
+		}
+	}
+	a.Merge(b)
+	got, want := a.Report(), whole.Report()
+	if got.Nets != want.Nets || got.MaxDelay != want.MaxDelay || got.CritNet != want.CritNet ||
+		got.AvgMaxDelay != want.AvgMaxDelay || got.AvgDelay != want.AvgDelay {
+		t.Fatalf("merged report differs:\ngot  %+v\nwant %+v", got, want)
+	}
+	for i := range want.Critical {
+		if got.Critical[i].Net != want.Critical[i].Net {
+			t.Fatalf("merged top-K[%d] = %q, want %q", i, got.Critical[i].Net, want.Critical[i].Net)
+		}
+	}
+}
+
+func TestChipAggregatorEmpty(t *testing.T) {
+	r := NewChipAggregator(4).Report()
+	if r.Nets != 0 || r.MaxDelay != 0 || len(r.Critical) != 0 {
+		t.Fatalf("empty report = %+v", r)
+	}
+}
+
+// TestErrorSinglePrefix: errors escaping AnalyzePath must carry exactly
+// one "timing:" prefix — analyzeStage used to add the package prefix
+// that AnalyzePath adds again ("timing: stage 1 (x): timing: …").
+func TestErrorSinglePrefix(t *testing.T) {
+	tr := buildNet(t, 1)
+	cases := []struct {
+		name   string
+		stages []Stage
+		rise   float64
+	}{
+		{"empty path", nil, 0},
+		{"negative rise", []Stage{{Name: "s", Tree: tr, Sink: "a1"}}, -1},
+		{"missing tree", []Stage{{Name: "s", Sink: "a1"}}, 0},
+		{"unknown sink", []Stage{{Name: "s", Tree: tr, Sink: "nope"}}, 0},
+		{"bad load", []Stage{{Name: "s", Tree: tr, Sink: "a1", Loads: map[string]float64{"a1": -1}}}, 0},
+		{"exp input sampling", []Stage{{Name: "s", Tree: tr, Sink: "a1"}}, 1e-9},
+	}
+	for _, c := range cases {
+		_, err := AnalyzePath(c.stages, c.rise)
+		if err == nil {
+			continue // some cases legitimately succeed (e.g. exp input)
+		}
+		if n := strings.Count(err.Error(), "timing:"); n != 1 {
+			t.Errorf("%s: %d \"timing:\" prefixes in %q, want exactly 1", c.name, n, err)
+		}
+	}
+}

@@ -130,9 +130,12 @@ func analyzeStage(st *Stage, inputRise float64) (StageResult, error) {
 	if ts, err := model.SettlingTime(core.SettlingBand); err == nil && 2*ts+8*tau > horizon {
 		horizon = 2*ts + 8*tau
 	}
+	// Errors from analyzeStage are wrapped by AnalyzePath with the
+	// package prefix; adding it here too would double it ("timing:
+	// stage 1 (x): timing: …").
 	w, err := waveform.Sample(f, 0, horizon, 20000)
 	if err != nil {
-		return StageResult{}, fmt.Errorf("timing: sampling response: %w", err)
+		return StageResult{}, fmt.Errorf("sampling response: %w", err)
 	}
 	t50, err := w.Delay50(1)
 	if err != nil {

@@ -22,28 +22,26 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
-// FuzzFormatRoundTrip: Format output must always be parseable back to
-// (approximately) the same finite value.
+// FuzzFormatRoundTrip: Format output must parse back to the exact bits
+// of every finite value — the bit-identity contract that lets clients
+// re-register a formatted tree and keep the same content fingerprint.
 func FuzzFormatRoundTrip(f *testing.F) {
-	for _, v := range []float64{0, 1, 25e-9, -4.7e3, 1e-15, 9.999e11} {
+	for _, v := range []float64{0, 1, 25e-9, -4.7e3, 1e-15, 9.999e11,
+		math.Copysign(0, -1), 2.5e-8, 1.0000000000000002e-14, 5e-324, math.MaxFloat64} {
 		f.Add(v)
 	}
 	f.Fuzz(func(t *testing.T, v float64) {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return
 		}
-		got, err := Parse(Format(v))
+		s := Format(v)
+		got, err := Parse(s)
 		if err != nil {
-			t.Fatalf("Format(%g) = %q not parseable: %v", v, Format(v), err)
+			t.Fatalf("Format(%g) = %q not parseable: %v", v, s, err)
 		}
-		if v == 0 {
-			if got != 0 {
-				t.Fatalf("zero round trip = %g", got)
-			}
-			return
-		}
-		if rel := math.Abs(got-v) / math.Abs(v); rel > 1e-6 {
-			t.Fatalf("round trip %g → %q → %g (rel %g)", v, Format(v), got, rel)
+		if math.Float64bits(got) != math.Float64bits(v) {
+			t.Fatalf("round trip not bit-exact: %v (bits %#x) → %q → %v (bits %#x)",
+				v, math.Float64bits(v), s, got, math.Float64bits(got))
 		}
 	})
 }

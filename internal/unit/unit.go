@@ -78,42 +78,74 @@ func Parse(s string) (float64, error) {
 	return v, nil
 }
 
-// Format renders v compactly with the largest metric suffix that leaves a
-// mantissa in [1, 1000), e.g. 2.5e-12 → "2.5p". Zero formats as "0".
+// Format renders v with the metric suffix that leaves a mantissa in
+// [1, 1000), e.g. 2.5e-12 → "2.5p", falling back to Go's shortest plain
+// form when no suffix fits. Zero formats as "0" ("-0" for negative zero).
+//
+// Format is bit-exact: Parse(Format(v)) reproduces math.Float64bits(v)
+// for every finite v. The mantissa is obtained by shifting the decimal
+// point of v's shortest decimal representation — an exact decimal
+// operation — but Parse applies suffix scales with a binary multiply,
+// which does not round-trip every value (e.g. 25 * 1e-9 is one ulp off
+// 2.5e-8); candidates that fail the round trip fall back to
+// strconv.FormatFloat(v, 'g', -1, 64), which Parse reads back exactly.
 func Format(v float64) string {
 	if v == 0 {
+		if math.Signbit(v) {
+			return "-0"
+		}
 		return "0"
 	}
 	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return strconv.FormatFloat(v, 'g', -1, 64)
 	}
-	abs := math.Abs(v)
-	type unit struct {
-		scale float64
-		name  string
-	}
-	table := []unit{
-		{1e12, "t"}, {1e9, "g"}, {1e6, "meg"}, {1e3, "k"},
-		{1, ""}, {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"},
-		{1e-12, "p"}, {1e-15, "f"}, {1e-18, "a"},
-	}
-	for _, u := range table {
-		if abs >= u.scale {
-			mant := v / u.scale
-			// Avoid "1000p" style output due to rounding.
-			if math.Abs(mant) < 1000 {
-				return trimFloat(mant) + u.name
-			}
-		}
+	if s, ok := suffixForm(v); ok {
+		return s
 	}
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-func trimFloat(v float64) string {
-	s := strconv.FormatFloat(v, 'g', 10, 64)
-	if strings.Contains(s, ".") && !strings.ContainsAny(s, "eE") {
-		s = strings.TrimRight(s, "0")
-		s = strings.TrimRight(s, ".")
+// suffixNames maps a power-of-ten exponent (a multiple of 3) to its
+// metric suffix.
+var suffixNames = map[int]string{
+	12: "t", 9: "g", 6: "meg", 3: "k", 0: "",
+	-3: "m", -6: "u", -9: "n", -12: "p", -15: "f", -18: "a",
+}
+
+// suffixForm renders v as <mantissa><suffix> with the mantissa in
+// [1, 1000), verified to reproduce v's exact bits through Parse.
+func suffixForm(v float64) (string, bool) {
+	s := strconv.FormatFloat(math.Abs(v), 'e', -1, 64)
+	ei := strings.IndexByte(s, 'e')
+	exp10, err := strconv.Atoi(s[ei+1:])
+	if err != nil {
+		return "", false
 	}
-	return s
+	// Largest multiple of 3 not above exp10, so the shifted mantissa
+	// lands in [1, 1000).
+	e := exp10 / 3 * 3
+	if exp10 < 0 && exp10%3 != 0 {
+		e -= 3
+	}
+	name, ok := suffixNames[e]
+	if !ok {
+		return "", false
+	}
+	digits := strings.Replace(s[:ei], ".", "", 1)
+	point := 1 + (exp10 - e) // digits left of the decimal point: 1..3
+	for len(digits) < point {
+		digits += "0"
+	}
+	out := digits[:point]
+	if len(digits) > point {
+		out += "." + digits[point:]
+	}
+	if v < 0 {
+		out = "-" + out
+	}
+	out += name
+	if p, err := Parse(out); err != nil || math.Float64bits(p) != math.Float64bits(v) {
+		return "", false
+	}
+	return out, true
 }
