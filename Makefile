@@ -79,10 +79,15 @@ service-bench:
 # obs-check: the observability overhead gate (GUIDE.md §10). Runs the
 # instrumented hot-path benchmark and its uninstrumented twin back to back
 # and fails if the instrumented median ns/op is more than OBSMAX percent
-# above the baseline.
+# above the baseline. The second invocation is the flight-recorder gate
+# (GUIDE.md §15): the same sweep plus one wide-event Record per unit must
+# stay within the same budget of the instrumented run.
 obs-check:
 	$(GO) test -run=NONE -bench='BenchmarkAnalyzeTreeParallel$$|BenchmarkAnalyzeTreeParallelBaseline$$' \
 		-benchtime=$(BENCHTIME) -count=$(OBSCOUNT) -json . | $(GO) run ./cmd/obscheck -max $(OBSMAX)
+	$(GO) test -run=NONE -bench='BenchmarkAnalyzeTreeParallel$$|BenchmarkAnalyzeTreeParallelFlightArmed$$' \
+		-benchtime=$(BENCHTIME) -count=$(OBSCOUNT) -json . | \
+		$(GO) run ./cmd/obscheck -bench BenchmarkAnalyzeTreeParallelFlightArmed -baseline BenchmarkAnalyzeTreeParallel -max $(OBSMAX)
 
 # fault-check: the fault-injection overhead gate (GUIDE.md §13). The
 # dormant-armed query benchmark (a plan is Active but every point has

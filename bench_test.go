@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"eedtree/internal/awe"
 	"eedtree/internal/core"
@@ -111,6 +112,36 @@ func BenchmarkAnalyzeTreeParallel(b *testing.B) {
 // BenchmarkAnalyzeTreeParallel (global obs switch off).
 func BenchmarkAnalyzeTreeParallelBaseline(b *testing.B) {
 	benchAnalyzeTreeParallel(b, false)
+}
+
+// BenchmarkAnalyzeTreeParallelFlightArmed adds the flight recorder's
+// per-unit work to the instrumented sweep: build one wide event, stamp
+// its stage, Record it into the process-wide ring — exactly what the
+// engine pipeline and the service spine pay per request. `make obs-check`
+// compares it against BenchmarkAnalyzeTreeParallel under the same 2%
+// budget, pinning the dormant recorder to one atomic bump plus a
+// preallocated slot copy (the capture buffer stays cold: the events are
+// healthy and fast).
+func BenchmarkAnalyzeTreeParallelFlightArmed(b *testing.B) {
+	obs.SetEnabled(true)
+	tree, err := rlctree.Line("w", 16384, rlctree.SectionValues{R: 1, L: 0.1e-9, C: 10e-15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	fr := obs.DefaultFlight()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := engine.AnalyzeTreeParallel(ctx, tree, 4); err != nil {
+			b.Fatal(err)
+		}
+		dur := time.Since(t0)
+		ev := obs.WideEvent{StartNS: t0.UnixNano(), Route: "bench.net", Net: "w", TotalNS: dur.Nanoseconds()}
+		ev.AddStage("analyze", dur)
+		fr.Record(&ev, nil)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(tree.Len()), "ns/section")
 }
 
 func benchAnalyzeTreeParallel(b *testing.B, instrumented bool) {

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// failSPEF builds a deck of good two-sink nets with every badEvery-th
+// net's driver declared as an input pin — the tree builder rejects those
+// ("no driving pin"), exercising the failure path without stopping the
+// stream.
+func failSPEF(nets, badEvery int) string {
+	var b strings.Builder
+	b.WriteString(`*SPEF "IEEE 1481-1998"
+*DESIGN "failed_dump_test"
+*DIVIDER /
+*DELIMITER :
+*T_UNIT 1 NS
+*C_UNIT 1 PF
+*R_UNIT 1 OHM
+*L_UNIT 1 NH
+
+`)
+	for i := 0; i < nets; i++ {
+		name := fmt.Sprintf("n%03d", i)
+		drvDir := "O"
+		if badEvery > 0 && i%badEvery == badEvery-1 {
+			drvDir = "I"
+		}
+		fmt.Fprintf(&b, "*D_NET %s 0.03\n*CONN\n*I d%d:Z %s\n*I s%d:A I\n", name, i, drvDir, i)
+		fmt.Fprintf(&b, "*CAP\n1 %s:1 0.01\n2 s%d:A 0.01\n", name, i)
+		fmt.Fprintf(&b, "*RES\n1 d%d:Z %s:1 5\n2 %s:1 s%d:A 10\n*END\n\n", i, name, name, i)
+	}
+	return b.String()
+}
+
+// TestE2EFailedNetDump: -failed writes the flight recorder's failed-net
+// wide events, classed and named, and only the failures.
+func TestE2EFailedNetDump(t *testing.T) {
+	dir := t.TempDir()
+	spefPath := filepath.Join(dir, "d.spef")
+	if err := os.WriteFile(spefPath, []byte(failSPEF(20, 5)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dumpPath := filepath.Join(dir, "failed.json")
+	code, stdout, stderr := runCLI(t, "-failed", dumpPath, spefPath)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "16 nets (4 failed)") {
+		t.Fatalf("per-net failure counts missing:\n%s", stdout)
+	}
+	raw, err := os.ReadFile(dumpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Route string `json:"route"`
+		Net   string `json:"net"`
+		Class string `json:"class"`
+		Err   string `json:"err"`
+	}
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("dump is not JSON: %v\n%s", err, raw)
+	}
+	if len(events) != 4 {
+		t.Fatalf("dump holds %d events, want the 4 failed nets:\n%s", len(events), raw)
+	}
+	for _, ev := range events {
+		if ev.Route != "pipeline.net" || ev.Class == "" || ev.Net == "" {
+			t.Errorf("incomplete failed-net event: %+v", ev)
+		}
+		if !strings.Contains(ev.Err, "driving pin") {
+			t.Errorf("event error %q does not name the rejection", ev.Err)
+		}
+	}
+
+	// A clean run dumps an empty array.
+	code, _, _ = runCLI(t, "-synth", "10", "-failed", "-")
+	if code != 0 {
+		t.Fatalf("clean run exit %d", code)
+	}
+}

@@ -89,6 +89,7 @@ func realMain() int {
 	out := flag.String("out", "", `output path prefix; writes <out>.json and <out>.txt ("" = stdout only)`)
 	metricsOut := flag.String("metrics", "", `write the metrics exposition to this file at exit ("-" = stdout, *.json = JSON form)`)
 	traceOut := flag.String("trace", "", `write the pipeline span tree as JSON to this file at exit ("-" = stdout)`)
+	failedOut := flag.String("failed", "", `write the failed-net wide events retained by the flight recorder as JSON to this file at exit ("-" = stdout)`)
 	pprofAddr := flag.String("pprof", "", `serve net/http/pprof on this address (empty = no listener)`)
 	assertRSSMB := flag.Int("assert-rss-mb", 0, "fail (exit 1) if peak RSS exceeds this many MiB (0 = no assertion)")
 	assertNPS := flag.Float64("assert-nps", 0, "fail (exit 1) if throughput falls below this many nets/sec (0 = no assertion)")
@@ -144,6 +145,11 @@ func realMain() int {
 			fmt.Fprintf(os.Stderr, "chipflow: -metrics: %v\n", derr)
 		}
 	}
+	if *failedOut != "" {
+		if derr := dumpFailedNets(*failedOut); derr != nil {
+			fmt.Fprintf(os.Stderr, "chipflow: -failed: %v\n", derr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chipflow: [%s] %v\n", guard.ClassName(err), err)
 		return 1
@@ -176,6 +182,31 @@ func realMain() int {
 		return 1
 	}
 	return 0
+}
+
+// dumpFailedNets writes the pipeline's failed-net wide events — the
+// flight recorder captures every net whose analysis failed, up to its
+// buffer bound — as a JSON array, newest first. A clean run writes [].
+func dumpFailedNets(path string) error {
+	var failed []obs.WideEvent
+	for _, cp := range obs.DefaultFlight().Captures() {
+		if cp.Event.Route == "pipeline.net" && cp.Event.Class != "" {
+			failed = append(failed, cp.Event)
+		}
+	}
+	if failed == nil {
+		failed = []obs.WideEvent{}
+	}
+	js, err := json.MarshalIndent(failed, "", "  ")
+	if err != nil {
+		return err
+	}
+	js = append(js, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(js)
+		return err
+	}
+	return os.WriteFile(path, js, 0o644)
 }
 
 // limitsFor sizes guard limits to the declared input: the defaults

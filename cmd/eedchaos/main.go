@@ -58,6 +58,7 @@ import (
 	"eedtree/internal/eedsrv"
 	"eedtree/internal/engine"
 	"eedtree/internal/faultinj"
+	"eedtree/internal/obs"
 	"eedtree/internal/rlctree"
 )
 
@@ -853,7 +854,7 @@ func (s *soak) probeRecovery(ctx context.Context, cl *eedclient.Client, cleared 
 		}
 		if len(lats) > 0 {
 			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-			lastP50 = lats[len(lats)/2]
+			lastP50 = obs.Percentile(lats, 50)
 			if lastP50 <= s.cfg.p50Gate {
 				return lastP50, time.Since(cleared)
 			}

@@ -29,6 +29,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -39,6 +41,7 @@ import (
 	"eedtree/internal/eedsrv"
 	"eedtree/internal/engine"
 	"eedtree/internal/faultinj"
+	"eedtree/internal/obs"
 )
 
 func main() {
@@ -57,6 +60,9 @@ func realMain() int {
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the service mux")
 	faults := flag.String("faults", "", "TESTING ONLY: arm a fault-injection plan at startup (internal/faultinj spec)")
 	faultsAdmin := flag.Bool("faults-admin", false, "TESTING ONLY: mount POST /v1/faults to re-arm the fault plan at runtime")
+	logPath := flag.String("log", "", "structured JSON request log destination: a file (appended) or - for stdout")
+	debugReq := flag.Bool("debug-requests", false, "mount the live flight-recorder views /v1/debug/requests and /v1/debug/slow, arming per-request span tracing")
+	slowThresh := flag.Duration("slow-threshold", 0, "requests slower than this land in the /v1/debug/slow capture buffer (0 = default 250ms)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: eedd [flags]\n")
 		flag.PrintDefaults()
@@ -66,10 +72,27 @@ func realMain() int {
 		flag.Usage()
 		return 2
 	}
-	if *registry < 0 || *inflight < 0 || *workers < 0 || *drainTimeout < 0 {
-		fmt.Fprintf(os.Stderr, "eedd: -registry, -inflight, -workers and -drain-timeout must be >= 0\n")
+	if *registry < 0 || *inflight < 0 || *workers < 0 || *drainTimeout < 0 || *slowThresh < 0 {
+		fmt.Fprintf(os.Stderr, "eedd: -registry, -inflight, -workers, -drain-timeout and -slow-threshold must be >= 0\n")
 		flag.Usage()
 		return 2
+	}
+
+	var logger *slog.Logger
+	if *logPath != "" {
+		var closeLog io.Closer
+		var err error
+		logger, closeLog, err = obs.NewLogger(*logPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eedd: -log: %v\n", err)
+			return 2
+		}
+		defer closeLog.Close()
+	}
+	if *slowThresh > 0 {
+		// Replace the process-wide recorder so both the server and any
+		// engine pipeline work share the configured slow threshold.
+		obs.SetDefaultFlight(obs.NewFlightRecorder(obs.DefaultFlightEvents, obs.DefaultFlightCaptures, *slowThresh))
 	}
 
 	if *faults != "" {
@@ -91,6 +114,8 @@ func realMain() int {
 		RequestTimeout:  *timeout,
 		MountPprof:      *pprofFlag,
 		EnableFaults:    *faultsAdmin,
+		DebugRequests:   *debugReq,
+		Logger:          logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -101,6 +126,9 @@ func realMain() int {
 	// The listen line is the startup handshake: scripts (and the e2e
 	// tests) read the bound address from it, which matters with :0.
 	fmt.Fprintf(os.Stderr, "eedd: listening on http://%s/\n", ln.Addr())
+	if logger != nil {
+		logger.Info("listening", "addr", ln.Addr().String(), "debug_requests", *debugReq)
+	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
@@ -120,6 +148,9 @@ func realMain() int {
 	// Graceful drain: reject new analysis work immediately, let what is
 	// executing finish, then close the listener and idle connections.
 	fmt.Fprintf(os.Stderr, "eedd: draining (%d in flight)\n", srv.Inflight())
+	if logger != nil {
+		logger.Info("draining", "inflight", srv.Inflight())
+	}
 	srv.Drain()
 	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -132,5 +163,8 @@ func realMain() int {
 		return 1
 	}
 	fmt.Fprintln(os.Stderr, "eedd: drained, bye")
+	if logger != nil {
+		logger.Info("drained")
+	}
 	return 0
 }

@@ -10,6 +10,7 @@ import (
 	"os/exec"
 	"regexp"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -69,21 +70,49 @@ func TestListenFailureExits1(t *testing.T) {
 
 var listenRe = regexp.MustCompile(`listening on (http://[^/\s]+)/`)
 
+// stderrLog collects the daemon's stderr after the listen handshake. The
+// draining goroutine writes it; tests read it only via String, which
+// waits for the pipe to reach EOF (the process exited) first — without
+// that barrier an assertion could race the last drain lines.
+type stderrLog struct {
+	mu   sync.Mutex
+	b    bytes.Buffer
+	done chan struct{}
+}
+
+func (l *stderrLog) String() string {
+	select {
+	case <-l.done:
+	case <-time.After(10 * time.Second):
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
 // startDaemon launches eedd on an ephemeral port and returns its base
 // URL plus the running command.
-func startDaemon(t *testing.T, extraArgs ...string) (*exec.Cmd, string, *bytes.Buffer) {
+func startDaemon(t *testing.T, extraArgs ...string) (*exec.Cmd, string, *stderrLog) {
 	t.Helper()
 	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
 	cmd := eeddCommand(t, args...)
-	stderr, err := cmd.StderrPipe()
+	// A hand-rolled pipe instead of cmd.StderrPipe(): Wait() closes the
+	// latter as soon as the process exits, racing the draining goroutine
+	// out of the final "draining"/"drained, bye" lines. With our own pipe
+	// the reader sees EOF exactly when the child's last dup closes.
+	pr, pw, err := os.Pipe()
 	if err != nil {
 		t.Fatal(err)
 	}
+	cmd.Stderr = pw
 	if err := cmd.Start(); err != nil {
+		pr.Close()
+		pw.Close()
 		t.Fatal(err)
 	}
-	rest := &bytes.Buffer{}
-	sc := bufio.NewScanner(stderr)
+	pw.Close() // the child holds its own copy
+	rest := &stderrLog{done: make(chan struct{})}
+	sc := bufio.NewScanner(pr)
 	var base string
 	for sc.Scan() {
 		if m := listenRe.FindStringSubmatch(sc.Text()); m != nil {
@@ -94,12 +123,17 @@ func startDaemon(t *testing.T, extraArgs ...string) (*exec.Cmd, string, *bytes.B
 	if base == "" {
 		cmd.Process.Kill()
 		cmd.Wait()
+		pr.Close()
 		t.Fatal("daemon never printed its listen address")
 	}
 	// Keep draining stderr so the child never blocks on a full pipe.
 	go func() {
+		defer close(rest.done)
+		defer pr.Close()
 		for sc.Scan() {
-			rest.WriteString(sc.Text() + "\n")
+			rest.mu.Lock()
+			rest.b.WriteString(sc.Text() + "\n")
+			rest.mu.Unlock()
 		}
 	}()
 	t.Cleanup(func() {

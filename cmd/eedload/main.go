@@ -48,6 +48,7 @@ import (
 	"eedtree/internal/eedsrv"
 	"eedtree/internal/engine"
 	"eedtree/internal/guard"
+	"eedtree/internal/obs"
 	"eedtree/internal/rlctree"
 )
 
@@ -404,9 +405,9 @@ func run(netFile, addr string, dur time.Duration, conc int, mix map[string]int, 
 			for _, d := range all {
 				sum += d
 			}
-			st.P50us = us(pct(all, 50))
-			st.P90us = us(pct(all, 90))
-			st.P99us = us(pct(all, 99))
+			st.P50us = us(obs.Percentile(all, 50))
+			st.P90us = us(obs.Percentile(all, 90))
+			st.P99us = us(obs.Percentile(all, 99))
 			st.Maxus = us(all[len(all)-1])
 			st.MeanUs = us(sum / time.Duration(len(all)))
 			st.Throughpt = float64(len(all)) / dur.Seconds()
@@ -418,21 +419,6 @@ func run(netFile, addr string, dur time.Duration, conc int, mix map[string]int, 
 }
 
 func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
-
-// pct returns the p-th percentile of sorted latencies (nearest-rank).
-func pct(sorted []time.Duration, p int) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := (len(sorted)*p + 99) / 100
-	if idx < 1 {
-		idx = 1
-	}
-	if idx > len(sorted) {
-		idx = len(sorted)
-	}
-	return sorted[idx-1]
-}
 
 func renderText(r *benchReport) string {
 	var b strings.Builder

@@ -5,6 +5,7 @@ import (
 
 	"eedtree/internal/eedclient"
 	"eedtree/internal/faultinj"
+	"eedtree/internal/obs"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -24,18 +25,21 @@ func TestParseMix(t *testing.T) {
 	}
 }
 
+// TestPct pins the shared obs.Percentile helper to the semantics the
+// harness's own pct() had before the dedupe: nearest-rank on a sorted
+// slice, clamped, zero for empty input.
 func TestPct(t *testing.T) {
 	lat := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	if got := pct(lat, 50); got != 5 {
+	if got := obs.Percentile(lat, 50); got != 5 {
 		t.Fatalf("p50 = %v, want 5", got)
 	}
-	if got := pct(lat, 99); got != 10 {
+	if got := obs.Percentile(lat, 99); got != 10 {
 		t.Fatalf("p99 = %v, want 10", got)
 	}
-	if got := pct(lat[:1], 99); got != 1 {
+	if got := obs.Percentile(lat[:1], 99); got != 1 {
 		t.Fatalf("single-sample p99 = %v, want 1", got)
 	}
-	if got := pct(nil, 50); got != 0 {
+	if got := obs.Percentile[time.Duration](nil, 50); got != 0 {
 		t.Fatalf("empty p50 = %v, want 0", got)
 	}
 }

@@ -277,8 +277,8 @@ func batchSummary(paths []string, infos []inputInfo, failed int, byClass map[str
 	}
 	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
 	if len(durs) > 0 {
-		p50 := durs[(len(durs)-1)*50/100]
-		p99 := durs[(len(durs)-1)*99/100]
+		p50 := obs.Percentile(durs, 50)
+		p99 := obs.Percentile(durs, 99)
 		fmt.Fprintf(&b, ", latency p50=%s p99=%s", si(p50.Seconds()), si(p99.Seconds()))
 	}
 	return b.String()

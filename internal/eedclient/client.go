@@ -108,6 +108,7 @@ type Error struct {
 	Message    string // server error message when present
 	Attempts   int    // total attempts made (>= 1 unless the breaker refused)
 	RetryAfter bool   // the (final) response carried Retry-After: it never executed
+	RequestID  string // correlation ID sent with every attempt of this operation
 	Err        error  // underlying transport error or sentinel
 }
 
@@ -150,6 +151,7 @@ type Client struct {
 	rng       *rand.Rand
 	stat      Stats
 	lastFault *Error // most recent server-side failure, for breaker refusals
+	lastReqID string // most recent operation's correlation ID
 }
 
 var (
@@ -376,8 +378,13 @@ func (c *Client) do(ctx context.Context, op, method, path string, in, out any, i
 			return &Error{Op: op, Err: err}
 		}
 	}
+	// One correlation ID covers every attempt of this operation: the
+	// server's flight recorder then shows retries as sibling events
+	// sharing the ID, distinguished by the attempt counter.
+	rid := c.newRequestID()
 	c.mu.Lock()
 	c.stat.Requests++
+	c.lastReqID = rid
 	c.mu.Unlock()
 
 	for attempt := 0; ; attempt++ {
@@ -388,17 +395,18 @@ func (c *Client) do(ctx context.Context, op, method, path string, in, out any, i
 			c.mu.Unlock()
 			// A breaker refusal inherits the failure that opened it: the
 			// caller sees why requests are being dropped.
-			e := &Error{Op: op, Attempts: attempt, Err: ErrBreakerOpen}
+			e := &Error{Op: op, Attempts: attempt, RequestID: rid, Err: ErrBreakerOpen}
 			if last != nil {
 				e.Status, e.Class, e.Message = last.Status, last.Class, last.Message
 			}
 			return e
 		}
-		e, retryAfterSecs := c.attempt(ctx, op, method, path, body, out)
+		e, retryAfterSecs := c.attempt(ctx, op, method, path, body, out, rid, attempt+1)
 		if e == nil {
 			return nil
 		}
 		e.Attempts = attempt + 1
+		e.RequestID = rid
 		if e.Status == 0 || serverFaultStatus(e.Status) {
 			c.mu.Lock()
 			c.lastFault = e
@@ -437,9 +445,29 @@ func (e *Error) retryable(idempotent bool) bool {
 	return idempotent || e.RetryAfter
 }
 
+// newRequestID draws a fresh correlation ID from the client's rng. The
+// "c-" prefix marks client-minted IDs apart from server-assigned ones.
+func (c *Client) newRequestID() string {
+	c.mu.Lock()
+	hi, lo := c.rng.Uint32(), c.rng.Uint32()
+	c.mu.Unlock()
+	return fmt.Sprintf("c-%08x%08x", hi, lo)
+}
+
+// LastRequestID reports the correlation ID of the most recently started
+// operation (empty before the first). Harnesses use it to find their own
+// requests in the server's /v1/debug/requests view.
+func (c *Client) LastRequestID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastReqID
+}
+
 // attempt performs one HTTP round-trip. A nil *Error means success and
 // out is populated. retryAfterSecs is -1 when no Retry-After was present.
-func (c *Client) attempt(ctx context.Context, op, method, path string, body []byte, out any) (*Error, int) {
+// Every attempt carries the operation's correlation ID and its 1-based
+// attempt number so the server can stitch retries together.
+func (c *Client) attempt(ctx context.Context, op, method, path string, body []byte, out any, rid string, attempt int) (*Error, int) {
 	actx, cancel := context.WithTimeout(ctx, c.opts.RequestTimeout)
 	defer cancel()
 	var rd io.Reader
@@ -453,6 +481,8 @@ func (c *Client) attempt(ctx context.Context, op, method, path string, body []by
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	req.Header.Set(eedsrv.HeaderRequestID, rid)
+	req.Header.Set(eedsrv.HeaderAttempt, strconv.Itoa(attempt))
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		c.recordOutcome(false)

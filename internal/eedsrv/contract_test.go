@@ -11,9 +11,11 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"eedtree/internal/core"
 	"eedtree/internal/engine"
@@ -39,23 +41,32 @@ type contractFixture struct {
 }
 
 // newContractServer returns the fixed configuration every contract
-// fixture runs against. Changing these values changes the goldens.
+// fixture runs against. Changing these values changes the goldens. The
+// clock is pinned 42 seconds past boot so the healthz fixture's
+// uptime_seconds is deterministic.
 func newContractServer(t *testing.T) *Server {
 	t.Helper()
-	return newTestServer(t, Options{
+	s := newTestServer(t, Options{
 		Engine:          engine.New(engine.Options{Workers: 1, CacheEntries: 8}),
 		RegistryEntries: 4,
 		MaxEdits:        4,
 		MaxBatchItems:   4,
 		Limits:          guard.Limits{MaxSections: 8},
 	})
+	base := s.start
+	s.clock = func() time.Time { return base.Add(42 * time.Second) }
+	return s
 }
 
 // contractSubs computes the fingerprint placeholders fixture requests
 // use: ${balanced7} is the shared net's key, ${edited} the key after the
 // 05_edit fixture's edit (s4.C = 8e-14). Keeping fixtures symbolic means
 // they survive fingerprint-algorithm changes; the recorded goldens hold
-// the literal hex and are regenerated with -update.
+// the literal hex and are regenerated with -update. ${goversion} is the
+// running toolchain's runtime.Version() — unlike the fingerprints it is
+// substituted in recorded responses too (and reverse-substituted on
+// -update), because CI may run a different Go release than the machine
+// that recorded the golden.
 func contractSubs(t *testing.T) *strings.Replacer {
 	t.Helper()
 	parse := func() *rlctree.Tree {
@@ -73,6 +84,7 @@ func contractSubs(t *testing.T) *strings.Replacer {
 	return strings.NewReplacer(
 		"${balanced7}", fingerprintHex(base.Fingerprint()),
 		"${edited}", fingerprintHex(edited.Fingerprint()),
+		"${goversion}", runtime.Version(),
 	)
 }
 
@@ -108,7 +120,10 @@ func TestContractGoldens(t *testing.T) {
 
 			if *updateGolden {
 				fx.Status = status
-				fx.Want = json.RawMessage(bytes.TrimSpace(got))
+				// Reverse-substitute the toolchain version so the recorded
+				// golden is portable across Go releases.
+				recorded := strings.ReplaceAll(string(bytes.TrimSpace(got)), runtime.Version(), "${goversion}")
+				fx.Want = json.RawMessage(recorded)
 				out, err := json.MarshalIndent(fx, "", "  ")
 				if err != nil {
 					t.Fatal(err)
@@ -126,7 +141,7 @@ func TestContractGoldens(t *testing.T) {
 			if err := json.Unmarshal(got, &gotV); err != nil {
 				t.Fatalf("response is not JSON: %v\n%s", err, got)
 			}
-			if err := json.Unmarshal(fx.Want, &wantV); err != nil {
+			if err := json.Unmarshal([]byte(subs.Replace(string(fx.Want))), &wantV); err != nil {
 				t.Fatalf("golden response is not JSON (rerun with -update?): %v", err)
 			}
 			// DeepEqual over decoded JSON compares float64s exactly — the

@@ -271,9 +271,11 @@ func TestFaultsEndpointSurvivesDrain(t *testing.T) {
 	}
 }
 
-// srv.panic and srv.conn_drop abort the response from the client's point
-// of view; the server survives and keeps serving. Needs a real listener:
-// net/http's per-connection recover is the contract under test.
+// srv.panic is recovered by the analysis middleware into a JSON 500 on
+// the still-open connection; srv.conn_drop (http.ErrAbortHandler) still
+// severs the transport. The server survives both and keeps serving.
+// Needs a real listener: net/http's per-connection abort handling is
+// half the contract under test.
 func TestInjectedPanicAndConnDropOverRealServer(t *testing.T) {
 	s := newTestServer(t, Options{})
 	ts := httptest.NewUnstartedServer(s.Handler())
@@ -286,15 +288,26 @@ func TestInjectedPanicAndConnDropOverRealServer(t *testing.T) {
 		return http.Post(ts.URL+"/v1/delay", "application/json", bytes.NewReader(body))
 	}
 	armFaults(t, "srv.panic:p=1,n=1;srv.conn_drop:p=1,n=1")
-	for i := 0; i < 2; i++ {
-		resp, err := post()
-		if err == nil {
-			resp.Body.Close()
-			t.Fatalf("request %d: got status %d, want a transport error", i, resp.StatusCode)
-		}
+	// First request trips srv.panic: recovered into a 500 with the
+	// internal class, connection intact.
+	resp, err := post()
+	if err != nil {
+		t.Fatalf("panic request: want a recovered 500, got transport error %v", err)
+	}
+	var errResp ErrorResponse
+	decErr := json.NewDecoder(resp.Body).Decode(&errResp)
+	resp.Body.Close()
+	if resp.StatusCode != 500 || decErr != nil || errResp.Error.Class != "internal" {
+		t.Fatalf("panic request: status %d class %q (decode err %v), want 500/internal",
+			resp.StatusCode, errResp.Error.Class, decErr)
+	}
+	// Second request trips srv.conn_drop: the transport is severed.
+	if resp, err := post(); err == nil {
+		resp.Body.Close()
+		t.Fatalf("conn_drop request: got status %d, want a transport error", resp.StatusCode)
 	}
 	// Both single-shot budgets are spent: the server answers normally.
-	resp, err := post()
+	resp, err = post()
 	if err != nil {
 		t.Fatalf("post-fault request: %v", err)
 	}

@@ -2,17 +2,22 @@ package eedsrv
 
 import (
 	"context"
+	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"eedtree/internal/core"
 	"eedtree/internal/engine"
 	"eedtree/internal/faultinj"
 	"eedtree/internal/guard"
@@ -72,6 +77,18 @@ type Options struct {
 	// on a production instance: it lets any caller panic handlers and
 	// flush the registry.
 	EnableFaults bool
+	// Flight receives one wide event per analysis request. nil means the
+	// process-wide obs.DefaultFlight() recorder.
+	Flight *obs.FlightRecorder
+	// DebugRequests mounts the live flight-recorder endpoints
+	// (/v1/debug/requests, /v1/debug/slow) and arms per-request span
+	// tracing so slow/error captures carry a span tree. Off by default:
+	// without it the endpoints 404 and requests pay no tracing cost.
+	DebugRequests bool
+	// Logger, when set, gets one structured record per analysis request
+	// (request ID, route, status, class, timings) plus drain lifecycle
+	// events. nil disables request logging.
+	Logger *slog.Logger
 }
 
 // Server is the delay-as-a-service HTTP handler set. It is safe for
@@ -84,10 +101,30 @@ type Server struct {
 	mux       *http.ServeMux
 	retrySecs int // Retry-After value for pre-execution rejections
 
+	flight *obs.FlightRecorder
+	logger *slog.Logger
+	clock  func() time.Time // swappable for deterministic contract goldens
+	start  time.Time
+	bootID string // per-process nonce prefixing generated request IDs
+	reqSeq atomic.Uint64
+
 	draining atomic.Bool
 	inflight atomic.Int64
 	queued   atomic.Int64
 }
+
+// Correlation headers. The server echoes the request ID on every
+// analysis response; eedclient sends both so server-side wide events
+// line up with client retries.
+const (
+	HeaderRequestID = "X-Eed-Request-Id"
+	HeaderAttempt   = "X-Eed-Attempt"
+)
+
+// maxRequestIDLen bounds a client-supplied request ID; longer (or
+// non-token) values are replaced by a server-generated ID rather than
+// rejected, so correlation is best-effort and never a failure mode.
+const maxRequestIDLen = 64
 
 // Server-level metrics. Per-endpoint series share one family via the
 // single-label convention of internal/obs.
@@ -140,6 +177,9 @@ func New(opts Options) *Server {
 		opts.RetryAfter = DefaultRetryAfter
 	}
 	opts.Limits = opts.Limits.WithDefaults()
+	if opts.Flight == nil {
+		opts.Flight = obs.DefaultFlight()
+	}
 	s := &Server{
 		opts:      opts,
 		eng:       opts.Engine,
@@ -147,7 +187,12 @@ func New(opts Options) *Server {
 		sem:       make(chan struct{}, opts.MaxInflight),
 		mux:       http.NewServeMux(),
 		retrySecs: int((opts.RetryAfter + time.Second - 1) / time.Second),
+		flight:    opts.Flight,
+		logger:    opts.Logger,
+		clock:     time.Now,
+		bootID:    newBootID(),
 	}
+	s.start = s.clock()
 	s.mux.HandleFunc("/v1/nets", s.handleNets)
 	s.mux.HandleFunc("/v1/delay", s.analysis("/v1/delay", s.handleDelay))
 	s.mux.HandleFunc("/v1/analyze", s.analysis("/v1/analyze", s.handleAnalyze))
@@ -157,6 +202,10 @@ func New(opts Options) *Server {
 	s.mux.Handle("/metrics", obs.Default().Handler())
 	if opts.EnableFaults {
 		s.mux.HandleFunc("/v1/faults", s.handleFaults)
+	}
+	if opts.DebugRequests {
+		s.mux.HandleFunc("/v1/debug/requests", s.handleDebugRequests)
+		s.mux.HandleFunc("/v1/debug/slow", s.handleDebugSlow)
 	}
 	if opts.MountPprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -206,30 +255,193 @@ func writeError(w http.ResponseWriter, err error) {
 		w.Header().Set("Retry-After", strconv.Itoa(de.retryAfter))
 	}
 	ae := toAPIError(err)
+	if ew, ok := w.(*eventWriter); ok {
+		ew.ev.SetClass(ae.Class)
+		ew.ev.SetErr(err)
+	}
 	if obs.On() {
 		endpointErrors(ae.Class).Inc()
 	}
 	writeJSON(w, ae.Status, ErrorResponse{Error: ae})
 }
 
+// eventWriter pairs the response writer with the request's wide event:
+// the first WriteHeader (or implicit 200) lands in the event, and
+// writeError annotates the guard class through it, so the middleware's
+// single deferred Record sees the final status whichever path wrote it.
+type eventWriter struct {
+	http.ResponseWriter
+	ev    *obs.WideEvent
+	wrote bool
+}
+
+func (w *eventWriter) WriteHeader(status int) {
+	if !w.wrote {
+		w.wrote = true
+		w.ev.SetStatus(status)
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *eventWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.wrote = true
+		w.ev.SetStatus(http.StatusOK)
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// newBootID returns the per-process nonce that prefixes generated
+// request IDs, so IDs from two daemon generations never collide in logs.
+func newBootID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "eed"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// validRequestID bounds what the server honors from clients: a short
+// token of [A-Za-z0-9._-]. Anything else gets a generated ID instead.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// requestID returns the correlation ID for r — the client's, when it
+// sent a well-formed one, else a fresh server-generated ID — plus the
+// client's 1-based retry attempt (0 when absent).
+func (s *Server) requestID(r *http.Request) (string, int) {
+	id := r.Header.Get(HeaderRequestID)
+	if !validRequestID(id) {
+		id = fmt.Sprintf("%s-%06d", s.bootID, s.reqSeq.Add(1))
+	}
+	attempt, err := strconv.Atoi(r.Header.Get(HeaderAttempt))
+	if err != nil || attempt < 0 {
+		attempt = 0
+	}
+	return id, attempt
+}
+
+// logRequest emits the request's structured log line: info for
+// successes, warn for client-classed failures, error for 5xx.
+func (s *Server) logRequest(ev *obs.WideEvent) {
+	if s.logger == nil {
+		return
+	}
+	lvl := slog.LevelInfo
+	switch {
+	case ev.Status >= 500:
+		lvl = slog.LevelError
+	case ev.Status >= 400:
+		lvl = slog.LevelWarn
+	}
+	attrs := []slog.Attr{
+		slog.String("request_id", ev.RequestID),
+		slog.String("route", ev.Route),
+		slog.Int("status", ev.Status),
+		slog.Int64("total_ns", ev.TotalNS),
+		slog.Int64("queue_ns", ev.QueueNS),
+	}
+	if ev.Attempt > 0 {
+		attrs = append(attrs, slog.Int("attempt", ev.Attempt))
+	}
+	if ev.Net != "" {
+		attrs = append(attrs, slog.String("net", ev.Net))
+	}
+	if ev.Cache != "" {
+		attrs = append(attrs, slog.String("cache", ev.Cache))
+	}
+	if ev.Class != "" {
+		attrs = append(attrs, slog.String("class", ev.Class))
+	}
+	if ev.Degraded != "" {
+		attrs = append(attrs, slog.String("degraded", ev.Degraded))
+	}
+	if ev.Err != "" {
+		attrs = append(attrs, slog.String("err", ev.Err))
+	}
+	s.logger.LogAttrs(context.Background(), lvl, "request", attrs...)
+}
+
 // analysis wraps an analysis handler with the service spine: POST-only,
 // drain rejection, the connection-aware worker-pool bound, the request
-// timeout, body-size cap and per-endpoint metrics. The semaphore is the
+// timeout, body-size cap, panic recovery, per-endpoint metrics, and the
+// flight recorder's single wide event per request. The semaphore is the
 // "connection-aware worker pool": at most MaxInflight requests execute,
 // excess requests wait in line holding no resources, and a queued client
 // that gives up (closed connection, canceled context) leaves the queue
 // without ever running.
+//
+// Every exit path — success, guard-mapped error, panic-recovered 500,
+// drain 503, queue-timeout 504, even a connection abort — funnels
+// through the one deferred Record below, so each request emits exactly
+// one wide event, correlated by X-Eed-Request-Id with the client's
+// retries.
 func (s *Server) analysis(endpoint string, h func(ctx context.Context, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		track := obs.On()
-		var t0 time.Time
+		t0 := s.clock()
 		if track {
 			endpointCounter(endpoint).Inc()
-			t0 = time.Now()
 		}
+		rid, attempt := s.requestID(r)
+		w.Header().Set(HeaderRequestID, rid)
+		ev := obs.WideEvent{StartNS: t0.UnixNano(), RequestID: rid, Attempt: attempt, Route: endpoint}
+		var tr *obs.Trace
+		if s.opts.DebugRequests {
+			// Span tracing is armed only with the debug endpoints: the
+			// capture buffer serves the tree, and dormant requests skip
+			// the per-request Trace allocation entirely.
+			tr = obs.NewTrace(endpoint)
+			tr.Root().SetLabel(rid)
+		}
+		ew := &eventWriter{ResponseWriter: w, ev: &ev}
+		defer func() {
+			p := recover()
+			if p != nil && p != http.ErrAbortHandler {
+				// Handler panic: answer 500 on the still-open connection
+				// (unless the handler already wrote headers) instead of
+				// tearing it down, and record it like any internal error.
+				if ew.wrote {
+					ev.SetClass("internal")
+					ev.Err = fmt.Sprintf("handler panic after response started: %v", p)
+				} else {
+					writeError(ew, &apiErr{status: http.StatusInternalServerError, class: "internal",
+						message: fmt.Sprintf("handler panic: %v", p)})
+				}
+			}
+			if p == http.ErrAbortHandler {
+				// Deliberate connection abort (srv.conn_drop): the event
+				// records it, then the panic continues so net/http still
+				// severs the transport.
+				ev.SetClass("aborted")
+				ev.Err = "connection aborted (http.ErrAbortHandler)"
+			}
+			ev.TotalNS = int64(s.clock().Sub(t0))
+			if tr != nil {
+				tr.Finish()
+			}
+			s.flight.Record(&ev, tr)
+			s.logRequest(&ev)
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+		}()
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", "POST")
-			writeError(w, &apiErr{status: http.StatusMethodNotAllowed, class: "method",
+			writeError(ew, &apiErr{status: http.StatusMethodNotAllowed, class: "method",
 				message: endpoint + " accepts POST only"})
 			return
 		}
@@ -237,7 +449,7 @@ func (s *Server) analysis(endpoint string, h func(ctx context.Context, w http.Re
 			if track {
 				mRejectedDrain.Inc()
 			}
-			writeError(w, &apiErr{status: http.StatusServiceUnavailable, class: "draining",
+			writeError(ew, &apiErr{status: http.StatusServiceUnavailable, class: "draining",
 				message:    "server is draining; retry against another instance",
 				retryAfter: s.retrySecs})
 			return
@@ -252,20 +464,23 @@ func (s *Server) analysis(endpoint string, h func(ctx context.Context, w http.Re
 		if track {
 			mQueued.Inc()
 		}
+		qt0 := s.clock()
 		select {
 		case s.sem <- struct{}{}:
 			s.queued.Add(-1)
+			ev.QueueNS = int64(s.clock().Sub(qt0))
 			if track {
 				mQueued.Dec()
 			}
 		case <-ctx.Done():
 			s.queued.Add(-1)
+			ev.QueueNS = int64(s.clock().Sub(qt0))
 			if track {
 				mQueued.Dec()
 			}
 			// The deadline fired while the request was still queued — it
 			// never executed, so the 504 carries Retry-After (edit-safe).
-			writeError(w, &apiErr{status: http.StatusGatewayTimeout, class: "canceled",
+			writeError(ew, &apiErr{status: http.StatusGatewayTimeout, class: "canceled",
 				message:    "request deadline expired while queued for a worker slot: " + context.Cause(ctx).Error(),
 				retryAfter: s.retrySecs})
 			return
@@ -288,15 +503,15 @@ func (s *Server) analysis(endpoint string, h func(ctx context.Context, w http.Re
 		// slow analysis would.
 		if faultinj.On() {
 			if faultinj.Fire(faultinj.SrvPanic) {
-				// net/http closes the connection; the deferred slot release
-				// above still runs.
+				// Recovered by the middleware's deferred recover above:
+				// the client gets a 500, the flight recorder one event.
 				panic("faultinj: injected handler panic (srv.panic)")
 			}
 			if faultinj.Fire(faultinj.SrvConnDrop) {
 				panic(http.ErrAbortHandler)
 			}
 			if faultinj.Fire(faultinj.SrvQueueTimeout) {
-				writeError(w, &apiErr{status: http.StatusGatewayTimeout, class: "canceled",
+				writeError(ew, &apiErr{status: http.StatusGatewayTimeout, class: "canceled",
 					message:    "injected queue timeout (srv.queue_timeout)",
 					retryAfter: s.retrySecs})
 				return
@@ -305,41 +520,73 @@ func (s *Server) analysis(endpoint string, h func(ctx context.Context, w http.Re
 				select {
 				case <-time.After(d):
 				case <-ctx.Done():
-					writeError(w, guard.New(guard.ErrCanceled, "eedsrv", context.Cause(ctx)))
+					writeError(ew, guard.New(guard.ErrCanceled, "eedsrv", context.Cause(ctx)))
 					return
 				}
 			}
 		}
-		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
-		h(ctx, w, r)
+		ctx = obs.WithEvent(ctx, &ev)
+		if tr != nil {
+			ctx = obs.WithTrace(ctx, tr)
+		}
+		r.Body = http.MaxBytesReader(ew, r.Body, s.opts.MaxBodyBytes)
+		h(ctx, ew, r)
 	}
 }
 
 // resolveNet materializes the net a request names: an inline tree is
 // parsed under the server's limits and registered (warm for the next
 // call), a fingerprint is looked up among the resident nets. Exactly one
-// of the two must be given.
-func (s *Server) resolveNet(treeText, netHex string) (*engine.Resident, error) {
+// of the two must be given. The request's wide event (carried by ctx, if
+// any) is annotated with the resolved fingerprint, the registry hit/miss
+// outcome, and the parse/resolve stage timing.
+func (s *Server) resolveNet(ctx context.Context, treeText, netHex string) (*engine.Resident, error) {
+	ev := obs.EventFrom(ctx)
+	sp, _ := obs.StartSpan(ctx, "resolve")
+	rt0 := time.Now()
+	defer func() { ev.AddStage("resolve", time.Since(rt0)) }()
 	switch {
 	case treeText != "" && netHex != "":
+		sp.EndWith("parse")
 		return nil, guard.Newf(guard.ErrParse, "eedsrv", `request names both "tree" and "net"; give exactly one`)
 	case treeText != "":
 		tree, err := rlctree.ParseLimits(strings.NewReader(treeText), s.opts.Limits)
 		if err != nil {
+			sp.EndWith("parse")
 			return nil, err
 		}
-		return s.reg.Put(tree)
+		res, hit, err := s.reg.PutInfo(tree)
+		if err != nil {
+			sp.EndWith(guard.ClassName(err))
+			return nil, err
+		}
+		ev.SetNet(fingerprintHex(tree.Fingerprint()))
+		if hit {
+			ev.SetCache("hit")
+			sp.EndWith("hit")
+		} else {
+			ev.SetCache("miss")
+			sp.EndWith("miss")
+		}
+		return res, nil
 	case netHex != "":
 		fp, err := parseFingerprint(netHex)
 		if err != nil {
+			sp.EndWith("parse")
 			return nil, err
 		}
+		ev.SetNet(netHex)
 		res, ok := s.reg.Lookup(fp)
 		if !ok {
+			ev.SetCache("miss")
+			sp.EndWith("miss")
 			return nil, errNotFound("net %s is not resident (never registered, evicted, or re-keyed by edits)", netHex)
 		}
+		ev.SetCache("hit")
+		sp.EndWith("hit")
 		return res, nil
 	}
+	sp.EndWith("parse")
 	return nil, guard.Newf(guard.ErrParse, "eedsrv", `request names no net: give "tree" (inline text) or "net" (fingerprint)`)
 }
 
@@ -356,6 +603,17 @@ func parseFingerprint(s string) (rlctree.Fingerprint, error) {
 
 // fingerprintHex is the wire form of a fingerprint.
 func fingerprintHex(fp rlctree.Fingerprint) string { return hex.EncodeToString(fp[:]) }
+
+// annotateDegraded records a degraded analysis result on the request's
+// wide event (first degradation wins — one reason is enough evidence).
+func annotateDegraded(ctx context.Context, na core.NodeAnalysis) {
+	if !na.Degraded {
+		return
+	}
+	if ev := obs.EventFrom(ctx); ev != nil && ev.Degraded == "" {
+		ev.SetDegraded(na.DegradedClass)
+	}
+}
 
 // netInfo snapshots a resident's descriptive fields under its lock.
 func netInfo(res *engine.Resident) NetInfo {
@@ -406,7 +664,7 @@ func (s *Server) handleRegister(ctx context.Context, w http.ResponseWriter, r *h
 		writeError(w, guard.Newf(guard.ErrParse, "eedsrv", `"tree" is required`))
 		return
 	}
-	res, err := s.resolveNet(req.Tree, "")
+	res, err := s.resolveNet(ctx, req.Tree, "")
 	if err != nil {
 		writeError(w, err)
 		return
@@ -424,7 +682,7 @@ func (s *Server) handleDelay(ctx context.Context, w http.ResponseWriter, r *http
 		writeError(w, guard.Newf(guard.ErrParse, "eedsrv", `"node" is required`))
 		return
 	}
-	res, err := s.resolveNet(req.Tree, req.Net)
+	res, err := s.resolveNet(ctx, req.Tree, req.Net)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -435,10 +693,16 @@ func (s *Server) handleDelay(ctx context.Context, w http.ResponseWriter, r *http
 		if sink == nil {
 			return errNotFound("net has no node %q", req.Node)
 		}
+		sp, _ := obs.StartSpan(ctx, "analyze")
+		at0 := time.Now()
 		na, err := sess.AnalyzeAt(sink)
+		obs.EventFrom(ctx).AddStage("analyze", time.Since(at0))
 		if err != nil {
+			sp.EndWith(guard.ClassName(err))
 			return err
 		}
+		sp.End()
+		annotateDegraded(ctx, na)
 		resp = DelayResponse{Net: fingerprintHex(tr.Fingerprint()), Result: NodeResultOf(na)}
 		return nil
 	})
@@ -455,19 +719,26 @@ func (s *Server) handleAnalyze(ctx context.Context, w http.ResponseWriter, r *ht
 		writeError(w, err)
 		return
 	}
-	res, err := s.resolveNet(req.Tree, req.Net)
+	res, err := s.resolveNet(ctx, req.Tree, req.Net)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	var resp AnalyzeResponse
 	err = res.Do(func(sess *engine.Session, tr *rlctree.Tree) error {
+		sp, _ := obs.StartSpan(ctx, "analyze")
+		sp.SetSections(tr.Len())
+		at0 := time.Now()
 		analyses, err := sess.Analyze(ctx)
+		obs.EventFrom(ctx).AddStage("analyze", time.Since(at0))
 		if err != nil {
+			sp.EndWith(guard.ClassName(err))
 			return err
 		}
+		sp.End()
 		resp = AnalyzeResponse{Net: fingerprintHex(tr.Fingerprint()), Nodes: make([]NodeResult, 0, len(analyses))}
 		for _, na := range analyses {
+			annotateDegraded(ctx, na)
 			resp.Nodes = append(resp.Nodes, NodeResultOf(na))
 		}
 		return nil
@@ -508,7 +779,7 @@ func (s *Server) handleEdit(ctx context.Context, w http.ResponseWriter, r *http.
 			return
 		}
 	}
-	res, err := s.resolveNet(req.Tree, req.Net)
+	res, err := s.resolveNet(ctx, req.Tree, req.Net)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -518,7 +789,10 @@ func (s *Server) handleEdit(ctx context.Context, w http.ResponseWriter, r *http.
 		// Whatever happens below, the registry key must track the content:
 		// EditAndAnalyze applies edits in order and keeps the earlier ones
 		// on a mid-batch failure.
-		defer func() { resp.Net = fingerprintHex(s.reg.Rekey(res)) }()
+		defer func() {
+			resp.Net = fingerprintHex(s.reg.Rekey(res))
+			obs.EventFrom(ctx).SetNet(resp.Net)
+		}()
 		edits := make([]engine.SectionEdit, len(req.Edits))
 		for i, e := range req.Edits {
 			sec := tr.Section(e.Node)
@@ -531,10 +805,17 @@ func (s *Server) handleEdit(ctx context.Context, w http.ResponseWriter, r *http.
 		if sink == nil {
 			return errNotFound("net has no node %q", req.Node)
 		}
+		sp, _ := obs.StartSpan(ctx, "edit")
+		sp.SetSections(len(edits))
+		et0 := time.Now()
 		na, err := sess.EditAndAnalyze(ctx, edits, sink)
+		obs.EventFrom(ctx).AddStage("edit", time.Since(et0))
 		if err != nil {
+			sp.EndWith(guard.ClassName(err))
 			return err
 		}
+		sp.End()
+		annotateDegraded(ctx, na)
 		resp.Applied = len(edits)
 		resp.Result = NodeResultOf(na)
 		return nil
@@ -561,9 +842,14 @@ func (s *Server) handleBatch(ctx context.Context, w http.ResponseWriter, r *http
 		return
 	}
 	results := make([]BatchResult, len(req.Items))
-	errs := engine.Batch(ctx, len(req.Items), req.Workers, func(ctx context.Context, i int) error {
+	// Items run concurrently: detach the request's wide event so per-item
+	// annotations cannot race on it. The batch stage below still times
+	// the fan-out as a whole.
+	bt0 := time.Now()
+	bctx := obs.DetachEvent(ctx)
+	errs := engine.Batch(bctx, len(req.Items), req.Workers, func(ctx context.Context, i int) error {
 		item := req.Items[i]
-		res, err := s.resolveNet(item.Tree, item.Net)
+		res, err := s.resolveNet(ctx, item.Tree, item.Net)
 		if err != nil {
 			return err
 		}
@@ -594,6 +880,8 @@ func (s *Server) handleBatch(ctx context.Context, w http.ResponseWriter, r *http
 			return nil
 		})
 	})
+	ev := obs.EventFrom(ctx)
+	ev.AddStage("batch", time.Since(bt0))
 	resp := BatchResponse{Results: results}
 	for i, err := range errs {
 		if err != nil {
@@ -601,6 +889,10 @@ func (s *Server) handleBatch(ctx context.Context, w http.ResponseWriter, r *http
 			results[i] = BatchResult{Error: &ae}
 			resp.Failed++
 		}
+	}
+	if resp.Failed > 0 {
+		ev.SetClass("partial")
+		ev.SetErr(fmt.Errorf("%d of %d batch items failed", resp.Failed, len(req.Items)))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -613,7 +905,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := HealthResponse{Status: "ok", Inflight: s.Inflight(),
-		ResidentNets: s.reg.Stats().Resident}
+		ResidentNets:  s.reg.Stats().Resident,
+		UptimeSeconds: int64(s.clock().Sub(s.start) / time.Second),
+		GoVersion:     runtime.Version()}
 	status := http.StatusOK
 	if s.draining.Load() {
 		// Draining keeps the JSON body: a load balancer (and the chaos

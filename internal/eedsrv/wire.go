@@ -42,6 +42,7 @@ import (
 
 	"eedtree/internal/core"
 	"eedtree/internal/guard"
+	"eedtree/internal/obs"
 	"eedtree/internal/rlctree"
 )
 
@@ -157,9 +158,25 @@ type RegistryResponse struct {
 // distinguish "draining" (finite, let it finish) from "dead" (no answer
 // at all) by the body, not just the status.
 type HealthResponse struct {
-	Status       string `json:"status"` // "ok" or "draining"
-	Inflight     int    `json:"inflight"`
-	ResidentNets int    `json:"resident_nets"`
+	Status        string `json:"status"` // "ok" or "draining"
+	Inflight      int    `json:"inflight"`
+	ResidentNets  int    `json:"resident_nets"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+	GoVersion     string `json:"go_version"`
+}
+
+// DebugRequestsResponse is the answer to GET /v1/debug/requests (mounted
+// only with Options.DebugRequests): the flight recorder's retained wide
+// events matching the query, newest first.
+type DebugRequestsResponse struct {
+	Events []obs.WideEvent `json:"events"`
+}
+
+// DebugSlowResponse is the answer to GET /v1/debug/slow: the bounded
+// capture buffer of slow/error requests, each with its span tree when
+// the request was traced. Newest first.
+type DebugSlowResponse struct {
+	Captures []obs.Capture `json:"captures"`
 }
 
 // FaultsRequest is the body of POST /v1/faults (test-only admin): arm the

@@ -305,10 +305,28 @@ func analyzeOne(ctx context.Context, job pipeJob, track bool) NetResult {
 		return nil
 	})
 	spef.RecycleNet(job.net)
+	res.Err = err
 	if track {
 		mPipeAnalyzeLatency.ObserveSince(tA)
+		// One wide event per pipeline unit of work: failed nets land in
+		// the flight recorder's capture buffer (Status 0 + Class counts
+		// as interesting), healthy ones ride the ring for /v1/debug
+		// style dumps. Gated on track so the dormant hot path stays at
+		// zero flight-recorder cost.
+		dur := time.Since(tA).Nanoseconds()
+		ev := obs.WideEvent{
+			StartNS: tA.UnixNano(),
+			Route:   "pipeline.net",
+			Net:     res.Net, // job.net is recycled; res captured the name
+			TotalNS: dur,
+		}
+		ev.AddStage("analyze", time.Duration(dur))
+		if err != nil {
+			ev.Class = guard.ClassName(err)
+			ev.Err = err.Error()
+		}
+		obs.DefaultFlight().Record(&ev, nil)
 	}
-	res.Err = err
 	return res
 }
 

@@ -105,8 +105,15 @@ func (res *Resident) Fingerprint() rlctree.Fingerprint {
 // The registry takes ownership of t: callers must not mutate it directly
 // afterwards (use Resident.Do).
 func (r *Registry) Put(t *rlctree.Tree) (*Resident, error) {
+	res, _, err := r.PutInfo(t)
+	return res, err
+}
+
+// PutInfo is Put, additionally reporting whether the content was already
+// resident (a registry hit) — the flight recorder's cache annotation.
+func (r *Registry) PutInfo(t *rlctree.Tree) (*Resident, bool, error) {
 	if t == nil || t.Len() == 0 {
-		return nil, guard.Newf(guard.ErrTopology, "engine", "registry: empty tree")
+		return nil, false, guard.Newf(guard.ErrTopology, "engine", "registry: empty tree")
 	}
 	fp := t.Fingerprint()
 	r.mu.Lock()
@@ -118,7 +125,7 @@ func (r *Registry) Put(t *rlctree.Tree) (*Resident, error) {
 		}
 		res := el.Value.(*Resident)
 		r.mu.Unlock()
-		return res, nil
+		return res, true, nil
 	}
 	r.misses++
 	if obs.On() {
@@ -132,7 +139,7 @@ func (r *Registry) Put(t *rlctree.Tree) (*Resident, error) {
 	// and returns it.
 	sess, err := newSession(r.eng, t)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	res := &Resident{reg: r, fp: fp, tree: t, sess: sess}
 
@@ -144,7 +151,7 @@ func (r *Registry) Put(t *rlctree.Tree) (*Resident, error) {
 		if obs.On() {
 			mRegistryHits.Inc()
 		}
-		return el.Value.(*Resident), nil
+		return el.Value.(*Resident), true, nil
 	}
 	res.elem = r.order.PushFront(res)
 	r.byKey[fp] = res.elem
@@ -152,7 +159,7 @@ func (r *Registry) Put(t *rlctree.Tree) (*Resident, error) {
 	if obs.On() {
 		mRegistryNets.Set(int64(r.order.Len()))
 	}
-	return res, nil
+	return res, false, nil
 }
 
 // Lookup returns the resident net with the given fingerprint, refreshing

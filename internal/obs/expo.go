@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 )
 
@@ -47,17 +48,44 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", family, cum)
 			fmt.Fprintf(bw, "%s_sum %d\n", family, s.sum)
 			fmt.Fprintf(bw, "%s_count %d\n", family, s.count)
+			// Pre-computed quantile estimates as untyped companion
+			// series, so dashboards without a PromQL evaluator (the
+			// .json form, curl) still get latency percentiles. Skipped
+			// for empty histograms, where the estimate is undefined.
+			if s.count > 0 {
+				for _, q := range expoQuantiles {
+					fmt.Fprintf(bw, "%s_p%d %s\n", family, q.pct, formatQuantile(s.quantile(q.q)))
+				}
+			}
 		}
 		lastFamily = family
 	}
 	return bw.Flush()
 }
 
-// jsonHistogram is the JSON form of a histogram snapshot.
+// expoQuantiles are the quantile estimates both exposition forms attach
+// to every non-empty histogram.
+var expoQuantiles = []struct {
+	pct int
+	q   float64
+}{{50, 0.50}, {95, 0.95}, {99, 0.99}}
+
+// formatQuantile renders a quantile estimate with the shortest exact
+// representation, so golden tests stay byte-stable.
+func formatQuantile(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// jsonHistogram is the JSON form of a histogram snapshot. The quantile
+// fields are omitted for empty histograms (the estimate is undefined,
+// and NaN is not representable in JSON).
 type jsonHistogram struct {
 	Buckets []jsonBucket `json:"buckets"`
 	Sum     int64        `json:"sum"`
 	Count   uint64       `json:"count"`
+	P50     *float64     `json:"p50,omitempty"`
+	P95     *float64     `json:"p95,omitempty"`
+	P99     *float64     `json:"p99,omitempty"`
 }
 
 type jsonBucket struct {
@@ -89,6 +117,10 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		case *Histogram:
 			s := m.snapshot()
 			jh := jsonHistogram{Sum: s.sum, Count: s.count}
+			if s.count > 0 {
+				p50, p95, p99 := s.quantile(0.50), s.quantile(0.95), s.quantile(0.99)
+				jh.P50, jh.P95, jh.P99 = &p50, &p95, &p99
+			}
 			cum := uint64(0)
 			for i, b := range s.bounds {
 				cum += s.counts[i]

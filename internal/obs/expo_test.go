@@ -39,6 +39,9 @@ eed_test_latency_ns_bucket{le="1000"} 3
 eed_test_latency_ns_bucket{le="+Inf"} 4
 eed_test_latency_ns_sum 5555
 eed_test_latency_ns_count 4
+eed_test_latency_ns_p50 100
+eed_test_latency_ns_p95 1000
+eed_test_latency_ns_p99 1000
 `
 
 func TestWritePrometheusGolden(t *testing.T) {
@@ -95,7 +98,10 @@ const goldenJSON = `{
         }
       ],
       "sum": 5555,
-      "count": 4
+      "count": 4,
+      "p50": 100,
+      "p95": 1000,
+      "p99": 1000
     }
   }
 }

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderRoundsRingToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 16}, {1, 16}, {16, 16}, {17, 32}, {1000, 1024}, {1024, 1024},
+	} {
+		if got := NewFlightRecorder(tc.in, 4, 0).Len(); got != tc.want {
+			t.Errorf("NewFlightRecorder(%d).Len() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFlightRecorderRecordAndSnapshot(t *testing.T) {
+	f := NewFlightRecorder(16, 4, time.Second)
+	for i := 0; i < 5; i++ {
+		ev := WideEvent{RequestID: fmt.Sprintf("req-%d", i), Route: "/v1/delay", Status: 200, TotalNS: 1000}
+		if seq := f.Record(&ev, nil); seq != uint64(i+1) {
+			t.Fatalf("Record #%d returned seq %d", i, seq)
+		}
+	}
+	got := f.Snapshot(Filter{})
+	if len(got) != 5 {
+		t.Fatalf("Snapshot returned %d events, want 5", len(got))
+	}
+	// Newest first.
+	for i, ev := range got {
+		if want := uint64(5 - i); ev.Seq != want {
+			t.Errorf("event %d has seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+	if got[0].RequestID != "req-4" || got[4].RequestID != "req-0" {
+		t.Errorf("unexpected ordering: first=%s last=%s", got[0].RequestID, got[4].RequestID)
+	}
+}
+
+func TestFlightRecorderRingWraps(t *testing.T) {
+	f := NewFlightRecorder(16, 4, time.Second)
+	for i := 0; i < 40; i++ {
+		f.Record(&WideEvent{Status: 200}, nil)
+	}
+	got := f.Snapshot(Filter{})
+	if len(got) != 16 {
+		t.Fatalf("after wrap Snapshot returned %d events, want 16", len(got))
+	}
+	if got[0].Seq != 40 || got[15].Seq != 25 {
+		t.Errorf("retained seqs [%d..%d], want [40..25]", got[0].Seq, got[15].Seq)
+	}
+}
+
+func TestFlightRecorderFilters(t *testing.T) {
+	f := NewFlightRecorder(64, 4, time.Second)
+	f.Record(&WideEvent{RequestID: "a", Route: "/v1/delay", Status: 200}, nil)
+	f.Record(&WideEvent{RequestID: "b", Route: "/v1/edit", Status: 504, Class: "timeout"}, nil)
+	f.Record(&WideEvent{RequestID: "b", Route: "/v1/edit", Status: 200}, nil)
+	f.Record(&WideEvent{RequestID: "c", Route: "/v1/delay", Status: 400, Class: "parse"}, nil)
+
+	if got := f.Snapshot(Filter{Status: 504}); len(got) != 1 || got[0].RequestID != "b" {
+		t.Errorf("Status filter: got %+v", got)
+	}
+	if got := f.Snapshot(Filter{Class: "parse"}); len(got) != 1 || got[0].RequestID != "c" {
+		t.Errorf("Class filter: got %+v", got)
+	}
+	if got := f.Snapshot(Filter{Route: "/v1/edit"}); len(got) != 2 {
+		t.Errorf("Route filter: got %d events, want 2", len(got))
+	}
+	if got := f.Snapshot(Filter{RequestID: "b"}); len(got) != 2 {
+		t.Errorf("RequestID filter: got %d events, want 2", len(got))
+	}
+	if got := f.Snapshot(Filter{N: 2}); len(got) != 2 || got[0].Seq != 4 {
+		t.Errorf("N filter: got %d events, first seq %d", len(got), got[0].Seq)
+	}
+}
+
+func TestFlightRecorderCapturesErrorsAndSlow(t *testing.T) {
+	f := NewFlightRecorder(16, 2, time.Millisecond)
+	// Fast success: not captured.
+	ok := WideEvent{RequestID: "ok", Status: 200, TotalNS: 10}
+	f.Record(&ok, nil)
+	if ok.Captured {
+		t.Error("fast success marked Captured")
+	}
+	// Error with a traced span tree: captured.
+	tr := NewTrace("request")
+	sp, _ := StartSpan(WithTrace(context.Background(), tr), "analyze")
+	sp.End()
+	tr.Finish()
+	errEv := WideEvent{RequestID: "boom", Status: 504, Class: "timeout", TotalNS: 10}
+	f.Record(&errEv, tr)
+	if !errEv.Captured {
+		t.Error("504 not marked Captured")
+	}
+	// Slow success: captured, no trace.
+	slow := WideEvent{RequestID: "slow", Status: 200, TotalNS: int64(2 * time.Millisecond)}
+	f.Record(&slow, nil)
+
+	caps := f.Captures()
+	if len(caps) != 2 {
+		t.Fatalf("Captures returned %d, want 2 (bounded)", len(caps))
+	}
+	if caps[0].Event.RequestID != "slow" || caps[1].Event.RequestID != "boom" {
+		t.Errorf("capture order: got %s, %s", caps[0].Event.RequestID, caps[1].Event.RequestID)
+	}
+	if caps[1].Spans == nil {
+		t.Fatal("traced capture lost its span tree")
+	}
+	if len(caps[1].Spans.Children) != 1 || caps[1].Spans.Children[0].Name != "analyze" {
+		t.Errorf("span tree mismatch: %+v", caps[1].Spans)
+	}
+	if caps[0].Spans != nil {
+		t.Error("untraced capture grew a span tree")
+	}
+}
+
+func TestFlightRecorderCapturesPipelineClassFailures(t *testing.T) {
+	// Pipeline units have no HTTP status; a guard class alone must
+	// qualify for capture.
+	f := NewFlightRecorder(16, 4, time.Second)
+	ev := WideEvent{RequestID: "net42", Class: "numeric"}
+	f.Record(&ev, nil)
+	if !ev.Captured {
+		t.Error("classed pipeline failure not captured")
+	}
+}
+
+func TestWideEventStagesInline(t *testing.T) {
+	var ev WideEvent
+	for i := 0; i < maxStages+3; i++ {
+		ev.AddStage(fmt.Sprintf("s%d", i), time.Duration(i+1))
+	}
+	if got := len(ev.Stages()); got != maxStages {
+		t.Fatalf("Stages() len %d, want capped at %d", got, maxStages)
+	}
+	b, err := json.Marshal(&ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back WideEvent
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Stages()) != maxStages || back.Stages()[0] != (StageDur{Name: "s0", NS: 1}) {
+		t.Errorf("round-trip stages mismatch: %+v", back.Stages())
+	}
+}
+
+func TestWideEventSettersNilSafe(t *testing.T) {
+	var ev *WideEvent
+	ev.SetNet("n")
+	ev.SetStatus(200)
+	ev.SetClass("c")
+	ev.SetDegraded("d")
+	ev.SetCache("hit")
+	ev.SetErr(fmt.Errorf("x"))
+	ev.AddStage("s", 1)
+	if ev.Stages() != nil {
+		t.Error("nil event returned stages")
+	}
+	if f := (*FlightRecorder)(nil); f.Record(&WideEvent{}, nil) != 0 || f.Snapshot(Filter{}) != nil || f.Captures() != nil {
+		t.Error("nil recorder not inert")
+	}
+}
+
+func TestEventFromContext(t *testing.T) {
+	if EventFrom(context.Background()) != nil {
+		t.Error("empty context yielded an event")
+	}
+	ev := &WideEvent{RequestID: "r"}
+	ctx := WithEvent(context.Background(), ev)
+	if got := EventFrom(ctx); got != ev {
+		t.Errorf("EventFrom = %p, want %p", got, ev)
+	}
+	if WithEvent(context.Background(), nil) != context.Background() {
+		t.Error("WithEvent(nil) should return ctx unchanged")
+	}
+}
+
+// TestFlightRecorderConcurrent is the race-mode reader/writer test: many
+// goroutines record while others snapshot and read captures. Run under
+// `go test -race ./internal/obs/` it proves the ring is data-race free.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(64, 8, time.Millisecond)
+	const writers, readers, perWriter = 4, 2, 500
+	var writeWG, readWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < perWriter; i++ {
+				ev := WideEvent{RequestID: fmt.Sprintf("w%d-%d", w, i), Route: "/v1/delay", Status: 200 + 304*(i%2), TotalNS: int64(i)}
+				ev.AddStage("analyze", time.Duration(i))
+				f.Record(&ev, nil)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				evs := f.Snapshot(Filter{Status: 504, N: 10})
+				for i := 1; i < len(evs); i++ {
+					if evs[i].Seq >= evs[i-1].Seq {
+						t.Errorf("snapshot not strictly newest-first: %d then %d", evs[i-1].Seq, evs[i].Seq)
+						return
+					}
+				}
+				f.Captures()
+			}
+		}()
+	}
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+	if got := f.seq.Load(); got != writers*perWriter {
+		t.Errorf("recorded %d events, want %d", got, writers*perWriter)
+	}
+}

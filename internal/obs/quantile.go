@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"cmp"
+	"math"
+)
+
+// Percentile returns the nearest-rank p-th percentile of sorted (ascending)
+// samples: the smallest element with at least ceil(len*p/100) samples at
+// or below it. p is clamped to [0, 100]; an empty slice yields the zero
+// value. This is the one percentile implementation in the repository —
+// the load harness, the batch summary, and the chaos report all rank
+// with it, so their numbers agree by construction.
+func Percentile[T cmp.Ordered](sorted []T, p int) T {
+	var zero T
+	if len(sorted) == 0 {
+		return zero
+	}
+	idx := (len(sorted)*p + 99) / 100 // ceil(len*p/100), nearest-rank
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+// Quantile estimates the q-th quantile (q in (0, 1]) of the recorded
+// samples by linear interpolation inside the bucket where the rank
+// falls, the same estimate Prometheus's histogram_quantile computes
+// server-side. Samples landing in the +Inf bucket clamp the estimate to
+// the highest finite bound. Returns NaN for an empty histogram or a
+// non-finite q.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.snapshot().quantile(q)
+}
+
+func (s histSnapshot) quantile(q float64) float64 {
+	if s.count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.count)
+	cum := 0.0
+	for i, c := range s.counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i == len(s.bounds) {
+			// Rank falls in the +Inf bucket: the best honest answer is
+			// the largest finite bound (or NaN when there are none).
+			if len(s.bounds) == 0 {
+				return math.NaN()
+			}
+			return float64(s.bounds[len(s.bounds)-1])
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = float64(s.bounds[i-1])
+		}
+		upper := float64(s.bounds[i])
+		if c == 0 {
+			return upper
+		}
+		return lower + (upper-lower)*(rank-prev)/float64(c)
+	}
+	return math.NaN() // unreachable: cum == count >= rank by the loop end
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestPercentileMatchesLoadHarness pins the nearest-rank semantics that
+// cmd/eedload shipped with before the helper was hoisted here: the table
+// rows are the old pct() outputs verbatim, so load-report percentiles
+// are unchanged by the dedupe.
+func TestPercentileMatchesLoadHarness(t *testing.T) {
+	ms := func(vs ...int) []time.Duration {
+		out := make([]time.Duration, len(vs))
+		for i, v := range vs {
+			out[i] = time.Duration(v) * time.Millisecond
+		}
+		return out
+	}
+	cases := []struct {
+		name   string
+		sorted []time.Duration
+		p      int
+		want   time.Duration
+	}{
+		{"empty", nil, 50, 0},
+		{"single_p50", ms(7), 50, 7 * time.Millisecond},
+		{"single_p99", ms(7), 99, 7 * time.Millisecond},
+		{"ten_p50", ms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 50, 5 * time.Millisecond},
+		{"ten_p90", ms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 90, 9 * time.Millisecond},
+		{"ten_p99", ms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 99, 10 * time.Millisecond},
+		{"hundred_p50", seqDur(100), 50, 50 * time.Millisecond},
+		{"hundred_p99", seqDur(100), 99, 99 * time.Millisecond},
+		{"p0_clamps_low", ms(3, 9), 0, 3 * time.Millisecond},
+		{"p100_clamps_high", ms(3, 9), 100, 9 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := Percentile(tc.sorted, tc.p); got != tc.want {
+			t.Errorf("%s: Percentile(p=%d) = %v, want %v", tc.name, tc.p, got, tc.want)
+		}
+	}
+	// Works over plain numeric types too (the chaos report uses float64 ms).
+	if got := Percentile([]float64{1.5, 2.5, 3.5}, 50); got != 2.5 {
+		t.Errorf("float64 p50 = %v, want 2.5", got)
+	}
+}
+
+func seqDur(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(i+1) * time.Millisecond
+	}
+	return out
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram("q", "", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	// rank(0.5) = 2 → second bucket (10, 100], prev cum 1, width 90,
+	// one sample → 10 + 90*(2-1)/1 = 100.
+	if got := h.Quantile(0.5); got != 100 {
+		t.Errorf("Quantile(0.5) = %v, want 100", got)
+	}
+	// rank(0.95) = 3.8 → +Inf bucket → clamp to highest finite bound.
+	if got := h.Quantile(0.95); got != 1000 {
+		t.Errorf("Quantile(0.95) = %v, want 1000", got)
+	}
+	// First-bucket interpolation from lower bound 0: rank(0.25) = 1 →
+	// 0 + 10*(1-0)/1 = 10.
+	if got := h.Quantile(0.25); got != 10 {
+		t.Errorf("Quantile(0.25) = %v, want 10", got)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	empty := newHistogram("e", "", []int64{10})
+	if got := empty.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty Quantile = %v, want NaN", got)
+	}
+	h := newHistogram("h", "", []int64{10, 100})
+	h.Observe(5)
+	if got := h.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(NaN) = %v, want NaN", got)
+	}
+	// Out-of-range q clamps rather than erroring.
+	if got := h.Quantile(2); got != 10 {
+		t.Errorf("Quantile(2) = %v, want 10", got)
+	}
+	// All samples in +Inf with no finite bound crossing below: estimate
+	// clamps to the largest finite bound.
+	inf := newHistogram("i", "", []int64{10})
+	inf.Observe(999)
+	if got := inf.Quantile(0.5); got != 10 {
+		t.Errorf("+Inf-only Quantile = %v, want 10 (largest finite bound)", got)
+	}
+}

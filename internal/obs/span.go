@@ -137,9 +137,10 @@ func (s *Span) EndWith(outcome string) {
 	s.End()
 }
 
-// spanJSON is the serialized form of a span. Start offsets are relative
-// to the root span's start so traces are comparable across runs.
-type spanJSON struct {
+// SpanNode is the serialized form of a span, also served by the flight
+// recorder's capture buffer. Start offsets are relative to the root
+// span's start so traces are comparable across runs.
+type SpanNode struct {
 	Name     string     `json:"name"`
 	Label    string     `json:"label,omitempty"`
 	Outcome  string     `json:"outcome"`
@@ -147,12 +148,12 @@ type spanJSON struct {
 	Workers  int64      `json:"workers,omitempty"`
 	StartNS  int64      `json:"start_ns"`
 	DurNS    int64      `json:"dur_ns"`
-	Children []spanJSON `json:"children,omitempty"`
+	Children []SpanNode `json:"children,omitempty"`
 }
 
-func (s *Span) toJSON(origin time.Time) spanJSON {
+func (s *Span) toJSON(origin time.Time) SpanNode {
 	s.mu.Lock()
-	j := spanJSON{
+	j := SpanNode{
 		Name:     s.name,
 		Label:    s.label,
 		Outcome:  s.outcome,
@@ -168,6 +169,12 @@ func (s *Span) toJSON(origin time.Time) spanJSON {
 	}
 	return j
 }
+
+// Tree returns the serialized span tree rooted at the trace's root.
+// Spans still open serialize with their current fields and a zero
+// duration; it is safe to call before Finish (the capture buffer does,
+// for requests that error out mid-flight).
+func (t *Trace) Tree() SpanNode { return t.root.toJSON(t.root.start) }
 
 // WriteJSON writes the span tree as indented JSON.
 func (t *Trace) WriteJSON(w io.Writer) error {
