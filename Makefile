@@ -34,6 +34,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzParseSource -fuzztime=$(FUZZTIME) ./internal/circuit/
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/rlctree/
 	$(GO) test -run=NONE -fuzz=FuzzEditJournal -fuzztime=$(FUZZTIME) ./internal/rlctree/
+	$(GO) test -run=NONE -fuzz=FuzzStructuralEdits -fuzztime=$(FUZZTIME) ./internal/incr/
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/spef/
 	$(GO) test -run=NONE -fuzz=FuzzStream -fuzztime=$(FUZZTIME) ./internal/spef/
 	$(GO) test -run=NONE -fuzz=FuzzFormatRoundTrip -fuzztime=$(FUZZTIME) ./internal/unit/
@@ -55,14 +56,17 @@ bench-json:
 	$(GO) run ./cmd/bench2text < bench-baseline.json > bench-baseline.txt
 	@echo "wrote bench-baseline.json and bench-baseline.txt"
 
-# bench-save: record the incremental-vs-rebuild optimizer benchmark pair
-# (the PR 5 headline numbers) as BENCH_PR5.json (raw test2json events) and
-# BENCH_PR5.txt (benchstat-comparable: `benchstat BENCH_PR5.txt <new>.txt`).
+# bench-save: record the incremental-vs-rebuild optimizer families — the
+# value-edit sizing pair (PR 5) plus the structural topology pairs
+# (PR 10) — as BENCH_PR10.json (raw test2json events) and BENCH_PR10.txt
+# (benchstat-comparable). The sizing pair overlaps the committed
+# BENCH_PR5 baseline, so the cross-PR trajectory is one command:
+# `go run ./cmd/bench2text -compare BENCH_PR5.json BENCH_PR10.json`.
 bench-save:
-	$(GO) test -run=NONE -bench='BenchmarkOptimizeWidthsIncremental$$|BenchmarkOptimizeWidthsRebuild$$' \
-		-benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -benchmem -json ./internal/opt/ > BENCH_PR5.json
-	$(GO) run ./cmd/bench2text < BENCH_PR5.json > BENCH_PR5.txt
-	@echo "wrote BENCH_PR5.json and BENCH_PR5.txt"
+	$(GO) test -run=NONE -bench='BenchmarkOptimizeWidthsIncremental$$|BenchmarkOptimizeWidthsRebuild$$|BenchmarkInsertRepeatersTopoIncremental$$|BenchmarkInsertRepeatersTopoRebuild$$|BenchmarkExploreTopologiesIncremental$$|BenchmarkExploreTopologiesRebuild$$' \
+		-benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -benchmem -json ./internal/opt/ > BENCH_PR10.json
+	$(GO) run ./cmd/bench2text < BENCH_PR10.json > BENCH_PR10.txt
+	@echo "wrote BENCH_PR10.json and BENCH_PR10.txt"
 
 # service-bench: record the delay-service load benchmark (the PR 6
 # headline numbers) as BENCH_PR6.json and BENCH_PR6.txt: per-operation

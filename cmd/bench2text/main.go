@@ -11,15 +11,28 @@
 // cpu header, Benchmark result lines (including their wrapped continuation
 // metrics), and the PASS/ok trailer benchstat tolerates. Test logs and
 // progress events are dropped.
+//
+// With -compare, bench2text instead reads two saved JSON baselines and
+// prints a median ns/op delta table for the benchmarks they share:
+//
+//	bench2text -compare BENCH_PR5.json BENCH_PR10.json
+//
+// This is how the repository's committed BENCH_PR<n> artifacts are read
+// against each other across PRs without needing benchstat installed.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // event is the subset of the test2json schema bench2text needs.
@@ -29,10 +42,115 @@ type event struct {
 }
 
 func main() {
-	if err := convert(os.Stdin, os.Stdout); err != nil {
+	compareMode := flag.Bool("compare", false,
+		"compare two saved baselines: bench2text -compare old.json new.json")
+	flag.Parse()
+	var err error
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: bench2text -compare old.json new.json")
+			os.Exit(2)
+		}
+		err = compareFiles(flag.Arg(0), flag.Arg(1), os.Stdout)
+	} else {
+		err = convert(os.Stdin, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench2text: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// compareFiles prints a median-ns/op delta table for the benchmark names
+// present in both saved test2json baselines.
+func compareFiles(oldPath, newPath string, w io.Writer) error {
+	oldSamples, err := benchSamples(oldPath)
+	if err != nil {
+		return err
+	}
+	newSamples, err := benchSamples(newPath)
+	if err != nil {
+		return err
+	}
+	var shared []string
+	for name := range oldSamples {
+		if _, ok := newSamples[name]; ok {
+			shared = append(shared, name)
+		}
+	}
+	if len(shared) == 0 {
+		return fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+	sort.Strings(shared)
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\told ns/op\tnew ns/op\tdelta\n")
+	for _, name := range shared {
+		o := median(oldSamples[name])
+		n := median(newSamples[name])
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\n", name, o, n, 100*(n-o)/o)
+	}
+	return tw.Flush()
+}
+
+// benchSamples extracts ns/op samples per benchmark name (the -procs
+// suffix stripped, so baselines from different GOMAXPROCS line up) from a
+// saved test2json stream.
+func benchSamples(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	// Reuse the benchstat distillation, which already reassembles result
+	// lines test2json split across events, then parse its text output.
+	var text strings.Builder
+	if err := convert(f, &text); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	samples := make(map[string][]float64)
+	for _, line := range strings.Split(text.String(), "\n") {
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		nsOp := math.NaN()
+		for i := 2; i < len(fields); i++ {
+			if fields[i] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad ns/op in %q: %w", path, line, err)
+				}
+				nsOp = v
+				break
+			}
+		}
+		if math.IsNaN(nsOp) {
+			continue // name-only line or a result without timings
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		samples[name] = append(samples[name], nsOp)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return samples, nil
+}
+
+// median of the samples; the mean of the central pair for even counts,
+// matching benchstat's summary statistic closely enough for delta tables.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
 }
 
 func convert(r io.Reader, w io.Writer) error {

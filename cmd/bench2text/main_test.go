@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -75,5 +78,74 @@ func TestConvertEmptyStream(t *testing.T) {
 	var out bytes.Buffer
 	if err := convert(strings.NewReader(""), &out); err != nil || out.Len() != 0 {
 		t.Fatalf("empty stream: err=%v out=%q", err, out.String())
+	}
+}
+
+// writeStream saves a synthetic test2json baseline with one output event
+// per benchmark sample line.
+func writeStream(t *testing.T, lines ...string) string {
+	t.Helper()
+	var b bytes.Buffer
+	for _, line := range lines {
+		ev, err := json.Marshal(event{Action: "output", Output: line + "\n"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(ev)
+		b.WriteByte('\n')
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, b.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareFilesDeltaTable(t *testing.T) {
+	old := writeStream(t,
+		"BenchmarkFast-8 \t 100\t 200 ns/op",
+		"BenchmarkFast-8 \t 100\t 100 ns/op",
+		"BenchmarkFast-8 \t 100\t 120 ns/op", // median 120
+		"BenchmarkSlow-8 \t 10\t 1000 ns/op",
+		"BenchmarkOldOnly-8 \t 10\t 5 ns/op",
+	)
+	now := writeStream(t,
+		"BenchmarkFast-16 \t 100\t 60 ns/op", // -procs suffix must not split the name
+		"BenchmarkSlow-8 \t 10\t 2000 ns/op",
+		"BenchmarkNewOnly-8 \t 10\t 7 ns/op",
+	)
+	var out bytes.Buffer
+	if err := compareFiles(old, now, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"BenchmarkFast", "120", "60", "-50.0%",
+		"BenchmarkSlow", "1000", "2000", "+100.0%",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("compare table missing %q:\n%s", want, got)
+		}
+	}
+	for _, reject := range []string{"BenchmarkOldOnly", "BenchmarkNewOnly"} {
+		if strings.Contains(got, reject) {
+			t.Errorf("unshared benchmark %q leaked into the table:\n%s", reject, got)
+		}
+	}
+}
+
+func TestCompareFilesErrors(t *testing.T) {
+	withBench := writeStream(t, "BenchmarkFoo-8 \t 10\t 10 ns/op")
+	noOverlap := writeStream(t, "BenchmarkBar-8 \t 10\t 10 ns/op")
+	empty := writeStream(t, "PASS")
+	var out bytes.Buffer
+	if err := compareFiles(withBench, noOverlap, &out); err == nil {
+		t.Fatal("disjoint baselines must error")
+	}
+	if err := compareFiles(withBench, empty, &out); err == nil {
+		t.Fatal("baseline without benchmarks must error")
+	}
+	if err := compareFiles(withBench, filepath.Join(t.TempDir(), "absent.json"), &out); err == nil {
+		t.Fatal("missing file must error")
 	}
 }

@@ -46,6 +46,23 @@ var (
 		"Latency of a whole-tree analysis issued through an incremental session, nanoseconds.",
 		obs.DefaultLatencyBuckets)
 
+	// Structural-incremental metrics (session.go catch-up + the structural
+	// edit wrappers). The attach/detach/split counters measure how much
+	// topology churn the kernel absorbed in place; structural resyncs are
+	// the failures of that bet — a topology change the journal could not
+	// replay (trimmed window, consumed tree) that forced an O(n) rebuild.
+	mIncrStructAttaches = obs.Default().Counter("eed_incr_structural_attaches_total",
+		"Attach records (leaf and subtree) folded into incremental session state.")
+	mIncrStructDetaches = obs.Default().Counter("eed_incr_structural_detaches_total",
+		"Detach records folded into incremental session state.")
+	mIncrStructSplits = obs.Default().Counter("eed_incr_structural_splits_total",
+		"Split records folded into incremental session state.")
+	mIncrStructResyncs = obs.Default().Counter("eed_incr_structural_resyncs_total",
+		"Full state rebuilds whose cause was an unreplayable structural change.")
+	mIncrStructLatency = obs.Default().Histogram("eed_incr_structural_latency_ns",
+		"Latency of one structural edit applied through a session (tree surgery + incremental catch-up), nanoseconds.",
+		obs.DefaultLatencyBuckets)
+
 	// Session-registry metrics (registry.go) — the resident-net pool the
 	// daemon serves from. Hits are memory-speed queries; misses pay a
 	// parse + session build; evictions measure pressure on the capacity

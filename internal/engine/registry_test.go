@@ -149,6 +149,96 @@ func TestRegistryRekeyAfterEdit(t *testing.T) {
 	}
 }
 
+// TestRegistryRekeyAfterStructuralEdit is the structural analogue of the
+// value-edit rekey test, in the /v1/edit-style flow the daemon uses:
+// mutate the topology through the resident's serialized session (detach a
+// tail, re-attach it elsewhere, split a section), Rekey, and the net must
+// be re-addressed — the old fingerprint 404s, the new one resolves to the
+// same resident, and the session still answers bit-identically to a
+// from-scratch sweep. Run under -race this also pins that structural edits
+// stay inside the per-net mutex; concurrent index traffic is exercised by
+// a reader goroutine hammering Lookup/Stats during the surgery.
+func TestRegistryRekeyAfterStructuralEdit(t *testing.T) {
+	reg := NewRegistry(nil, 4)
+	res, err := reg.Put(registryTree(t, 8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldFP := res.Fingerprint()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				reg.Lookup(res.Fingerprint())
+				reg.Stats()
+			}
+		}
+	}()
+
+	var newFP rlctree.Fingerprint
+	err = res.Do(func(sess *Session, tr *rlctree.Tree) error {
+		// Detach the last three sections and graft them under the second
+		// section, then split the root — a real topology change, not a
+		// value perturbation.
+		sub, err := sess.Detach(tr.Sections()[5])
+		if err != nil {
+			return err
+		}
+		if _, err := sess.AttachSubtree(tr.Sections()[1], sub); err != nil {
+			return err
+		}
+		if _, err := sess.SplitSection(tr.Sections()[0], 2); err != nil {
+			return err
+		}
+		newFP = reg.Rekey(res)
+		return nil
+	})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newFP == oldFP {
+		t.Fatal("structural edit did not change the fingerprint key")
+	}
+	if _, ok := reg.Lookup(oldFP); ok {
+		t.Fatal("stale key still resolves after structural Rekey")
+	}
+	got, ok := reg.Lookup(newFP)
+	if !ok || got != res {
+		t.Fatal("new key does not resolve to the restructured resident")
+	}
+	// The resident session must have folded the surgery incrementally and
+	// still agree with a from-scratch sweep of the mutated tree.
+	err = res.Do(func(sess *Session, tr *rlctree.Tree) error {
+		if st := sess.Stats(); st.Detaches == 0 || st.Attaches == 0 || st.Splits == 0 {
+			return fmt.Errorf("structural ops were not folded in place: %+v", st)
+		}
+		sums := tr.ElmoreSums()
+		for j, sec := range tr.Sections() {
+			sr, sl, _, err := sess.SumsAt(sec)
+			if err != nil {
+				return err
+			}
+			if math.Float64bits(sr) != math.Float64bits(sums.SR[j]) ||
+				math.Float64bits(sl) != math.Float64bits(sums.SL[j]) {
+				return fmt.Errorf("node %d: resident state diverged after structural rekey", j)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRegistryRekeyCollisionDisplaces(t *testing.T) {
 	reg := NewRegistry(nil, 4)
 	// Net A at R=10, net B at R=11; edit B back to R=10 → B collides with

@@ -19,12 +19,15 @@ import (
 // loop of a sizing or repeater-insertion optimizer — pay O(depth) per
 // candidate rather than an O(n) rebuild-and-resweep.
 //
-// Edits may go through the session (SetR/SetL/SetC, EditAndAnalyze) or
-// directly through the tree's own edit API; before every query the session
-// catches up by replaying the tree's edit journal since its last
-// synchronized generation. A structural change (AddSection) or a trimmed
-// journal forces a full resynchronization, counted in
-// eed_incr_resyncs_total.
+// Edits may go through the session (SetR/SetL/SetC, EditAndAnalyze,
+// AttachLeaf/AttachSubtree/Detach/SplitSection) or directly through the
+// tree's own edit API; before every query the session catches up by
+// replaying the tree's typed journal since its last synchronized
+// generation. Structural changes replay in place like element edits —
+// O(depth + |subtree|) per record — so topology optimization loops stay
+// incremental; only a trimmed journal (or a consumed tree) forces a full
+// resynchronization, counted in eed_incr_resyncs_total with the
+// structural-cause split in eed_incr_structural_resyncs_total.
 //
 // Query tiers, cheapest first:
 //
@@ -84,27 +87,47 @@ func (s *Session) Tree() *rlctree.Tree { return s.tree }
 func (s *Session) Stats() incr.Stats { return s.st.Stats() }
 
 // catchUp synchronizes the incremental state with the tree by replaying
-// the edit journal since the session's generation, falling back to a full
-// rebuild when the history is not replayable (structural change or
-// trimmed journal).
+// the typed journal — element edits and structural records alike — since
+// the session's generation, falling back to a full rebuild only when the
+// history is not replayable (trimmed journal, consumed tree, or a record
+// stream that no longer matches the state). The resync cause is recorded
+// honestly: every rebuild counts in eed_incr_resyncs_total, and those
+// caused by an unreplayable structural change additionally count in
+// eed_incr_structural_resyncs_total (rlctree.Tree.StructuralSince).
 func (s *Session) catchUp() error {
 	if s.gen == s.tree.Gen() {
 		return nil
 	}
 	track := obs.On()
-	edits, ok := s.tree.EditsSince(s.gen)
-	if ok {
-		for _, e := range edits {
-			if err := s.st.Apply(e); err != nil {
-				// Values in the journal were validated by the tree, so
-				// this is unreachable in practice; resync defensively.
-				ok = false
+	recs, status := s.tree.RecordsSince(s.gen)
+	if status == rlctree.JournalOK {
+		var edits, attaches, detaches, splits uint64
+		replayable := true
+		for _, rec := range recs {
+			if err := s.st.ApplyRecord(rec); err != nil {
+				// Journal records were produced by the tree's own mutation
+				// API, so this is unreachable in practice; resync
+				// defensively.
+				replayable = false
 				break
 			}
+			switch rec.Kind {
+			case rlctree.RecordValue:
+				edits++
+			case rlctree.RecordAttach:
+				attaches++
+			case rlctree.RecordDetach:
+				detaches++
+			case rlctree.RecordSplit:
+				splits++
+			}
 		}
-		if ok {
+		if replayable {
 			if track {
-				mIncrEdits.Add(uint64(len(edits)))
+				mIncrEdits.Add(edits)
+				mIncrStructAttaches.Add(attaches)
+				mIncrStructDetaches.Add(detaches)
+				mIncrStructSplits.Add(splits)
 			}
 			s.gen = s.tree.Gen()
 			return nil
@@ -114,10 +137,14 @@ func (s *Session) catchUp() error {
 	if err != nil {
 		return err
 	}
+	structural := s.tree.StructuralSince(s.gen)
 	s.st = st
 	s.gen = s.tree.Gen()
 	if track {
 		mIncrResyncs.Inc()
+		if structural {
+			mIncrStructResyncs.Inc()
+		}
 	}
 	return nil
 }
@@ -153,6 +180,117 @@ func (s *Session) SetC(sec *rlctree.Section, v float64) error {
 		return err
 	}
 	return sec.SetC(v)
+}
+
+// observeStructural folds the structural edit the tree just journaled into
+// the incremental state immediately (rather than on the next query) and
+// records its end-to-end latency. Folding eagerly keeps the structural
+// wrappers' cost visible in eed_incr_structural_latency_ns and leaves the
+// session ready for the O(depth) query that invariably follows in an
+// optimizer loop.
+func (s *Session) observeStructural(t0 time.Time, track bool) error {
+	err := s.catchUp()
+	if track && err == nil {
+		mIncrStructLatency.ObserveSince(t0)
+	}
+	return err
+}
+
+// AttachLeaf appends a new leaf section beneath parent (nil = the input
+// node) through the session; the attach is folded into the incremental
+// state in O(depth).
+func (s *Session) AttachLeaf(name string, parent *rlctree.Section, r, l, c float64) (*rlctree.Section, error) {
+	if parent != nil {
+		if err := s.checkSection(parent); err != nil {
+			return nil, err
+		}
+	}
+	track := obs.On()
+	var t0 time.Time
+	if track {
+		t0 = time.Now()
+	}
+	sec, err := s.tree.AttachLeaf(name, parent, r, l, c)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.observeStructural(t0, track); err != nil {
+		return nil, err
+	}
+	return sec, nil
+}
+
+// AttachSubtree moves every section of src into the session's tree beneath
+// parent (rlctree.Tree.AttachSubtree) and folds the attach into the
+// incremental state in O(depth + |subtree|). src is consumed.
+func (s *Session) AttachSubtree(parent *rlctree.Section, src *rlctree.Tree) ([]*rlctree.Section, error) {
+	if parent != nil {
+		if err := s.checkSection(parent); err != nil {
+			return nil, err
+		}
+	}
+	if src == s.tree {
+		return nil, guard.Newf(guard.ErrTopology, "engine", "cannot attach the session's own tree into itself")
+	}
+	track := obs.On()
+	var t0 time.Time
+	if track {
+		t0 = time.Now()
+	}
+	moved, err := s.tree.AttachSubtree(parent, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.observeStructural(t0, track); err != nil {
+		return nil, err
+	}
+	return moved, nil
+}
+
+// Detach removes the subtree rooted at sec and returns it as an
+// independent tree (rlctree.Tree.Detach), un-folding its capacitance from
+// the incremental state symmetrically to an attach. Detaching a subtree
+// that occupies a contiguous index suffix — the invariable case when
+// undoing a recent attach — costs O(depth + |subtree|).
+func (s *Session) Detach(sec *rlctree.Section) (*rlctree.Tree, error) {
+	if err := s.checkSection(sec); err != nil {
+		return nil, err
+	}
+	track := obs.On()
+	var t0 time.Time
+	if track {
+		t0 = time.Now()
+	}
+	sub, err := s.tree.Detach(sec)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.observeStructural(t0, track); err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+// SplitSection splits sec into k equal subsections in place
+// (rlctree.Tree.SplitSection) and folds the split into the incremental
+// state in O(depth + k).
+func (s *Session) SplitSection(sec *rlctree.Section, k int) ([]*rlctree.Section, error) {
+	if err := s.checkSection(sec); err != nil {
+		return nil, err
+	}
+	track := obs.On()
+	var t0 time.Time
+	if track {
+		t0 = time.Now()
+	}
+	subs, err := s.tree.SplitSection(sec, k)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.observeStructural(t0, track); err != nil {
+		return nil, err
+	}
+	return subs, nil
 }
 
 // SumsAt returns the node's two path summations S_R(i), S_L(i) and its

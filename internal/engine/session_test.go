@@ -91,7 +91,10 @@ func TestSessionDirectTreeEditsCatchUp(t *testing.T) {
 	}
 }
 
-func TestSessionStructuralChangeResyncs(t *testing.T) {
+func TestSessionStructuralChangeReplaysInPlace(t *testing.T) {
+	// A structural change made directly on the tree no longer forces a
+	// resync: the session folds the journaled attach record into its state
+	// and keeps answering bit-identically.
 	tree := sessionTestTree(t)
 	sess, err := NewSession(tree)
 	if err != nil {
@@ -109,6 +112,106 @@ func TestSessionStructuralChangeResyncs(t *testing.T) {
 	}
 	if got != m.Delay50() {
 		t.Fatal("post-structural-change delay differs from from-scratch analysis")
+	}
+	if st := sess.Stats(); st.Attaches != 1 {
+		t.Fatalf("attach must be folded in place, not resynced: %+v", st)
+	}
+}
+
+// TestSessionStructuralWrappersBitIdentical drives the session's own
+// structural API — attach a stub, split it, detach it again — checking
+// after every step that DelayAt matches a from-scratch core analysis bit
+// for bit and that the kernel folded the ops in place (its Stats advanced,
+// meaning no rebuild discarded them).
+func TestSessionStructuralWrappersBitIdentical(t *testing.T) {
+	tree := sessionTestTree(t)
+	sess, err := NewSession(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(context string) {
+		t.Helper()
+		for _, sec := range tree.Sections() {
+			got, err := sess.DelayAt(sec)
+			if err != nil {
+				t.Fatalf("%s: %v", context, err)
+			}
+			m, err := core.AtNode(sec)
+			if err != nil {
+				t.Fatalf("%s: %v", context, err)
+			}
+			if math.Float64bits(got) != math.Float64bits(m.Delay50()) {
+				t.Fatalf("%s: delay at %q diverged", context, sec.Name())
+			}
+		}
+	}
+	mid := tree.Sections()[7]
+	leaf, err := sess.AttachLeaf("tap", mid, 2, 0, 30e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("after AttachLeaf")
+
+	stub := rlctree.New()
+	root := stub.MustAddSection("stub0", nil, 5, 1e-10, 20e-15)
+	stub.MustAddSection("stub1", root, 5, 1e-10, 20e-15)
+	if _, err := sess.AttachSubtree(leaf, stub); err != nil {
+		t.Fatal(err)
+	}
+	check("after AttachSubtree")
+
+	if _, err := sess.SplitSection(leaf, 3); err != nil {
+		t.Fatal(err)
+	}
+	check("after SplitSection")
+
+	sub, err := sess.Detach(tree.Section("stub0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 2 {
+		t.Fatalf("detached subtree has %d sections, want 2", sub.Len())
+	}
+	check("after Detach")
+
+	st := sess.Stats()
+	if st.Attaches != 2 || st.Splits != 1 || st.Detaches != 1 {
+		t.Fatalf("structural ops not folded in place: %+v", st)
+	}
+}
+
+func TestSessionStructuralWrapperValidation(t *testing.T) {
+	tree := sessionTestTree(t)
+	sess, err := NewSession(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := sessionTestTree(t)
+	foreign := other.Sections()[0]
+	if _, err := sess.AttachLeaf("x", foreign, 1, 0, 1e-15); err == nil {
+		t.Fatal("foreign parent must be rejected")
+	}
+	if _, err := sess.AttachSubtree(nil, tree); err == nil {
+		t.Fatal("self-attach must be rejected")
+	}
+	if _, err := sess.Detach(foreign); err == nil {
+		t.Fatal("foreign detach must be rejected")
+	}
+	if _, err := sess.SplitSection(foreign, 2); err == nil {
+		t.Fatal("foreign split must be rejected")
+	}
+	// Failed structural calls must leave the session consistent.
+	sink := tree.Sections()[tree.Len()-1]
+	got, err := sess.DelayAt(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.AtNode(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m.Delay50() {
+		t.Fatal("rejected structural edits disturbed the session")
 	}
 }
 

@@ -64,6 +64,9 @@ type Stats struct {
 	SubtreeUpdates         uint64 // eager O(subtree) S_R/S_L refreshes
 	PathQueries            uint64 // lazy O(depth) single-sink sum queries
 	FullSweeps             uint64 // lazy O(n) whole-tree S_R/S_L re-sweeps
+
+	// Structural records folded in place (structural.go).
+	Attaches, Detaches, Splits uint64
 }
 
 // State is a mutable snapshot of a tree's element values and summations in
@@ -235,7 +238,20 @@ func (s *State) SetC(i int, v float64) error {
 	}
 	s.c[i] = v
 	s.stats.EditsC++
-	for w := int32(i); w >= 0; w = s.parent[w] {
+	s.refoldPath(int32(i))
+	s.srslValid = false
+	return nil
+}
+
+// refoldPath recomputes Ctot(w) for every section on the input→w path,
+// re-accumulating each node's children in the same descending-index order
+// as the from-scratch bottom-up pass (own C last), so the maintained Ctot
+// stays bit-identical. This is the O(depth·fanout) repair step shared by
+// capacitance edits and the structural operations (structural.go), whose
+// effect on the rest of the tree is exactly a Ctot change along one path.
+// A negative w is a no-op (the input node holds no Ctot).
+func (s *State) refoldPath(w int32) {
+	for ; w >= 0; w = s.parent[w] {
 		acc := 0.0
 		for ch := s.childHead[w]; ch >= 0; ch = s.childNext[ch] {
 			acc += s.ctot[ch]
@@ -243,8 +259,6 @@ func (s *State) SetC(i int, v float64) error {
 		acc += s.c[w]
 		s.ctot[w] = acc
 	}
-	s.srslValid = false
-	return nil
 }
 
 // Apply replays one journal edit (see rlctree.Tree.EditsSince).

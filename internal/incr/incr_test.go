@@ -171,9 +171,9 @@ func TestJournalReplayMatchesDirectEdits(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	edits, ok := tree.EditsSince(g)
-	if !ok {
-		t.Fatal("journal must cover the edit burst")
+	edits, status := tree.EditsSince(g)
+	if status != rlctree.JournalOK {
+		t.Fatalf("journal must cover the edit burst: %v", status)
 	}
 	for _, e := range edits {
 		if err := st.Apply(e); err != nil {

@@ -12,7 +12,15 @@ import (
 // tree (or re-run the full two-pass sums) per candidate. The journal is
 // what lets a consumer that snapshotted the tree at generation g — e.g. an
 // engine.Session holding an incr.State — catch up by replaying exactly the
-// edits in (g, Gen()] instead of resynchronizing from scratch.
+// mutations in (g, Gen()] instead of resynchronizing from scratch.
+//
+// Since the structural-edit API (structural.go) the journal is typed:
+// structural mutations (attach, detach, split) no longer silently clear the
+// history — they append replayable structural records, so a consumer that
+// understands them (incr.State.ApplyRecord) catches up across topology
+// changes too, and one that does not (EditsSince) learns *why* replay is
+// impossible: a structural change is reported distinctly from a trimmed
+// window.
 
 // Elem identifies which element value of a section an Edit changed.
 type Elem uint8
@@ -49,60 +57,218 @@ type Edit struct {
 	New   float64
 }
 
+// RecordKind discriminates the journal record types.
+type RecordKind uint8
+
+const (
+	// RecordValue is one element edit (SetR/SetL/SetC).
+	RecordValue RecordKind = iota
+	// RecordAttach is an attach of Count sections (AddSection/AttachLeaf
+	// appends one, AttachSubtree appends a whole re-homed subtree).
+	RecordAttach
+	// RecordDetach is the removal of a subtree (Detach).
+	RecordDetach
+	// RecordSplit is the in-place split of one section into Count equal
+	// subsections (SplitSection).
+	RecordSplit
+)
+
+// String names the record kind.
+func (k RecordKind) String() string {
+	switch k {
+	case RecordValue:
+		return "value"
+	case RecordAttach:
+		return "attach"
+	case RecordDetach:
+		return "detach"
+	case RecordSplit:
+		return "split"
+	}
+	return fmt.Sprintf("RecordKind(%d)", uint8(k))
+}
+
+// Record is one replayable journal entry; Kind selects which fields are
+// meaningful. Replaying records in order onto a snapshot of the tree
+// reproduces the current tree exactly — element values bit for bit and
+// topology index for index (the incr.State.ApplyRecord contract).
+type Record struct {
+	Kind RecordKind
+
+	// RecordValue: the element edit.
+	Edit Edit
+
+	// RecordAttach: Count sections were appended at indices
+	// [Index, Index+Count). For Count == 1 the parent index and element
+	// values are inline (Parent, R, L, C — no allocation per AddSection);
+	// larger attaches carry per-section parents and values in Multi.
+	//
+	// RecordDetach: Index is the detached subtree root's old index; Multi
+	// holds the sorted old indices that were removed (the remaining
+	// sections were compacted preserving relative order).
+	//
+	// RecordSplit: the section at Index was split into Count equal
+	// subsections occupying [Index, Index+Count), the original section
+	// keeping the last slot; later sections shifted up by Count-1.
+	Index   int
+	Count   int
+	Parent  int32
+	R, L, C float64
+
+	Multi *MultiRecord
+}
+
+// MultiRecord carries the variable-size payload of multi-section
+// structural records.
+type MultiRecord struct {
+	// Attach: parent index (in the post-attach tree) and element values
+	// per attached section, in attach (ascending index) order. A parent of
+	// -1 means the input node.
+	Parents []int32
+	R, L, C []float64
+	// Detach: sorted old indices removed from the tree.
+	Removed []int32
+}
+
+// JournalStatus reports whether — and if not, why not — a history window
+// is replayable.
+type JournalStatus uint8
+
+const (
+	// JournalOK: the returned records are the complete history since the
+	// requested generation.
+	JournalOK JournalStatus = iota
+	// JournalStructural: the window contains a structural change, which
+	// the requested record form cannot express (EditsSince only — the
+	// typed RecordsSince replays structural history fine).
+	JournalStructural
+	// JournalTrimmed: the journal's bounded window no longer reaches back
+	// to the requested generation.
+	JournalTrimmed
+	// JournalFuture: the requested generation is ahead of the tree — the
+	// caller's snapshot cannot have come from this tree's timeline.
+	JournalFuture
+)
+
+// String names the status for resync-cause reporting.
+func (s JournalStatus) String() string {
+	switch s {
+	case JournalOK:
+		return "ok"
+	case JournalStructural:
+		return "structural change"
+	case JournalTrimmed:
+		return "trimmed window"
+	case JournalFuture:
+		return "future generation"
+	}
+	return fmt.Sprintf("JournalStatus(%d)", uint8(s))
+}
+
 // journalCap bounds the retained edit journal. When the journal grows past
 // the cap its oldest half is dropped; consumers whose snapshot predates the
-// retained window fall back to a full resynchronization (EditsSince
-// reports !ok). The cap comfortably covers an optimizer's inner-loop burst
-// between queries while bounding memory on very long edit streams.
+// retained window fall back to a full resynchronization (EditsSince and
+// RecordsSince report JournalTrimmed). The cap comfortably covers an
+// optimizer's inner-loop burst between queries while bounding memory on
+// very long edit streams.
 const journalCap = 4096
 
 // Gen returns the tree's generation: a counter bumped by every mutation,
-// structural (AddSection) or element edit (SetR/SetL/SetC). Two calls
-// returning the same value bracket an unchanged tree, which is also the
-// condition under which the cached Fingerprint is reused.
+// structural (AddSection, AttachSubtree, Detach, SplitSection) or element
+// edit (SetR/SetL/SetC). Two calls returning the same value bracket an
+// unchanged tree, which is also the condition under which the cached
+// Fingerprint is reused.
 func (t *Tree) Gen() uint64 { return t.gen }
 
-// bumpStructural records a structural mutation: the journal is cleared
-// (element edits cannot express topology changes, so snapshots older than
-// this point can never catch up by replay) and the fingerprint cache is
-// invalidated.
-func (t *Tree) bumpStructural() {
+// StructuralSince reports whether any structural mutation happened after
+// generation gen — the honest resync-cause signal for consumers whose
+// history window was lost (a trimmed journal cannot say what it dropped,
+// but the tree remembers when its topology last changed).
+func (t *Tree) StructuralSince(gen uint64) bool { return t.lastStructGen > gen }
+
+// bumpOpaque records a mutation that is not replayable at all — a tree
+// consumed by AttachSubtree loses its content entirely, so its history is
+// cleared and consumers must resynchronize (and will find the tree empty).
+func (t *Tree) bumpOpaque() {
 	t.gen++
 	t.journal = t.journal[:0]
 	t.journalBase = t.gen
+	t.lastStructGen = t.gen
 	t.invalidateFingerprint()
 }
 
-// recordEdit appends an element edit to the journal, trimming the oldest
-// half when the cap is exceeded.
-func (t *Tree) recordEdit(e Edit) {
+// appendRecord journals one mutation, trimming the oldest half of the
+// journal when the cap is exceeded.
+func (t *Tree) appendRecord(rec Record) {
 	t.gen++
 	if len(t.journal) >= journalCap {
 		drop := len(t.journal) / 2
 		n := copy(t.journal, t.journal[drop:])
+		clear(t.journal[n:])
 		t.journal = t.journal[:n]
 		t.journalBase += uint64(drop)
 	}
-	t.journal = append(t.journal, e)
+	t.journal = append(t.journal, rec)
 	t.invalidateFingerprint()
 }
 
+// recordEdit appends an element edit to the journal.
+func (t *Tree) recordEdit(e Edit) {
+	t.appendRecord(Record{Kind: RecordValue, Edit: e})
+}
+
+// recordStructural appends a structural record and remembers the
+// generation for StructuralSince.
+func (t *Tree) recordStructural(rec Record) {
+	t.appendRecord(rec)
+	t.lastStructGen = t.gen
+}
+
 // EditsSince returns the element edits applied after generation gen, in
-// order, and ok=true when that history is complete — i.e. replaying the
+// order, and JournalOK when that history is complete — i.e. replaying the
 // returned edits onto a snapshot taken at gen reproduces the tree's
-// current element values exactly. ok=false means the history is not
-// replayable (a structural change happened after gen, or the journal
-// trimmed that far back) and the consumer must resynchronize from the tree
-// itself. The returned slice aliases the journal: it is valid until the
-// next mutation and must not be modified.
-func (t *Tree) EditsSince(gen uint64) ([]Edit, bool) {
+// current element values exactly. Any other status means the history is
+// not expressible as element edits, and says why: JournalStructural (a
+// structural change happened after gen — consumers that can fold topology
+// changes should use RecordsSince instead), JournalTrimmed (the bounded
+// journal dropped that far back) or JournalFuture (gen is ahead of the
+// tree). The returned slice is freshly allocated and owned by the caller.
+func (t *Tree) EditsSince(gen uint64) ([]Edit, JournalStatus) {
+	recs, status := t.RecordsSince(gen)
+	if status != JournalOK {
+		return nil, status
+	}
+	if len(recs) == 0 {
+		return nil, JournalOK
+	}
+	edits := make([]Edit, 0, len(recs))
+	for _, rec := range recs {
+		if rec.Kind != RecordValue {
+			return nil, JournalStructural
+		}
+		edits = append(edits, rec.Edit)
+	}
+	return edits, JournalOK
+}
+
+// RecordsSince returns the typed journal records — element edits and
+// structural changes alike — applied after generation gen, in order, and
+// JournalOK when that history is complete. JournalTrimmed or JournalFuture
+// mean the consumer must resynchronize from the tree itself (the trimmed
+// case distinguishes cause via StructuralSince). The returned slice
+// aliases the journal: it is valid until the next mutation and must not be
+// modified.
+func (t *Tree) RecordsSince(gen uint64) ([]Record, JournalStatus) {
 	if gen == t.gen {
-		return nil, true
+		return nil, JournalOK
 	}
-	if gen > t.gen || gen < t.journalBase {
-		return nil, false
+	if gen > t.gen {
+		return nil, JournalFuture
 	}
-	return t.journal[gen-t.journalBase:], true
+	if gen < t.journalBase {
+		return nil, JournalTrimmed
+	}
+	return t.journal[gen-t.journalBase:], JournalOK
 }
 
 // setElem validates and applies one element edit. A write of the value

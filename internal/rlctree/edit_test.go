@@ -96,9 +96,9 @@ func TestEditsSinceReplay(t *testing.T) {
 	if err := c.SetL(0); err != nil {
 		t.Fatal(err)
 	}
-	edits, ok := tr.EditsSince(g)
-	if !ok || len(edits) != 3 {
-		t.Fatalf("EditsSince: ok=%v n=%d, want complete history of 3", ok, len(edits))
+	edits, status := tr.EditsSince(g)
+	if status != JournalOK || len(edits) != 3 {
+		t.Fatalf("EditsSince: status=%v n=%d, want complete history of 3", status, len(edits))
 	}
 	// Replay onto the snapshot and compare fingerprints.
 	for _, e := range edits {
@@ -120,12 +120,12 @@ func TestEditsSinceReplay(t *testing.T) {
 		t.Fatal("replaying the journal must reproduce the tree exactly")
 	}
 	// Up to date: no edits, ok.
-	if edits, ok := tr.EditsSince(tr.Gen()); !ok || len(edits) != 0 {
-		t.Fatalf("EditsSince(current) = %v, %v", edits, ok)
+	if edits, status := tr.EditsSince(tr.Gen()); status != JournalOK || len(edits) != 0 {
+		t.Fatalf("EditsSince(current) = %v, %v", edits, status)
 	}
-	// Future generation: not replayable.
-	if _, ok := tr.EditsSince(tr.Gen() + 1); ok {
-		t.Fatal("future generation must not be replayable")
+	// Future generation: not replayable, and says so.
+	if _, status := tr.EditsSince(tr.Gen() + 1); status != JournalFuture {
+		t.Fatalf("future generation: status=%v, want %v", status, JournalFuture)
 	}
 }
 
@@ -136,16 +136,30 @@ func TestEditsSinceStructuralChangeInvalidates(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr.MustAddSection("d", a, 1, 0, 1e-15)
-	if _, ok := tr.EditsSince(g); ok {
-		t.Fatal("history across a structural change must not be replayable")
+	// The history is not expressible as element edits, and the status says
+	// why: a structural change, not a trimmed window.
+	if _, status := tr.EditsSince(g); status != JournalStructural {
+		t.Fatalf("history across a structural change: status=%v, want %v", status, JournalStructural)
 	}
-	// But history since the structural change is.
+	if !tr.StructuralSince(g) {
+		t.Fatal("StructuralSince must report the topology change")
+	}
+	// The typed record form replays across it fine.
+	if recs, status := tr.RecordsSince(g); status != JournalOK || len(recs) != 2 {
+		t.Fatalf("RecordsSince: status=%v n=%d, want 2 records", status, len(recs))
+	} else if recs[0].Kind != RecordValue || recs[1].Kind != RecordAttach {
+		t.Fatalf("record kinds = %v, %v; want value, attach", recs[0].Kind, recs[1].Kind)
+	}
+	// But history since the structural change is plain element edits.
 	g2 := tr.Gen()
 	if err := a.SetR(98); err != nil {
 		t.Fatal(err)
 	}
-	if edits, ok := tr.EditsSince(g2); !ok || len(edits) != 1 {
-		t.Fatalf("post-structural history: ok=%v n=%d", ok, len(edits))
+	if edits, status := tr.EditsSince(g2); status != JournalOK || len(edits) != 1 {
+		t.Fatalf("post-structural history: status=%v n=%d", status, len(edits))
+	}
+	if tr.StructuralSince(g2) {
+		t.Fatal("StructuralSince must not fire for pure element edits")
 	}
 }
 
@@ -157,16 +171,16 @@ func TestEditJournalTrimming(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, ok := tr.EditsSince(g); ok {
-		t.Fatal("history beyond the trimmed journal must not be replayable")
+	if _, status := tr.EditsSince(g); status != JournalTrimmed {
+		t.Fatalf("history beyond the trimmed journal: status=%v, want %v", status, JournalTrimmed)
 	}
 	// Recent history survives the trim.
 	g2 := tr.Gen()
 	if err := a.SetR(1e6); err != nil {
 		t.Fatal(err)
 	}
-	if edits, ok := tr.EditsSince(g2); !ok || len(edits) != 1 || edits[0].New != 1e6 {
-		t.Fatalf("recent history lost: ok=%v edits=%v", ok, edits)
+	if edits, status := tr.EditsSince(g2); status != JournalOK || len(edits) != 1 || edits[0].New != 1e6 {
+		t.Fatalf("recent history lost: status=%v edits=%v", status, edits)
 	}
 }
 

@@ -120,10 +120,14 @@ func FuzzEditJournal(f *testing.F) {
 				}
 			}
 		}
-		edits, ok := tr.EditsSince(gen0)
-		if !ok {
+		edits, status := tr.EditsSince(gen0)
+		if status != JournalOK {
 			// Only a journal trim can make the history unreplayable here
-			// (no structural changes happened).
+			// (no structural changes happened after gen0), and the status
+			// must say so.
+			if status != JournalTrimmed {
+				t.Fatalf("unreplayable history reported %v, want %v", status, JournalTrimmed)
+			}
 			if tr.Gen()-gen0 < journalCap {
 				t.Fatalf("short history (%d edits) reported unreplayable", tr.Gen()-gen0)
 			}

@@ -116,16 +116,19 @@ type Tree struct {
 	parentIdx []int32
 
 	// gen counts every mutation (structural or element edit). journal
-	// holds the element edits since the last structural change, with
-	// journalBase the generation just before its first entry; see
-	// EditsSince. fp caches the content fingerprint of generation fpGen.
-	gen         uint64
-	journal     []Edit
-	journalBase uint64
-	fpMu        sync.Mutex
-	fp          Fingerprint
-	fpGen       uint64
-	fpValid     bool
+	// holds the typed mutation records — element edits and structural
+	// changes — with journalBase the generation just before its first
+	// entry; see EditsSince/RecordsSince. lastStructGen is the generation
+	// of the most recent structural mutation (resync-cause reporting). fp
+	// caches the content fingerprint of generation fpGen.
+	gen           uint64
+	journal       []Record
+	journalBase   uint64
+	lastStructGen uint64
+	fpMu          sync.Mutex
+	fp            Fingerprint
+	fpGen         uint64
+	fpValid       bool
 }
 
 // New returns an empty tree.
@@ -170,7 +173,10 @@ func (t *Tree) AddSection(name string, parent *Section, r, l, c float64) (*Secti
 	if parent != nil {
 		parent.children = append(parent.children, s)
 	}
-	t.bumpStructural()
+	t.recordStructural(Record{
+		Kind: RecordAttach, Index: s.index, Count: 1,
+		Parent: pi, R: r, L: l, C: c,
+	})
 	return s, nil
 }
 
